@@ -1,0 +1,99 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * β price averaging on vs off (stability under noise),
+//! * the under-utilization gain η,
+//! * STFQ (WFQ) vs a plain FIFO under NUMFabric's weights — the scheduler is
+//!   load-bearing for Swift's weighted max-min guarantee,
+//! * the Swift initial burst size.
+//!
+//! Each case runs a short two-flow packet simulation; the correctness-side
+//! assertions (fairness, utilization) live in the integration tests, while
+//! Criterion keeps the relative costs of the variants visible over time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numfabric_core::protocol::install_numfabric;
+use numfabric_core::{NumFabricAgent, NumFabricConfig};
+use numfabric_num::utility::LogUtility;
+use numfabric_sim::queue::{DropTailFifo, StfqQueue};
+use numfabric_sim::topology::{LeafSpineConfig, Topology};
+use numfabric_sim::{Network, SimTime};
+use std::hint::black_box;
+
+fn run_two_flow(config: &NumFabricConfig, use_stfq: bool) -> (f64, f64) {
+    let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
+    let mut net = if use_stfq {
+        Network::new(topo, |_| Box::new(StfqQueue::with_default_buffer()))
+    } else {
+        Network::new(topo, |_| Box::new(DropTailFifo::with_default_buffer()))
+    };
+    install_numfabric(&mut net, config);
+    let hosts: Vec<_> = net.topology().hosts().to_vec();
+    let f0 = net.add_flow(hosts[0], hosts[4], None, SimTime::ZERO, 0, None,
+        Box::new(NumFabricAgent::new(config.clone(), LogUtility::weighted(3.0))));
+    let f1 = net.add_flow(hosts[1], hosts[4], None, SimTime::ZERO, 0, None,
+        Box::new(NumFabricAgent::new(config.clone(), LogUtility::new())));
+    net.run_until(SimTime::from_millis(3));
+    (net.flow_rate_estimate(f0), net.flow_rate_estimate(f1))
+}
+
+fn bench_beta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_beta_averaging");
+    group.sample_size(10);
+    for &beta in &[0.0, 0.5, 0.9] {
+        group.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |b, &beta| {
+            let cfg = NumFabricConfig::default().with_beta(beta);
+            b.iter(|| black_box(run_two_flow(&cfg, true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_eta");
+    group.sample_size(10);
+    for &eta in &[0.5, 5.0, 20.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(eta), &eta, |b, &eta| {
+            let cfg = NumFabricConfig::default().with_eta(eta);
+            b.iter(|| black_box(run_two_flow(&cfg, true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scheduler");
+    group.sample_size(10);
+    group.bench_function("stfq", |b| {
+        let cfg = NumFabricConfig::default();
+        b.iter(|| black_box(run_two_flow(&cfg, true)))
+    });
+    group.bench_function("fifo", |b| {
+        let cfg = NumFabricConfig::default();
+        b.iter(|| black_box(run_two_flow(&cfg, false)))
+    });
+    group.finish();
+}
+
+fn bench_initial_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_initial_burst");
+    group.sample_size(10);
+    for &burst in &[1usize, 3, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(burst), &burst, |b, &burst| {
+            let cfg = NumFabricConfig {
+                initial_burst_packets: burst,
+                ..NumFabricConfig::default()
+            };
+            b.iter(|| black_box(run_two_flow(&cfg, true)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_beta,
+    bench_eta,
+    bench_scheduler,
+    bench_initial_burst
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Convergence benchmarks: how long the fluid-model algorithms take to reach
+//! the NUM optimum (iteration counts are what Figure 4a measures in time),
+//! and how long the packet-level NUMFabric takes to re-converge after a flow
+//! arrival.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use numfabric_core::protocol::numfabric_network;
+use numfabric_core::{NumFabricAgent, NumFabricConfig};
+use numfabric_num::fluid::{iterations_to_oracle, DgdFluid, XwiFluid};
+use numfabric_num::utility::LogUtility;
+use numfabric_num::{FluidFlow, FluidNetwork, Oracle};
+use numfabric_sim::topology::{LeafSpineConfig, Topology};
+use numfabric_sim::SimTime;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn random_instance(seed: u64) -> FluidNetwork {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut net = FluidNetwork::new();
+    for _ in 0..10 {
+        net.add_link(rng.gen_range(5.0..40.0));
+    }
+    for _ in 0..30 {
+        let a = rng.gen_range(0..10);
+        let b = loop {
+            let b = rng.gen_range(0..10);
+            if b != a {
+                break b;
+            }
+        };
+        net.add_flow(FluidFlow::new(vec![a, b], LogUtility::new()));
+    }
+    net
+}
+
+fn bench_fluid_convergence(c: &mut Criterion) {
+    let net = random_instance(3);
+    let oracle = Oracle::new().solve(&net);
+    let mut group = c.benchmark_group("fluid_convergence_to_5pct");
+    group.bench_function("xwi", |b| {
+        b.iter(|| {
+            let mut alg = XwiFluid::with_defaults(net.clone());
+            black_box(iterations_to_oracle(&mut alg, &oracle, 0.05, 50_000))
+        })
+    });
+    group.bench_function("dgd", |b| {
+        b.iter(|| {
+            let mut alg = DgdFluid::with_defaults(net.clone());
+            black_box(iterations_to_oracle(&mut alg, &oracle, 0.05, 50_000))
+        })
+    });
+    group.finish();
+}
+
+fn bench_packet_reconvergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_reconvergence");
+    group.sample_size(10);
+    group.bench_function("numfabric_flow_arrival", |b| {
+        b.iter(|| {
+            let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
+            let cfg = NumFabricConfig::default();
+            let mut net = numfabric_network(topo, &cfg);
+            let hosts: Vec<_> = net.topology().hosts().to_vec();
+            let f0 = net.add_flow(hosts[0], hosts[4], None, SimTime::ZERO, 0, None,
+                Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())));
+            let f1 = net.add_flow(hosts[1], hosts[4], None, SimTime::from_millis(2), 0, None,
+                Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())));
+            net.run_until(SimTime::from_millis(4));
+            black_box((net.flow_rate_estimate(f0), net.flow_rate_estimate(f1)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fluid_convergence, bench_packet_reconvergence);
+criterion_main!(benches);

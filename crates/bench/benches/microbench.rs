@@ -1,0 +1,137 @@
+//! Micro-benchmarks of the substrates: event queue, STFQ scheduler, weighted
+//! max-min solver, NUM oracle, and end-to-end packet simulation throughput.
+//! These back the engineering claims (the simulator and solvers are fast
+//! enough to run the paper-scale experiments) and catch performance
+//! regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numfabric_core::protocol::numfabric_network;
+use numfabric_core::{NumFabricAgent, NumFabricConfig};
+use numfabric_num::utility::LogUtility;
+use numfabric_num::{weighted_max_min, FluidFlow, FluidNetwork, Oracle};
+use numfabric_sim::event::{Event, EventQueue};
+use numfabric_sim::packet::{Packet, DEFAULT_PAYLOAD_BYTES};
+use numfabric_sim::queue::{QueueDiscipline, StfqQueue};
+use numfabric_sim::topology::{LeafSpineConfig, Route, Topology};
+use numfabric_sim::SimTime;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(
+                    SimTime::from_nanos((i * 7919) % 1_000_000),
+                    Event::FlowStart { flow: i as usize },
+                );
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+}
+
+fn bench_stfq(c: &mut Criterion) {
+    c.bench_function("stfq_enqueue_dequeue_1k_packets_8_flows", |b| {
+        let route = Arc::new(Route { links: vec![0] });
+        b.iter(|| {
+            let mut q = StfqQueue::new(10_000_000);
+            for i in 0..1_000u64 {
+                let mut p = Packet::data(
+                    (i % 8) as usize,
+                    i * 1460,
+                    DEFAULT_PAYLOAD_BYTES,
+                    route.clone(),
+                );
+                p.header.virtual_packet_len = 1500.0 / ((i % 8) + 1) as f64;
+                q.enqueue(p, SimTime::ZERO);
+            }
+            let mut served = 0;
+            while q.dequeue(SimTime::ZERO).is_some() {
+                served += 1;
+            }
+            black_box(served)
+        })
+    });
+}
+
+fn random_fluid_network(seed: u64, links: usize, flows: usize) -> (FluidNetwork, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut net = FluidNetwork::new();
+    for _ in 0..links {
+        net.add_link(rng.gen_range(5.0..40.0));
+    }
+    let mut weights = Vec::new();
+    for _ in 0..flows {
+        let a = rng.gen_range(0..links);
+        let b = loop {
+            let b = rng.gen_range(0..links);
+            if b != a {
+                break b;
+            }
+        };
+        net.add_flow(FluidFlow::new(vec![a, b], LogUtility::new()));
+        weights.push(rng.gen_range(0.1..4.0));
+    }
+    (net, weights)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_solvers");
+    for &flows in &[50usize, 200, 500] {
+        let (net, weights) = random_fluid_network(1, 20, flows);
+        group.bench_with_input(
+            BenchmarkId::new("weighted_max_min", flows),
+            &flows,
+            |b, _| b.iter(|| black_box(weighted_max_min(&net, &weights))),
+        );
+        group.bench_with_input(BenchmarkId::new("oracle_solve", flows), &flows, |b, _| {
+            let oracle = Oracle::with_tolerance(1e-4);
+            b.iter(|| black_box(oracle.solve(&net).rates))
+        });
+    }
+    group.finish();
+}
+
+fn bench_packet_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_sim");
+    group.sample_size(10);
+    group.bench_function("numfabric_8hosts_4flows_2ms", |b| {
+        b.iter(|| {
+            let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
+            let cfg = NumFabricConfig::default();
+            let mut net = numfabric_network(topo, &cfg);
+            let hosts: Vec<_> = net.topology().hosts().to_vec();
+            for i in 0..4 {
+                net.add_flow(
+                    hosts[i],
+                    hosts[4 + i],
+                    None,
+                    SimTime::ZERO,
+                    i,
+                    None,
+                    Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())),
+                );
+            }
+            net.run_until(SimTime::from_millis(2));
+            black_box(net.flow_rate_estimate(0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_stfq,
+    bench_solvers,
+    bench_packet_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,237 @@
+//! Driver for the dynamic (Poisson-arrival) workloads (§6.1 Fig. 5 and
+//! §6.3 Fig. 7).
+//!
+//! Every flow of the generated workload is injected into the packet
+//! simulation with its recorded start time, size and path; the same arrivals
+//! are fed to the ideal fluid simulator to obtain the Oracle reference rates,
+//! and to the empty-network bound used by the pFabric-style FCT
+//! normalization.
+
+use crate::protocols::Protocol;
+use numfabric_num::utility::{FctUtility, LogUtility, UtilityRef};
+use numfabric_sim::topology::{LeafSpineConfig, Topology};
+use numfabric_sim::{SimDuration, SimTime};
+use numfabric_workloads::arrivals::{poisson_arrivals, FlowArrival, PoissonWorkloadConfig};
+use numfabric_workloads::distributions::FlowSizeDistribution;
+use numfabric_workloads::ideal::{empty_network_fct, IdealFluidSimulator};
+use std::sync::Arc;
+
+/// The NUM objective flows in a dynamic workload optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Proportional fairness (the §6.1 dynamic-workload experiments).
+    ProportionalFairness,
+    /// FCT minimization: `U(x) = x^{1-ε}/((1-ε)·size)` (the Fig. 7 comparison
+    /// against pFabric).
+    FctMinimization,
+}
+
+impl Objective {
+    /// The utility object for a flow of `size_bytes`.
+    pub fn utility_for(&self, size_bytes: u64) -> UtilityRef {
+        match self {
+            Objective::ProportionalFairness => Arc::new(LogUtility::new()),
+            Objective::FctMinimization => Arc::new(FctUtility::new(size_bytes.max(1) as f64)),
+        }
+    }
+}
+
+/// Per-flow outcome of a dynamic-workload run.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicFlowResult {
+    /// Flow size in bytes.
+    pub size_bytes: u64,
+    /// Measured flow completion time (`None` if the flow had not finished
+    /// when the simulation ended).
+    pub fct: Option<SimDuration>,
+    /// Oracle (ideal fluid) completion time.
+    pub ideal_fct: SimDuration,
+    /// Empty-network lower bound on the completion time.
+    pub empty_fct: SimDuration,
+}
+
+impl DynamicFlowResult {
+    /// The normalized rate deviation of Fig. 5:
+    /// `(rate − idealRate) / idealRate`, with rates defined as
+    /// `size / completion time`. `None` if the flow did not finish.
+    pub fn rate_deviation(&self) -> Option<f64> {
+        let fct = self.fct?.as_secs_f64();
+        let ideal = self.ideal_fct.as_secs_f64();
+        if fct <= 0.0 || ideal <= 0.0 {
+            return None;
+        }
+        let rate = self.size_bytes as f64 / fct;
+        let ideal_rate = self.size_bytes as f64 / ideal;
+        Some((rate - ideal_rate) / ideal_rate)
+    }
+
+    /// The normalized FCT of Fig. 7: measured FCT divided by the
+    /// empty-network bound.
+    pub fn normalized_fct(&self) -> Option<f64> {
+        let fct = self.fct?.as_secs_f64();
+        Some(fct / self.empty_fct.as_secs_f64().max(1e-12))
+    }
+
+    /// Flow size expressed in bandwidth-delay products (Fig. 5's bins).
+    pub fn size_in_bdp(&self, bdp_bytes: f64) -> f64 {
+        self.size_bytes as f64 / bdp_bytes
+    }
+}
+
+/// Configuration of a dynamic workload run.
+#[derive(Debug, Clone)]
+pub struct DynamicRun {
+    /// Topology.
+    pub topology: LeafSpineConfig,
+    /// Offered load on the host links.
+    pub load: f64,
+    /// Duration over which arrivals are generated.
+    pub arrival_window: SimDuration,
+    /// Extra simulation time after the last arrival to let flows drain.
+    pub drain: SimDuration,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl DynamicRun {
+    /// Reduced-scale defaults: 32 hosts, arrivals over 20 ms.
+    pub fn reduced(load: f64, seed: u64) -> Self {
+        Self {
+            topology: LeafSpineConfig::small(32, 4, 2),
+            load,
+            arrival_window: SimDuration::from_millis(20),
+            drain: SimDuration::from_millis(120),
+            seed,
+        }
+    }
+}
+
+/// Generate the arrivals for a run (shared across protocols so that every
+/// scheme sees the identical workload).
+pub fn generate_arrivals(run: &DynamicRun, dist: &dyn FlowSizeDistribution) -> Vec<FlowArrival> {
+    let topo = Topology::leaf_spine(&run.topology);
+    let cfg = PoissonWorkloadConfig {
+        load: run.load,
+        host_link_bps: run.topology.host_link_bps,
+        duration: run.arrival_window,
+        seed: run.seed,
+        num_spines: run.topology.spines,
+    };
+    poisson_arrivals(topo.hosts(), dist, &cfg)
+}
+
+/// Run one protocol over a pre-generated arrival list and return per-flow
+/// results (same order as `arrivals`).
+pub fn run_dynamic(
+    protocol: &Protocol,
+    run: &DynamicRun,
+    arrivals: &[FlowArrival],
+    objective: Objective,
+) -> Vec<DynamicFlowResult> {
+    let topo = Topology::leaf_spine(&run.topology);
+    let mut net = protocol.build_network(topo.clone());
+
+    let mut flow_ids = Vec::with_capacity(arrivals.len());
+    for a in arrivals {
+        let id = net.add_flow(
+            a.src,
+            a.dst,
+            Some(a.size_bytes),
+            a.start,
+            a.spine_choice,
+            None,
+            protocol.make_agent(objective.utility_for(a.size_bytes)),
+        );
+        flow_ids.push(id);
+    }
+    net.run_until(SimTime::ZERO + run.arrival_window + run.drain);
+
+    // Oracle reference (fluid) and empty-network bounds.
+    let ideal = IdealFluidSimulator::new(&topo).run(arrivals, |a| {
+        objective.utility_for(a.size_bytes)
+    });
+
+    arrivals
+        .iter()
+        .zip(flow_ids)
+        .zip(ideal)
+        .map(|((a, id), ideal)| {
+            let route = topo.host_route(a.src, a.dst, a.spine_choice);
+            DynamicFlowResult {
+                size_bytes: a.size_bytes,
+                fct: net.flow_stats(id).fct(),
+                ideal_fct: ideal.fct,
+                empty_fct: empty_network_fct(&topo, &route, a.size_bytes),
+            }
+        })
+        .collect()
+}
+
+/// The bandwidth-delay product of the topology's host links (Fig. 5 uses
+/// 200 kB for the paper's 10 Gbps / 16 µs fabric).
+pub fn bdp_bytes(topology: &LeafSpineConfig) -> f64 {
+    // Cross-rack base RTT: 8 propagation delays plus serialization ≈ 16 µs
+    // for the paper's parameters.
+    let rtt = 8.0 * topology.link_delay.as_secs_f64();
+    topology.host_link_bps * rtt / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numfabric_core::NumFabricConfig;
+    use numfabric_workloads::distributions::FixedSize;
+
+    #[test]
+    fn bdp_matches_paper_value() {
+        let bdp = bdp_bytes(&LeafSpineConfig::paper_default());
+        assert!((bdp - 20_000.0).abs() < 1.0, "bdp = {bdp}");
+    }
+
+    #[test]
+    fn numfabric_dynamic_run_completes_most_flows_near_ideal() {
+        let run = DynamicRun {
+            topology: LeafSpineConfig::small(8, 2, 2),
+            load: 0.3,
+            arrival_window: SimDuration::from_millis(5),
+            drain: SimDuration::from_millis(60),
+            seed: 3,
+        };
+        let arrivals = generate_arrivals(&run, &FixedSize(200_000));
+        assert!(!arrivals.is_empty());
+        let results = run_dynamic(
+            &Protocol::NumFabric(NumFabricConfig::default()),
+            &run,
+            &arrivals,
+            Objective::ProportionalFairness,
+        );
+        let finished = results.iter().filter(|r| r.fct.is_some()).count();
+        assert!(
+            finished * 10 >= results.len() * 9,
+            "only {finished}/{} flows finished",
+            results.len()
+        );
+        // Median rate deviation should be modest (the paper reports near-zero
+        // medians for flows above a few BDP).
+        let mut devs: Vec<f64> = results.iter().filter_map(|r| r.rate_deviation()).collect();
+        devs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = devs[devs.len() / 2];
+        assert!(median.abs() < 0.5, "median deviation = {median}");
+    }
+
+    #[test]
+    fn deviation_and_normalization_arithmetic() {
+        let r = DynamicFlowResult {
+            size_bytes: 1_000_000,
+            fct: Some(SimDuration::from_millis(2)),
+            ideal_fct: SimDuration::from_millis(1),
+            empty_fct: SimDuration::from_micros(800),
+        };
+        // Measured rate is half the ideal rate → deviation −0.5.
+        assert!((r.rate_deviation().unwrap() + 0.5).abs() < 1e-9);
+        assert!((r.normalized_fct().unwrap() - 2.5).abs() < 1e-9);
+        assert!((r.size_in_bdp(200_000.0) - 5.0).abs() < 1e-9);
+        let unfinished = DynamicFlowResult { fct: None, ..r };
+        assert!(unfinished.rate_deviation().is_none());
+    }
+}

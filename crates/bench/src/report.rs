@@ -1,0 +1,172 @@
+//! Small reporting helpers shared by the figure-regeneration binaries:
+//! percentiles, CDFs, size bins and aligned-column table printing.
+
+use numfabric_sim::SimDuration;
+
+/// The flow-size bins of Fig. 5, in bandwidth-delay products.
+pub const FIG5_BINS: [(f64, f64); 5] = [
+    (0.0, 5.0),
+    (5.0, 10.0),
+    (10.0, 100.0),
+    (100.0, 1_000.0),
+    (1_000.0, 10_000.0),
+];
+
+/// Human-readable labels for [`FIG5_BINS`].
+pub const FIG5_BIN_LABELS: [&str; 5] = ["(0-5)", "(5-10)", "(10-100)", "(100-1K)", "(1K-10K)"];
+
+/// The q-quantile (0 ≤ q ≤ 1) of a sample, by nearest-rank interpolation.
+/// Returns `None` for an empty sample.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    Some(v[idx])
+}
+
+/// Arithmetic mean; `None` for an empty sample.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Box-plot style summary (25th, 50th, 75th percentiles).
+pub fn quartiles(values: &[f64]) -> Option<(f64, f64, f64)> {
+    Some((
+        percentile(values, 0.25)?,
+        percentile(values, 0.50)?,
+        percentile(values, 0.75)?,
+    ))
+}
+
+/// Empirical CDF points `(value, cumulative probability)` at each sample.
+pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Print a CDF as rows `value  probability`, downsampled to at most
+/// `max_rows` rows.
+pub fn print_cdf(label: &str, values: &[f64], unit: &str, max_rows: usize) {
+    let points = cdf_points(values);
+    if points.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    println!("{label} ({} samples):", points.len());
+    let step = (points.len() / max_rows.max(1)).max(1);
+    for (i, (x, p)) in points.iter().enumerate() {
+        if i % step == 0 || i == points.len() - 1 {
+            println!("  {x:>12.1} {unit}   P = {p:.3}");
+        }
+    }
+}
+
+/// Convert optional convergence times to milliseconds, dropping events that
+/// never converged.
+pub fn times_ms(times: &[Option<SimDuration>]) -> Vec<f64> {
+    times
+        .iter()
+        .filter_map(|t| t.map(|d| d.as_secs_f64() * 1e3))
+        .collect()
+}
+
+/// Which Fig. 5 bin a flow of `size_bdp` bandwidth-delay products falls into.
+pub fn fig5_bin(size_bdp: f64) -> Option<usize> {
+    FIG5_BINS
+        .iter()
+        .position(|&(lo, hi)| size_bdp >= lo && size_bdp < hi)
+}
+
+/// Print a table with a header row and aligned columns.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let formatted: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", formatted.join("  "));
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_and_mean_basics() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 1.0), Some(100.0));
+        let med = percentile(&v, 0.5).unwrap();
+        assert!((med - 50.0).abs() <= 1.0);
+        assert_eq!(mean(&v), Some(50.5));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn quartiles_are_ordered() {
+        let v: Vec<f64> = (0..1000).map(|i| (i as f64).sin().abs() * 10.0).collect();
+        let (q1, q2, q3) = quartiles(&v).unwrap();
+        assert!(q1 <= q2 && q2 <= q3);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let points = cdf_points(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(points.len(), 4);
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in points.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn fig5_binning_matches_paper_bins() {
+        assert_eq!(fig5_bin(0.5), Some(0));
+        assert_eq!(fig5_bin(7.0), Some(1));
+        assert_eq!(fig5_bin(50.0), Some(2));
+        assert_eq!(fig5_bin(500.0), Some(3));
+        assert_eq!(fig5_bin(5_000.0), Some(4));
+        assert_eq!(fig5_bin(50_000.0), None);
+    }
+
+    #[test]
+    fn times_ms_drops_unconverged_events() {
+        let times = vec![
+            Some(SimDuration::from_micros(500)),
+            None,
+            Some(SimDuration::from_millis(2)),
+        ];
+        let ms = times_ms(&times);
+        assert_eq!(ms.len(), 2);
+        assert!((ms[0] - 0.5).abs() < 1e-9);
+        assert!((ms[1] - 2.0).abs() < 1e-9);
+    }
+}

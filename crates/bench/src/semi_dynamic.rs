@@ -1,0 +1,302 @@
+//! Driver for the semi-dynamic convergence experiment (§6.1, Figures 4a
+//! and 6).
+//!
+//! The driver builds the scenario once, then replays it against any protocol:
+//! long-running flows are started/stopped according to the scenario's network
+//! events, the oracle allocation is recomputed for the active flow
+//! population after each event, and the §6.1 convergence criterion is
+//! measured on the packet simulation.
+
+use crate::protocols::Protocol;
+use numfabric_num::utility::UtilityRef;
+use numfabric_sim::network::Network;
+use numfabric_sim::topology::{LeafSpineConfig, Topology};
+use numfabric_sim::{FlowId, SimDuration, SimTime};
+use numfabric_workloads::convergence::{
+    convergence_stats, measure_convergence, oracle_rates_bps, ConvergenceCriterion,
+    ConvergenceStats,
+};
+use numfabric_workloads::scenarios::{EventKind, SemiDynamicConfig, SemiDynamicScenario};
+use std::collections::HashMap;
+
+/// Configuration of one semi-dynamic run.
+#[derive(Debug, Clone)]
+pub struct SemiDynamicRun {
+    /// Topology to build.
+    pub topology: LeafSpineConfig,
+    /// Scenario shape (paths, events, active-count bounds).
+    pub scenario: SemiDynamicConfig,
+    /// Convergence criterion.
+    pub criterion: ConvergenceCriterion,
+    /// Give up on an event after this long.
+    pub max_wait: SimDuration,
+    /// Warm-up time before the first event (lets the initial flow population
+    /// settle).
+    pub warmup: SimDuration,
+}
+
+impl SemiDynamicRun {
+    /// A scaled-down default: 32 hosts, 200 candidate paths, 20-flow events.
+    /// Finishes in tens of seconds per protocol on a laptop while preserving
+    /// the structure of the paper's experiment.
+    pub fn reduced(num_events: usize, seed: u64) -> Self {
+        Self {
+            topology: LeafSpineConfig::small(32, 4, 2),
+            scenario: SemiDynamicConfig::scaled(200, 20, num_events, seed),
+            criterion: ConvergenceCriterion {
+                hold: SimDuration::from_millis(2),
+                ..Default::default()
+            },
+            max_wait: SimDuration::from_millis(12),
+            warmup: SimDuration::from_millis(5),
+        }
+    }
+
+    /// The paper-scale experiment: 128 hosts, 1000 paths, 100-flow events,
+    /// 5 ms hold. Expect hours of wall-clock time for the full 100 events.
+    pub fn paper_scale(num_events: usize, seed: u64) -> Self {
+        Self {
+            topology: LeafSpineConfig::paper_default(),
+            scenario: SemiDynamicConfig {
+                num_events,
+                ..SemiDynamicConfig::paper_default(seed)
+            },
+            criterion: ConvergenceCriterion::default(),
+            max_wait: SimDuration::from_millis(25),
+            warmup: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// The result of one semi-dynamic run.
+#[derive(Debug, Clone)]
+pub struct SemiDynamicResult {
+    /// Scheme name.
+    pub protocol: String,
+    /// Per-event convergence times (`None` = did not converge in time).
+    pub times: Vec<Option<SimDuration>>,
+    /// Median / p95 summary.
+    pub stats: ConvergenceStats,
+}
+
+/// Run the semi-dynamic experiment for one protocol. All flows use the
+/// `utility` objective (proportional fairness in the paper).
+pub fn run_semi_dynamic(
+    protocol: &Protocol,
+    run: &SemiDynamicRun,
+    utility: UtilityRef,
+) -> SemiDynamicResult {
+    let topo = Topology::leaf_spine(&run.topology);
+    let scenario = SemiDynamicScenario::generate(&topo, &run.scenario);
+    let mut net = protocol.build_network(topo.clone());
+
+    // Map path index → currently active flow id.
+    let mut active: HashMap<usize, FlowId> = HashMap::new();
+    for &p in &scenario.initial_active {
+        let spec = scenario.paths[p];
+        let id = net.add_flow(
+            spec.src,
+            spec.dst,
+            None,
+            SimTime::ZERO,
+            spec.spine_choice,
+            None,
+            protocol.make_agent(utility.clone()),
+        );
+        active.insert(p, id);
+    }
+    net.run_for(run.warmup);
+
+    let mut times = Vec::with_capacity(scenario.events.len());
+    for event in &scenario.events {
+        // Apply the event.
+        match event.kind {
+            EventKind::Start => {
+                for &p in &event.paths {
+                    let spec = scenario.paths[p];
+                    let id = net.add_flow(
+                        spec.src,
+                        spec.dst,
+                        None,
+                        net.now(),
+                        spec.spine_choice,
+                        None,
+                        protocol.make_agent(utility.clone()),
+                    );
+                    active.insert(p, id);
+                }
+            }
+            EventKind::Stop => {
+                for &p in &event.paths {
+                    if let Some(id) = active.remove(&p) {
+                        net.stop_flow(id);
+                    }
+                }
+            }
+        }
+
+        // Oracle allocation for the new population.
+        let mut flow_ids = Vec::with_capacity(active.len());
+        let mut fluid_flows = Vec::with_capacity(active.len());
+        for (&p, &id) in &active {
+            let spec = scenario.paths[p];
+            let route = topo.host_route(spec.src, spec.dst, spec.spine_choice);
+            flow_ids.push(id);
+            fluid_flows.push((route, utility.clone()));
+        }
+        let targets = oracle_rates_bps(&topo, &fluid_flows);
+
+        // Measure convergence on the packet simulation.
+        let outcome = measure_convergence(
+            &mut net,
+            &flow_ids,
+            &targets,
+            &run.criterion,
+            run.max_wait,
+        );
+        times.push(outcome.convergence_time);
+    }
+
+    SemiDynamicResult {
+        protocol: protocol.name().to_string(),
+        stats: convergence_stats(&times),
+        times,
+    }
+}
+
+/// Run one protocol but measure only the rate trajectory of a single tracked
+/// flow (Fig. 4b/4c): returns `(time, rate_bps)` samples at `sample_every`
+/// granularity while the scenario's events play out on a fixed timetable.
+pub fn rate_timeseries(
+    protocol: &Protocol,
+    run: &SemiDynamicRun,
+    utility: UtilityRef,
+    event_spacing: SimDuration,
+    sample_every: SimDuration,
+) -> Vec<(f64, f64)> {
+    let topo = Topology::leaf_spine(&run.topology);
+    let scenario = SemiDynamicScenario::generate(&topo, &run.scenario);
+    let mut net = protocol.build_network(topo.clone());
+
+    let mut active: HashMap<usize, FlowId> = HashMap::new();
+    for &p in &scenario.initial_active {
+        let spec = scenario.paths[p];
+        let id = net.add_flow(
+            spec.src,
+            spec.dst,
+            None,
+            SimTime::ZERO,
+            spec.spine_choice,
+            None,
+            protocol.make_agent(utility.clone()),
+        );
+        active.insert(p, id);
+    }
+    // Track the first initially-active flow.
+    let tracked = *active
+        .get(&scenario.initial_active[0])
+        .expect("initial flow exists");
+
+    let mut samples = Vec::new();
+    let mut sample_clock = SimTime::ZERO;
+    let mut record_until = |net: &mut Network, until: SimTime, samples: &mut Vec<(f64, f64)>| {
+        while sample_clock < until {
+            sample_clock = sample_clock + sample_every;
+            net.run_until(sample_clock);
+            samples.push((
+                sample_clock.as_secs_f64() * 1e3,
+                net.flow_rate_estimate(tracked),
+            ));
+        }
+    };
+
+    record_until(&mut net, SimTime::ZERO + run.warmup, &mut samples);
+    for event in &scenario.events {
+        match event.kind {
+            EventKind::Start => {
+                for &p in &event.paths {
+                    let spec = scenario.paths[p];
+                    // Never start a second flow on the tracked path.
+                    let id = net.add_flow(
+                        spec.src,
+                        spec.dst,
+                        None,
+                        net.now(),
+                        spec.spine_choice,
+                        None,
+                        protocol.make_agent(utility.clone()),
+                    );
+                    active.insert(p, id);
+                }
+            }
+            EventKind::Stop => {
+                for &p in &event.paths {
+                    if p == scenario.initial_active[0] {
+                        continue; // keep the tracked flow alive
+                    }
+                    if let Some(id) = active.remove(&p) {
+                        net.stop_flow(id);
+                    }
+                }
+            }
+        }
+        let next = net.now() + event_spacing;
+        record_until(&mut net, next, &mut samples);
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numfabric_core::NumFabricConfig;
+    use numfabric_num::utility::LogUtility;
+    use std::sync::Arc;
+
+    fn tiny_run(events: usize) -> SemiDynamicRun {
+        SemiDynamicRun {
+            topology: LeafSpineConfig::small(8, 2, 2),
+            scenario: SemiDynamicConfig::scaled(24, 3, events, 42),
+            criterion: ConvergenceCriterion {
+                hold: SimDuration::from_micros(500),
+                ..Default::default()
+            },
+            max_wait: SimDuration::from_millis(8),
+            warmup: SimDuration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn numfabric_converges_on_a_tiny_semi_dynamic_scenario() {
+        let protocol = Protocol::NumFabric(NumFabricConfig::default());
+        let result = run_semi_dynamic(&protocol, &tiny_run(3), Arc::new(LogUtility::new()));
+        assert_eq!(result.times.len(), 3);
+        assert!(
+            result.stats.converged >= 2,
+            "NUMFabric converged on only {}/{} events: {:?}",
+            result.stats.converged,
+            result.stats.total,
+            result.times
+        );
+        let median = result.stats.median.expect("some events converged");
+        assert!(median < SimDuration::from_millis(6), "median = {median}");
+    }
+
+    #[test]
+    fn timeseries_sampling_produces_monotone_timestamps() {
+        let protocol = Protocol::NumFabric(NumFabricConfig::default());
+        let series = rate_timeseries(
+            &protocol,
+            &tiny_run(2),
+            Arc::new(LogUtility::new()),
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(100),
+        );
+        assert!(series.len() > 10);
+        for w in series.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+        // The tracked flow must actually carry traffic at some point.
+        assert!(series.iter().any(|&(_, r)| r > 1e8));
+    }
+}

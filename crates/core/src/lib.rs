@@ -1,0 +1,38 @@
+//! # numfabric-core
+//!
+//! The paper's primary contribution: **NUMFabric**, a datacenter transport
+//! that solves network utility maximization (NUM) problems quickly by
+//! decoupling *utilization* from *relative allocation*:
+//!
+//! * [`swift`] — the Swift transport's host-side rate control: packet-pair
+//!   bandwidth estimation from receiver-reflected inter-packet times and the
+//!   window rule `W = R̂ (d0 + dt)`. Combined with the WFQ (STFQ) scheduler
+//!   in `numfabric-sim`, Swift keeps the network fully utilized and realizes
+//!   a weighted max-min allocation for any weights the layer above chooses.
+//! * [`xwi`] — the eXplicit Weight Inference switch logic: per-port prices
+//!   updated from the minimum normalized KKT residual of the flows crossing
+//!   the port plus an under-utilization decay, smoothed with β-averaging.
+//! * [`protocol`] — the [`NumFabricAgent`](protocol::NumFabricAgent) flow
+//!   agent tying both layers together, plus helpers to build a ready-to-run
+//!   NUMFabric network.
+//! * [`multipath`] — the subflow coordination used for resource pooling.
+//! * [`config`] — every parameter of Table 2 with the paper's defaults.
+//!
+//! Utility functions (α-fairness, FCT minimization, bandwidth functions,
+//! resource pooling) come from the `numfabric-num` crate and are passed to
+//! each flow's agent; that is all an operator has to choose.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod multipath;
+pub mod protocol;
+pub mod swift;
+pub mod xwi;
+
+pub use config::NumFabricConfig;
+pub use multipath::{AggregateHandle, AggregateState};
+pub use protocol::{install_numfabric, numfabric_network, NumFabricAgent};
+pub use swift::{SwiftRateEstimator, SwiftWindow};
+pub use xwi::XwiPriceController;

@@ -1,0 +1,132 @@
+//! Resource pooling: multipath aggregates (§6.3 of the paper).
+//!
+//! A multipath "flow" is a set of subflows between the same source and
+//! destination, each pinned to a different path. The resource-pooling
+//! objective applies the utility function to the *aggregate* rate (row 4 of
+//! Table 1), so the subflows must coordinate:
+//!
+//! * every subflow first computes the total weight
+//!   `w_total = U'⁻¹(pathPrice)` from its own path's price and the
+//!   *aggregate* utility;
+//! * it then takes as its own Swift weight the fraction of `w_total`
+//!   proportional to the share of the aggregate throughput it currently
+//!   carries (the heuristic described in §6.3).
+//!
+//! [`AggregateState`] is the tiny piece of shared state (per-subflow rate
+//! estimates) this coordination requires; it lives at the sender host, so
+//! sharing it between the subflow agents of one flow is realistic.
+
+use std::sync::{Arc, Mutex};
+
+/// Shared state of one multipath aggregate: the latest rate estimate of each
+/// subflow, maintained by the subflow agents themselves.
+#[derive(Debug)]
+pub struct AggregateState {
+    rates_bps: Mutex<Vec<f64>>,
+}
+
+/// A subflow's handle onto its aggregate's shared state.
+#[derive(Debug, Clone)]
+pub struct AggregateHandle {
+    state: Arc<AggregateState>,
+    index: usize,
+}
+
+impl AggregateState {
+    /// Create the shared state for an aggregate of `subflows` subflows and
+    /// return one handle per subflow.
+    ///
+    /// # Panics
+    /// Panics if `subflows == 0`.
+    pub fn create(subflows: usize) -> Vec<AggregateHandle> {
+        assert!(subflows > 0, "an aggregate needs at least one subflow");
+        let state = Arc::new(AggregateState {
+            rates_bps: Mutex::new(vec![0.0; subflows]),
+        });
+        (0..subflows)
+            .map(|index| AggregateHandle {
+                state: Arc::clone(&state),
+                index,
+            })
+            .collect()
+    }
+}
+
+impl AggregateHandle {
+    /// Number of subflows in the aggregate.
+    pub fn subflows(&self) -> usize {
+        self.state.rates_bps.lock().expect("poisoned").len()
+    }
+
+    /// This subflow's index within the aggregate.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Publish this subflow's latest rate estimate (bits per second).
+    pub fn update_rate(&self, rate_bps: f64) {
+        let mut rates = self.state.rates_bps.lock().expect("poisoned");
+        rates[self.index] = rate_bps.max(0.0);
+    }
+
+    /// The aggregate (total) rate across all subflows, in bits per second.
+    pub fn total_rate_bps(&self) -> f64 {
+        self.state.rates_bps.lock().expect("poisoned").iter().sum()
+    }
+
+    /// The fraction of the aggregate throughput this subflow currently
+    /// carries. When nothing has been measured yet every subflow assumes an
+    /// equal share so that startup is symmetric.
+    pub fn throughput_fraction(&self) -> f64 {
+        let rates = self.state.rates_bps.lock().expect("poisoned");
+        let total: f64 = rates.iter().sum();
+        if total <= 0.0 {
+            1.0 / rates.len() as f64
+        } else {
+            (rates[self.index] / total).max(1e-3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state() {
+        let handles = AggregateState::create(4);
+        assert_eq!(handles.len(), 4);
+        handles[0].update_rate(6e9);
+        handles[1].update_rate(2e9);
+        handles[2].update_rate(1e9);
+        handles[3].update_rate(1e9);
+        for h in &handles {
+            assert_eq!(h.total_rate_bps(), 10e9);
+            assert_eq!(h.subflows(), 4);
+        }
+        assert!((handles[0].throughput_fraction() - 0.6).abs() < 1e-12);
+        assert!((handles[2].throughput_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn startup_assumes_equal_shares() {
+        let handles = AggregateState::create(8);
+        for h in &handles {
+            assert!((h.throughput_fraction() - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fraction_has_a_floor_to_keep_starved_subflows_probing() {
+        let handles = AggregateState::create(2);
+        handles[0].update_rate(10e9);
+        handles[1].update_rate(0.0);
+        assert!(handles[1].throughput_fraction() >= 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_subflows_rejected() {
+        AggregateState::create(0);
+    }
+}

@@ -1,0 +1,173 @@
+//! KKT residuals for the NUM problem (Eq. 5–6 of the paper).
+//!
+//! A rate vector `x` and a price vector `p` solve the NUM problem
+//! `max Σ U_i(x_i) s.t. Rx ≤ c` iff they are feasible (`Rx ≤ c`, `p ≥ 0`)
+//! and the Karush-Kuhn-Tucker conditions hold:
+//!
+//! * **Stationarity** (Eq. 5): `U_i'(x_i) = Σ_{l ∈ path(i)} p_l` for every flow.
+//! * **Complementary slackness** (Eq. 6): `p_l (Σ_{i ∋ l} x_i − c_l) = 0`
+//!   for every link.
+//!
+//! This module computes normalized residuals of these conditions. It is the
+//! ground truth used to validate the oracle solver, the fluid xWI fixed
+//! point, and (statistically) the packet-level equilibrium allocations.
+
+use crate::topology::FluidNetwork;
+
+/// Normalized KKT residuals of a (rates, prices) pair for a NUM instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KktResiduals {
+    /// Maximum relative stationarity violation over flows:
+    /// `|U'_i(x_i) − pathPrice_i| / max(U'_i(x_i), pathPrice_i)`.
+    pub stationarity: f64,
+    /// Maximum relative capacity violation over links:
+    /// `max(0, load_l − c_l) / c_l`.
+    pub primal_feasibility: f64,
+    /// Maximum normalized complementary-slackness violation over links:
+    /// `p_l · (c_l − load_l) / (c_l · max_price)` (0 when all prices are 0).
+    pub complementary_slackness: f64,
+    /// Most negative price (0 if all prices are non-negative).
+    pub dual_feasibility: f64,
+}
+
+impl KktResiduals {
+    /// The largest of the four residuals.
+    pub fn max(&self) -> f64 {
+        self.stationarity
+            .max(self.primal_feasibility)
+            .max(self.complementary_slackness)
+            .max(self.dual_feasibility)
+    }
+
+    /// Whether every residual is at most `tol`.
+    pub fn within(&self, tol: f64) -> bool {
+        self.max() <= tol
+    }
+}
+
+/// Compute the KKT residuals of `(rates, prices)` for the NUM problem on `net`.
+///
+/// # Panics
+/// Panics if the vector lengths do not match the network.
+pub fn kkt_residuals(net: &FluidNetwork, rates: &[f64], prices: &[f64]) -> KktResiduals {
+    assert_eq!(rates.len(), net.num_flows(), "one rate per flow");
+    assert_eq!(prices.len(), net.num_links(), "one price per link");
+
+    // Stationarity. The NUM problem has an implicit `x ≥ 0` constraint, so the
+    // condition is `U'_i(x_i) = pathPrice_i` for flows with positive rate and
+    // `U'_i(x_i) ≤ pathPrice_i` for flows pinned at (numerically) zero rate.
+    let mut stationarity = 0.0_f64;
+    for (i, flow) in net.flows().iter().enumerate() {
+        let marginal = flow.utility.marginal(rates[i]);
+        let path_price = net.path_price(prices, i);
+        let scale = marginal.abs().max(path_price.abs()).max(1e-12);
+        let violation = if rates[i] <= 10.0 * crate::MIN_RATE {
+            (marginal - path_price).max(0.0) / scale
+        } else {
+            (marginal - path_price).abs() / scale
+        };
+        stationarity = stationarity.max(violation);
+    }
+
+    // Feasibility and complementary slackness.
+    let loads = net.link_loads(rates);
+    let caps = net.capacities();
+    let max_price = prices.iter().cloned().fold(0.0_f64, f64::max).max(1e-12);
+    let mut primal = 0.0_f64;
+    let mut comp_slack = 0.0_f64;
+    let mut dual = 0.0_f64;
+    for l in 0..net.num_links() {
+        primal = primal.max((loads[l] - caps[l]).max(0.0) / caps[l]);
+        let slack = (caps[l] - loads[l]).max(0.0);
+        comp_slack = comp_slack.max(prices[l].max(0.0) * slack / (caps[l] * max_price));
+        dual = dual.max((-prices[l]).max(0.0));
+    }
+
+    KktResiduals {
+        stationarity,
+        primal_feasibility: primal,
+        complementary_slackness: comp_slack,
+        dual_feasibility: dual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::FluidNetwork;
+    use crate::utility::LogUtility;
+
+    /// Two proportional-fair flows on one 10-capacity link: optimum is (5, 5)
+    /// with price 1/5 = 0.2.
+    fn simple_instance() -> FluidNetwork {
+        let mut net = FluidNetwork::new();
+        let l = net.add_link(10.0);
+        net.add_simple_flow(vec![l], LogUtility::new());
+        net.add_simple_flow(vec![l], LogUtility::new());
+        net
+    }
+
+    #[test]
+    fn optimal_point_has_tiny_residuals() {
+        let net = simple_instance();
+        let res = kkt_residuals(&net, &[5.0, 5.0], &[0.2]);
+        assert!(res.within(1e-12), "{res:?}");
+    }
+
+    #[test]
+    fn wrong_rates_show_stationarity_violation() {
+        let net = simple_instance();
+        let res = kkt_residuals(&net, &[8.0, 2.0], &[0.2]);
+        assert!(res.stationarity > 0.1, "{res:?}");
+    }
+
+    #[test]
+    fn oversubscription_shows_primal_violation() {
+        let net = simple_instance();
+        let res = kkt_residuals(&net, &[8.0, 8.0], &[1.0 / 16.0]);
+        assert!(res.primal_feasibility > 0.5, "{res:?}");
+    }
+
+    #[test]
+    fn positive_price_on_slack_link_shows_comp_slack_violation() {
+        let net = simple_instance();
+        // Rates only fill half the link but the price is positive.
+        let res = kkt_residuals(&net, &[2.5, 2.5], &[0.4]);
+        assert!(res.complementary_slackness > 0.1, "{res:?}");
+    }
+
+    #[test]
+    fn negative_price_shows_dual_violation() {
+        let net = simple_instance();
+        let res = kkt_residuals(&net, &[5.0, 5.0], &[-0.2]);
+        assert!(res.dual_feasibility > 0.1, "{res:?}");
+    }
+
+    #[test]
+    fn parking_lot_proportional_fair_optimum() {
+        // Two links of capacity 1; flow 0 uses both, flows 1 and 2 use one each.
+        // Proportional fairness optimum: x0 = 1/3, x1 = x2 = 2/3, p_l = 1.5 each
+        // (marginal of flow0 = 1/x0 = 3 = p1 + p2; flows 1,2: 1/x = 1.5 = p).
+        let mut net = FluidNetwork::new();
+        let l0 = net.add_link(1.0);
+        let l1 = net.add_link(1.0);
+        net.add_simple_flow(vec![l0, l1], LogUtility::new());
+        net.add_simple_flow(vec![l0], LogUtility::new());
+        net.add_simple_flow(vec![l1], LogUtility::new());
+        let res = kkt_residuals(&net, &[1.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0], &[1.5, 1.5]);
+        assert!(res.within(1e-9), "{res:?}");
+    }
+
+    #[test]
+    fn max_combines_all_components() {
+        let r = KktResiduals {
+            stationarity: 0.1,
+            primal_feasibility: 0.3,
+            complementary_slackness: 0.2,
+            dual_feasibility: 0.05,
+        };
+        assert_eq!(r.max(), 0.3);
+        assert!(!r.within(0.25));
+        assert!(r.within(0.3));
+    }
+}

@@ -1,0 +1,374 @@
+//! Fluid-model network description shared by all solvers in this crate.
+//!
+//! A [`FluidNetwork`] is just a set of capacitated links and a set of flows,
+//! each with a path (list of link indices) and a utility function. It is the
+//! input to the weighted max-min solver, the NUM oracle and the fluid
+//! iterations of xWI / DGD / RCP*.
+
+use crate::utility::{Utility, UtilityRef};
+use std::sync::Arc;
+
+/// Index of a link in a [`FluidNetwork`].
+pub type LinkId = usize;
+/// Index of a flow in a [`FluidNetwork`].
+pub type FlowId = usize;
+
+/// A capacitated link in the fluid model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FluidLink {
+    /// Capacity in the same units flows' rates are expressed in.
+    pub capacity: f64,
+}
+
+impl FluidLink {
+    /// A link with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not finite or not strictly positive.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "link capacity must be positive and finite"
+        );
+        Self { capacity }
+    }
+}
+
+/// A flow in the fluid model: a path through the network plus the utility
+/// function describing the benefit it derives from bandwidth.
+#[derive(Debug, Clone)]
+pub struct FluidFlow {
+    /// The links this flow traverses (order is irrelevant to the solvers).
+    pub path: Vec<LinkId>,
+    /// The flow's utility function.
+    pub utility: UtilityRef,
+    /// Optional group identifier: subflows of the same multipath aggregate
+    /// share a group (used by the multipath-aware solvers). `None` for
+    /// ordinary single-path flows.
+    pub group: Option<usize>,
+}
+
+impl FluidFlow {
+    /// A single-path flow with the given path and utility.
+    pub fn new(path: Vec<LinkId>, utility: impl Utility + 'static) -> Self {
+        Self {
+            path,
+            utility: Arc::new(utility),
+            group: None,
+        }
+    }
+
+    /// A single-path flow from a shared utility handle.
+    pub fn with_utility_ref(path: Vec<LinkId>, utility: UtilityRef) -> Self {
+        Self {
+            path,
+            utility,
+            group: None,
+        }
+    }
+
+    /// Mark this flow as a subflow of multipath aggregate `group`.
+    pub fn in_group(mut self, group: usize) -> Self {
+        self.group = Some(group);
+        self
+    }
+
+    /// Number of links on the flow's path.
+    pub fn path_len(&self) -> usize {
+        self.path.len()
+    }
+}
+
+/// A fluid-model network: links plus flows.
+#[derive(Debug, Clone, Default)]
+pub struct FluidNetwork {
+    links: Vec<FluidLink>,
+    flows: Vec<FluidFlow>,
+}
+
+impl FluidNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a link with the given capacity; returns its [`LinkId`].
+    pub fn add_link(&mut self, capacity: f64) -> LinkId {
+        self.links.push(FluidLink::new(capacity));
+        self.links.len() - 1
+    }
+
+    /// Add a flow; returns its [`FlowId`].
+    ///
+    /// # Panics
+    /// Panics if the flow's path is empty or references an unknown link.
+    pub fn add_flow(&mut self, flow: FluidFlow) -> FlowId {
+        assert!(!flow.path.is_empty(), "a flow must traverse at least one link");
+        for &l in &flow.path {
+            assert!(l < self.links.len(), "flow references unknown link {l}");
+        }
+        self.flows.push(flow);
+        self.flows.len() - 1
+    }
+
+    /// Convenience: add a single-path flow with a utility.
+    pub fn add_simple_flow(&mut self, path: Vec<LinkId>, utility: impl Utility + 'static) -> FlowId {
+        self.add_flow(FluidFlow::new(path, utility))
+    }
+
+    /// Remove all flows, keeping the links (used when the active flow set
+    /// changes between events in the convergence experiments).
+    pub fn clear_flows(&mut self) {
+        self.flows.clear();
+    }
+
+    /// The links.
+    pub fn links(&self) -> &[FluidLink] {
+        &self.links
+    }
+
+    /// The flows.
+    pub fn flows(&self) -> &[FluidFlow] {
+        &self.flows
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of flows.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Link capacities as a vector (index = [`LinkId`]).
+    pub fn capacities(&self) -> Vec<f64> {
+        self.links.iter().map(|l| l.capacity).collect()
+    }
+
+    /// For each link, the flows that traverse it.
+    pub fn flows_per_link(&self) -> Vec<Vec<FlowId>> {
+        let mut per_link = vec![Vec::new(); self.links.len()];
+        for (i, f) in self.flows.iter().enumerate() {
+            for &l in &f.path {
+                per_link[l].push(i);
+            }
+        }
+        per_link
+    }
+
+    /// Total traffic placed on each link by the rate vector `rates`.
+    ///
+    /// # Panics
+    /// Panics if `rates.len() != num_flows()`.
+    pub fn link_loads(&self, rates: &[f64]) -> Vec<f64> {
+        assert_eq!(rates.len(), self.flows.len(), "one rate per flow");
+        let mut loads = vec![0.0; self.links.len()];
+        for (i, f) in self.flows.iter().enumerate() {
+            for &l in &f.path {
+                loads[l] += rates[i];
+            }
+        }
+        loads
+    }
+
+    /// Whether the rate vector respects every link capacity up to a relative
+    /// tolerance `rel_tol`.
+    pub fn is_feasible(&self, rates: &[f64], rel_tol: f64) -> bool {
+        self.link_loads(rates)
+            .iter()
+            .zip(self.links.iter())
+            .all(|(&load, link)| load <= link.capacity * (1.0 + rel_tol) + 1e-12)
+    }
+
+    /// The aggregate utility `Σ_i U_i(x_i)` of a rate vector.
+    pub fn total_utility(&self, rates: &[f64]) -> f64 {
+        assert_eq!(rates.len(), self.flows.len(), "one rate per flow");
+        self.flows
+            .iter()
+            .zip(rates.iter())
+            .map(|(f, &x)| f.utility.value(x))
+            .sum()
+    }
+
+    /// Sum of the prices along flow `i`'s path.
+    pub fn path_price(&self, prices: &[f64], i: FlowId) -> f64 {
+        self.flows[i].path.iter().map(|&l| prices[l]).sum()
+    }
+}
+
+/// Grouping of subflows into multipath aggregates (resource pooling).
+///
+/// Flows whose [`FluidFlow::group`] is `Some(g)` belong to aggregate `g`;
+/// flows with `group == None` each form their own singleton aggregate.
+#[derive(Debug, Clone)]
+pub struct MultipathGroups {
+    /// For each flow, the index of the group it belongs to (dense, 0-based).
+    group_of: Vec<usize>,
+    /// For each group, the member flow ids.
+    members: Vec<Vec<FlowId>>,
+}
+
+impl MultipathGroups {
+    /// Build the grouping from the `group` markers on a network's flows.
+    pub fn from_network(net: &FluidNetwork) -> Self {
+        let mut explicit: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        let mut group_of = Vec::with_capacity(net.num_flows());
+        let mut members: Vec<Vec<FlowId>> = Vec::new();
+        for (i, f) in net.flows().iter().enumerate() {
+            let g = match f.group {
+                Some(tag) => *explicit.entry(tag).or_insert_with(|| {
+                    members.push(Vec::new());
+                    members.len() - 1
+                }),
+                None => {
+                    members.push(Vec::new());
+                    members.len() - 1
+                }
+            };
+            members[g].push(i);
+            group_of.push(g);
+        }
+        Self { group_of, members }
+    }
+
+    /// Number of aggregates.
+    pub fn num_groups(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The group a flow belongs to.
+    pub fn group_of(&self, flow: FlowId) -> usize {
+        self.group_of[flow]
+    }
+
+    /// The member flows of a group.
+    pub fn members(&self, group: usize) -> &[FlowId] {
+        &self.members[group]
+    }
+
+    /// Sum subflow `rates` into per-aggregate totals.
+    ///
+    /// # Panics
+    /// Panics if `rates.len()` does not match the number of flows the
+    /// grouping was built from.
+    pub fn aggregate_rates(&self, rates: &[f64]) -> Vec<f64> {
+        assert_eq!(rates.len(), self.group_of.len(), "one rate per flow");
+        let mut totals = vec![0.0; self.members.len()];
+        for (i, &g) in self.group_of.iter().enumerate() {
+            totals[g] += rates[i];
+        }
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::LogUtility;
+
+    fn two_link_net() -> FluidNetwork {
+        let mut net = FluidNetwork::new();
+        let a = net.add_link(10.0);
+        let b = net.add_link(5.0);
+        net.add_simple_flow(vec![a], LogUtility::new());
+        net.add_simple_flow(vec![a, b], LogUtility::new());
+        net.add_simple_flow(vec![b], LogUtility::new());
+        net
+    }
+
+    #[test]
+    fn builds_and_indexes_links_and_flows() {
+        let net = two_link_net();
+        assert_eq!(net.num_links(), 2);
+        assert_eq!(net.num_flows(), 3);
+        assert_eq!(net.capacities(), vec![10.0, 5.0]);
+        let per_link = net.flows_per_link();
+        assert_eq!(per_link[0], vec![0, 1]);
+        assert_eq!(per_link[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn link_loads_and_feasibility() {
+        let net = two_link_net();
+        let rates = vec![4.0, 2.0, 3.0];
+        assert_eq!(net.link_loads(&rates), vec![6.0, 5.0]);
+        assert!(net.is_feasible(&rates, 1e-9));
+        let too_much = vec![9.0, 2.0, 4.0];
+        assert!(!net.is_feasible(&too_much, 1e-9));
+    }
+
+    #[test]
+    fn path_price_sums_along_path() {
+        let net = two_link_net();
+        let prices = vec![0.25, 1.5];
+        assert_eq!(net.path_price(&prices, 0), 0.25);
+        assert_eq!(net.path_price(&prices, 1), 1.75);
+        assert_eq!(net.path_price(&prices, 2), 1.5);
+    }
+
+    #[test]
+    fn total_utility_sums_logs() {
+        let net = two_link_net();
+        let rates = vec![1.0, std::f64::consts::E, 1.0];
+        assert!((net.total_utility(&rates) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_flow_with_unknown_link() {
+        let mut net = FluidNetwork::new();
+        net.add_link(1.0);
+        net.add_simple_flow(vec![3], LogUtility::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_path() {
+        let mut net = FluidNetwork::new();
+        net.add_link(1.0);
+        net.add_simple_flow(vec![], LogUtility::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_capacity() {
+        FluidLink::new(0.0);
+    }
+
+    #[test]
+    fn group_marking_round_trips() {
+        let flow = FluidFlow::new(vec![0], LogUtility::new()).in_group(7);
+        assert_eq!(flow.group, Some(7));
+        assert_eq!(flow.path_len(), 1);
+    }
+
+    #[test]
+    fn multipath_groups_cluster_by_tag_and_singleton_otherwise() {
+        let mut net = FluidNetwork::new();
+        let a = net.add_link(10.0);
+        let b = net.add_link(10.0);
+        net.add_flow(FluidFlow::new(vec![a], LogUtility::new()).in_group(42));
+        net.add_flow(FluidFlow::new(vec![b], LogUtility::new()).in_group(42));
+        net.add_flow(FluidFlow::new(vec![a], LogUtility::new()));
+        let groups = MultipathGroups::from_network(&net);
+        assert_eq!(groups.num_groups(), 2);
+        assert_eq!(groups.group_of(0), groups.group_of(1));
+        assert_ne!(groups.group_of(0), groups.group_of(2));
+        assert_eq!(groups.members(groups.group_of(0)), &[0, 1]);
+        let totals = groups.aggregate_rates(&[3.0, 4.0, 5.0]);
+        assert_eq!(totals[groups.group_of(0)], 7.0);
+        assert_eq!(totals[groups.group_of(2)], 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn aggregate_rates_rejects_wrong_length() {
+        let mut net = FluidNetwork::new();
+        let a = net.add_link(10.0);
+        net.add_flow(FluidFlow::new(vec![a], LogUtility::new()));
+        let groups = MultipathGroups::from_network(&net);
+        groups.aggregate_rates(&[1.0, 2.0]);
+    }
+}

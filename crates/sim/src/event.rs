@@ -1,0 +1,202 @@
+//! The deterministic event queue at the heart of the simulator.
+//!
+//! Events are ordered by timestamp; ties are broken by insertion order
+//! (FIFO), which makes every simulation run fully deterministic for a given
+//! seed and input — a property the convergence measurements rely on.
+
+use crate::packet::{FlowId, Packet};
+use crate::time::SimTime;
+use crate::topology::LinkId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The kinds of events the simulator processes.
+#[derive(Debug)]
+pub enum Event {
+    /// A packet has finished propagating across a link and arrives at the
+    /// link's head node (next switch or the destination host).
+    Arrival {
+        /// The link the packet just traversed.
+        link: LinkId,
+        /// The packet itself.
+        packet: Packet,
+    },
+    /// A link finished serializing its current packet and can start on the
+    /// next one in its queue.
+    TransmitComplete {
+        /// The link that became free.
+        link: LinkId,
+    },
+    /// A timer owned by a flow's transport agent fired.
+    FlowTimer {
+        /// The owning flow.
+        flow: FlowId,
+        /// Agent-chosen tag to distinguish multiple timers.
+        tag: u64,
+    },
+    /// A timer owned by a link controller (e.g. the xWI price updater) fired.
+    LinkTimer {
+        /// The owning link.
+        link: LinkId,
+        /// Controller-chosen tag.
+        tag: u64,
+    },
+    /// A flow reaches its scheduled start time.
+    FlowStart {
+        /// The flow to start.
+        flow: FlowId,
+    },
+    /// A flow is forcibly stopped (used by the semi-dynamic scenario's
+    /// "stop 100 flows" events).
+    FlowStop {
+        /// The flow to stop.
+        flow: FlowId,
+    },
+}
+
+struct ScheduledEvent {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // with FIFO tie-break on the sequence number.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of simulation events.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl EventQueue {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped event).
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past: {at} < {}",
+            self.now
+        );
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Pop the next event, advancing the simulation clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| {
+            self.now = s.time;
+            (s.time, s.event)
+        })
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(flow: FlowId) -> Event {
+        Event::FlowStart { flow }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), start(3));
+        q.schedule(SimTime::from_micros(10), start(1));
+        q.schedule(SimTime::from_micros(20), start(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_nanos() / 1000)
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for flow in 0..10 {
+            q.schedule(t, start(flow));
+        }
+        let mut flows = Vec::new();
+        while let Some((_, Event::FlowStart { flow })) = q.pop() {
+            flows.push(flow);
+        }
+        assert_eq!(flows, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(7), start(0));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(7));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), start(0));
+        q.pop();
+        q.schedule(SimTime::from_micros(5), start(1));
+    }
+}

@@ -1,0 +1,112 @@
+//! Flow descriptions and per-flow bookkeeping.
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, Route};
+use std::sync::Arc;
+
+/// Where a flow is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// Added but not yet started.
+    Pending,
+    /// Actively sending.
+    Active,
+    /// Forcibly stopped (semi-dynamic scenario stop events).
+    Stopped,
+    /// All bytes delivered to the destination.
+    Completed,
+}
+
+/// Static description of a flow, provided when the flow is added to the
+/// network.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Payload bytes to transfer; `None` for a long-running flow that sends
+    /// until explicitly stopped (used by the convergence experiments).
+    pub size_bytes: Option<u64>,
+    /// When the flow starts.
+    pub start_time: SimTime,
+    /// Forward (data) route.
+    pub route: Arc<Route>,
+    /// Reverse (ACK) route.
+    pub reverse_route: Arc<Route>,
+    /// Base round-trip time along the route with empty queues (`d0` in the
+    /// Swift window computation).
+    pub base_rtt: SimDuration,
+    /// Multipath aggregate this flow belongs to, if any (resource pooling).
+    pub group: Option<usize>,
+}
+
+/// Runtime counters for a flow.
+#[derive(Debug, Clone, Default)]
+pub struct FlowStats {
+    /// Payload bytes handed to the network by the sender (first transmissions
+    /// and retransmissions alike).
+    pub bytes_sent: u64,
+    /// Payload bytes acknowledged back to the sender (highest cumulative ACK).
+    pub bytes_acked: u64,
+    /// Payload bytes that arrived at the destination.
+    pub bytes_delivered: u64,
+    /// Data packets sent.
+    pub packets_sent: u64,
+    /// Data packets delivered to the destination.
+    pub packets_delivered: u64,
+    /// Packets of this flow dropped anywhere in the network.
+    pub packets_dropped: u64,
+    /// When the flow actually started.
+    pub started_at: Option<SimTime>,
+    /// When the last payload byte arrived at the destination.
+    pub completed_at: Option<SimTime>,
+}
+
+impl FlowStats {
+    /// Flow completion time, if the flow has completed.
+    pub fn fct(&self) -> Option<SimDuration> {
+        match (self.started_at, self.completed_at) {
+            (Some(s), Some(c)) => Some(c.duration_since(s)),
+            _ => None,
+        }
+    }
+
+    /// Average throughput in bits per second over the flow's lifetime
+    /// (delivered bytes / completion time), if completed.
+    pub fn average_rate_bps(&self) -> Option<f64> {
+        let fct = self.fct()?;
+        if fct.is_zero() {
+            return None;
+        }
+        Some(self.bytes_delivered as f64 * 8.0 / fct.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fct_and_average_rate() {
+        let mut stats = FlowStats::default();
+        assert!(stats.fct().is_none());
+        stats.started_at = Some(SimTime::from_micros(100));
+        stats.completed_at = Some(SimTime::from_micros(900));
+        stats.bytes_delivered = 1_000_000;
+        assert_eq!(stats.fct(), Some(SimDuration::from_micros(800)));
+        let rate = stats.average_rate_bps().unwrap();
+        assert!((rate - 1_000_000.0 * 8.0 / 800e-6).abs() / rate < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_fct_gives_no_rate() {
+        let stats = FlowStats {
+            started_at: Some(SimTime::from_micros(5)),
+            completed_at: Some(SimTime::from_micros(5)),
+            bytes_delivered: 100,
+            ..Default::default()
+        };
+        assert!(stats.average_rate_bps().is_none());
+    }
+}

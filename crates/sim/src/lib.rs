@@ -1,0 +1,73 @@
+//! # numfabric-sim
+//!
+//! A deterministic, packet-level, discrete-event datacenter network
+//! simulator — the substrate on which the NUMFabric reproduction (SIGCOMM
+//! 2016) is evaluated. It plays the role ns-3 plays in the paper.
+//!
+//! The simulator models:
+//!
+//! * **Topologies** ([`topology`]) — arbitrary node/link graphs with a
+//!   leaf-spine builder matching the paper's fabrics (128 servers, 8 leaves,
+//!   4 or 16 spines, 10/40 Gbps links, ~16 µs RTT).
+//! * **Output-queued switches** ([`network`], [`queue`]) — one queue per
+//!   egress link, with pluggable disciplines: drop-tail FIFO, Start-Time Fair
+//!   Queueing (the WFQ approximation NUMFabric's Swift layer uses), an
+//!   ECN-marking FIFO (DCTCP) and a pFabric priority queue.
+//! * **Transport protocols** ([`transport`]) — per-flow
+//!   [`FlowAgent`](transport::FlowAgent)s at the hosts and per-link
+//!   [`LinkController`](transport::LinkController)s at the switches.
+//!   NUMFabric itself lives in the `numfabric-core` crate; DGD, RCP*, DCTCP
+//!   and pFabric live in `numfabric-baselines`.
+//! * **Measurement** ([`tracer`]) — destination-side EWMA rate estimation
+//!   with the paper's 80 µs time constant, per-flow FCT bookkeeping and
+//!   per-link counters.
+//!
+//! Determinism: given the same inputs the simulation produces bit-identical
+//! results — events are ordered by (time, insertion order) and the engine
+//! itself uses no randomness. Workload generators (in `numfabric-workloads`)
+//! inject randomness only through explicitly seeded RNGs.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use numfabric_sim::network::Network;
+//! use numfabric_sim::queue::DropTailFifo;
+//! use numfabric_sim::reference::SimpleWindowAgent;
+//! use numfabric_sim::time::SimTime;
+//! use numfabric_sim::topology::{LeafSpineConfig, Topology};
+//!
+//! let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
+//! let mut net = Network::new(topo, |_| Box::new(DropTailFifo::with_default_buffer()));
+//! let hosts: Vec<_> = net.topology().hosts().to_vec();
+//! let flow = net.add_flow(
+//!     hosts[0], hosts[7],
+//!     Some(150_000),            // 150 kB flow
+//!     SimTime::ZERO, 0, None,
+//!     Box::new(SimpleWindowAgent::new(16)),
+//! );
+//! net.run_until(SimTime::from_millis(10));
+//! assert!(net.flow_stats(flow).fct().is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod event;
+pub mod flow;
+pub mod network;
+pub mod packet;
+pub mod queue;
+pub mod reference;
+pub mod time;
+pub mod topology;
+pub mod tracer;
+pub mod transport;
+
+pub use flow::{FlowPhase, FlowSpec, FlowStats};
+pub use network::{AgentCtx, LinkStats, Network, NetworkConfig};
+pub use packet::{FlowId, Packet, PacketHeader, PacketKind};
+pub use queue::{DropTailFifo, EcnFifo, PfabricQueue, QueueDiscipline, StfqQueue};
+pub use time::{SimDuration, SimTime};
+pub use topology::{LeafSpineConfig, LinkId, NodeId, Route, Topology};
+pub use tracer::{EwmaRateTracer, RateSeries};
+pub use transport::{FlowAgent, LinkController, NullController};

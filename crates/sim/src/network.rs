@@ -1,0 +1,843 @@
+//! The simulation engine: links with queues and controllers, flows with
+//! transport agents, and the event loop tying them together.
+//!
+//! A [`Network`] is built from a [`Topology`] plus a queue discipline per
+//! link; protocols then attach per-flow [`FlowAgent`]s and per-link
+//! [`LinkController`]s. The engine models:
+//!
+//! * store-and-forward output-queued switches (one queue per egress link),
+//! * link serialization and propagation delay,
+//! * packet drops decided by the queue disciplines,
+//! * per-flow and per-link statistics, destination-side EWMA rate tracking,
+//!   and flow-completion-time bookkeeping.
+//!
+//! Every run is deterministic: events are processed in timestamp order with
+//! FIFO tie-breaking, and the engine itself uses no randomness.
+
+use crate::event::{Event, EventQueue};
+use crate::flow::{FlowPhase, FlowSpec, FlowStats};
+use crate::packet::{FlowId, Packet, PacketHeader, PacketKind, SeqNo, HEADER_BYTES, MTU_BYTES};
+use crate::queue::QueueDiscipline;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{LinkId, NodeId, Route, Topology};
+use crate::tracer::EwmaRateTracer;
+use crate::transport::{FlowAgent, LinkController};
+use std::sync::Arc;
+
+/// Snapshot of one link's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkStats {
+    /// Total bytes serialized onto the link.
+    pub bytes_transmitted: u64,
+    /// Packets serialized onto the link.
+    pub packets_transmitted: u64,
+    /// Packets dropped at this link's queue.
+    pub packets_dropped: u64,
+    /// Current queue backlog in bytes.
+    pub queue_bytes: usize,
+    /// Current queue backlog in packets.
+    pub queue_packets: usize,
+}
+
+struct LinkRuntime {
+    capacity_bps: f64,
+    delay: SimDuration,
+    queue: Box<dyn QueueDiscipline>,
+    controller: Option<Box<dyn LinkController>>,
+    busy: bool,
+    stats: LinkStats,
+}
+
+struct FlowRuntime {
+    spec: FlowSpec,
+    agent: Option<Box<dyn FlowAgent>>,
+    phase: FlowPhase,
+    stats: FlowStats,
+    tracer: EwmaRateTracer,
+}
+
+/// Configuration knobs of the engine itself (not of any protocol).
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Time constant of the destination-side rate measurement filter.
+    pub rate_ewma_tau: SimDuration,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            rate_ewma_tau: crate::tracer::PAPER_EWMA_TAU,
+        }
+    }
+}
+
+/// The packet-level network simulator.
+pub struct Network {
+    topo: Topology,
+    links: Vec<LinkRuntime>,
+    flows: Vec<FlowRuntime>,
+    events: EventQueue,
+    clock: SimTime,
+    config: NetworkConfig,
+}
+
+impl Network {
+    /// Build a network from a topology, creating one queue per link with
+    /// `queue_factory`.
+    pub fn new(
+        topo: Topology,
+        queue_factory: impl Fn(LinkId) -> Box<dyn QueueDiscipline>,
+    ) -> Self {
+        Self::with_config(topo, queue_factory, NetworkConfig::default())
+    }
+
+    /// Build a network with explicit engine configuration.
+    pub fn with_config(
+        topo: Topology,
+        queue_factory: impl Fn(LinkId) -> Box<dyn QueueDiscipline>,
+        config: NetworkConfig,
+    ) -> Self {
+        let links = topo
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(id, spec)| LinkRuntime {
+                capacity_bps: spec.capacity_bps,
+                delay: spec.delay,
+                queue: queue_factory(id),
+                controller: None,
+                busy: false,
+                stats: LinkStats::default(),
+            })
+            .collect();
+        Self {
+            topo,
+            links,
+            flows: Vec::new(),
+            events: EventQueue::new(),
+            clock: SimTime::ZERO,
+            config,
+        }
+    }
+
+    /// The topology this network was built from.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Attach a switch-side controller to a link. If the controller requests
+    /// a periodic timer it starts `initial_timer()` from the current time.
+    pub fn set_link_controller(&mut self, link: LinkId, controller: Box<dyn LinkController>) {
+        let initial = controller.initial_timer();
+        self.links[link].controller = Some(controller);
+        if let Some(delay) = initial {
+            self.events
+                .schedule(self.clock + delay, Event::LinkTimer { link, tag: 0 });
+        }
+    }
+
+    /// Attach the same controller (via a factory) to every link in the
+    /// network — the common case where every switch port runs the protocol.
+    pub fn set_all_link_controllers(
+        &mut self,
+        factory: impl Fn(LinkId, f64) -> Box<dyn LinkController>,
+    ) {
+        for link in 0..self.links.len() {
+            let capacity = self.links[link].capacity_bps;
+            self.set_link_controller(link, factory(link, capacity));
+        }
+    }
+
+    /// Add a flow between two hosts of a leaf-spine topology, pinning it to
+    /// the spine chosen by `spine_choice` (ECMP hash stand-in). Returns the
+    /// flow id. The flow starts at `start_time` (scheduled automatically).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: Option<u64>,
+        start_time: SimTime,
+        spine_choice: usize,
+        group: Option<usize>,
+        agent: Box<dyn FlowAgent>,
+    ) -> FlowId {
+        let route = self.topo.host_route(src, dst, spine_choice);
+        self.add_flow_on_route(src, dst, route, size_bytes, start_time, group, agent)
+    }
+
+    /// Add a flow with an explicit route (for custom topologies).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_flow_on_route(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        route: Route,
+        size_bytes: Option<u64>,
+        start_time: SimTime,
+        group: Option<usize>,
+        agent: Box<dyn FlowAgent>,
+    ) -> FlowId {
+        assert!(!route.is_empty(), "flow route must traverse at least one link");
+        let reverse = self.topo.reverse_route(&route);
+        let base_rtt = self
+            .topo
+            .base_rtt(&route, MTU_BYTES as u64, HEADER_BYTES as u64);
+        let spec = FlowSpec {
+            src,
+            dst,
+            size_bytes,
+            start_time: start_time.max(self.clock),
+            route: Arc::new(route),
+            reverse_route: Arc::new(reverse),
+            base_rtt,
+            group,
+        };
+        let id = self.flows.len();
+        self.flows.push(FlowRuntime {
+            spec,
+            agent: Some(agent),
+            phase: FlowPhase::Pending,
+            stats: FlowStats::default(),
+            tracer: EwmaRateTracer::new(self.config.rate_ewma_tau),
+        });
+        let at = self.flows[id].spec.start_time;
+        self.events.schedule(at, Event::FlowStart { flow: id });
+        id
+    }
+
+    /// Stop an active flow (it stops sending; in-flight packets still drain).
+    pub fn stop_flow(&mut self, flow: FlowId) {
+        self.events
+            .schedule(self.clock, Event::FlowStop { flow });
+    }
+
+    /// Run the simulation until (and including) time `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(next) = self.events.peek_time() {
+            if next > until {
+                break;
+            }
+            let (time, event) = self.events.pop().expect("peeked event must exist");
+            self.clock = time;
+            self.handle(event);
+        }
+        self.clock = self.clock.max(until);
+    }
+
+    /// Run the simulation for `duration` beyond the current time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let until = self.clock + duration;
+        self.run_until(until);
+    }
+
+    /// Run until no events remain (only sensible for workloads where every
+    /// flow has a finite size).
+    pub fn run_to_completion(&mut self) {
+        while let Some((time, event)) = self.events.pop() {
+            self.clock = time;
+            self.handle(event);
+        }
+    }
+
+    // ---- statistics -------------------------------------------------------
+
+    /// Number of flows added so far.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// A flow's static description.
+    pub fn flow_spec(&self, flow: FlowId) -> &FlowSpec {
+        &self.flows[flow].spec
+    }
+
+    /// A flow's counters.
+    pub fn flow_stats(&self, flow: FlowId) -> &FlowStats {
+        &self.flows[flow].stats
+    }
+
+    /// A flow's lifecycle phase.
+    pub fn flow_phase(&self, flow: FlowId) -> FlowPhase {
+        self.flows[flow].phase
+    }
+
+    /// The destination-side EWMA rate estimate for a flow, in bits/s.
+    pub fn flow_rate_estimate(&self, flow: FlowId) -> f64 {
+        self.flows[flow].tracer.rate_bps(self.clock)
+    }
+
+    /// Ids of flows currently in the [`FlowPhase::Active`] phase.
+    pub fn active_flows(&self) -> Vec<FlowId> {
+        (0..self.flows.len())
+            .filter(|&f| self.flows[f].phase == FlowPhase::Active)
+            .collect()
+    }
+
+    /// Change a link's capacity at runtime (used by the bandwidth-function
+    /// experiments, where the bottleneck capacity changes mid-run). The
+    /// packet currently being serialized keeps its old transmission time;
+    /// subsequent packets use the new rate.
+    ///
+    /// # Panics
+    /// Panics if the capacity is not strictly positive.
+    pub fn set_link_capacity(&mut self, link: LinkId, capacity_bps: f64) {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "capacity must be positive"
+        );
+        self.links[link].capacity_bps = capacity_bps;
+        if let Some(ctrl) = &mut self.links[link].controller {
+            ctrl.on_capacity_change(capacity_bps);
+        }
+    }
+
+    /// A link's current capacity in bits per second.
+    pub fn link_capacity_bps(&self, link: LinkId) -> f64 {
+        self.links[link].capacity_bps
+    }
+
+    /// Counters for a link.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        let lr = &self.links[link];
+        LinkStats {
+            queue_bytes: lr.queue.backlog_bytes(),
+            queue_packets: lr.queue.backlog_packets(),
+            ..lr.stats
+        }
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    // ---- event handling ---------------------------------------------------
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::FlowStart { flow } => self.handle_flow_start(flow),
+            Event::FlowStop { flow } => self.handle_flow_stop(flow),
+            Event::FlowTimer { flow, tag } => self.dispatch_timer(flow, tag),
+            Event::LinkTimer { link, tag } => self.handle_link_timer(link, tag),
+            Event::TransmitComplete { link } => {
+                self.links[link].busy = false;
+                self.try_transmit(link);
+            }
+            Event::Arrival { link, packet } => self.handle_arrival(link, packet),
+        }
+    }
+
+    fn handle_flow_start(&mut self, flow: FlowId) {
+        if self.flows[flow].phase != FlowPhase::Pending {
+            return;
+        }
+        self.flows[flow].phase = FlowPhase::Active;
+        self.flows[flow].stats.started_at = Some(self.clock);
+        self.with_agent(flow, |agent, ctx| agent.on_start(ctx));
+    }
+
+    fn handle_flow_stop(&mut self, flow: FlowId) {
+        if self.flows[flow].phase == FlowPhase::Active {
+            self.flows[flow].phase = FlowPhase::Stopped;
+            for &l in &self.flows[flow].spec.route.links.clone() {
+                self.links[l].queue.release_flow(flow);
+            }
+        }
+    }
+
+    fn handle_link_timer(&mut self, link: LinkId, tag: u64) {
+        let next = {
+            let lr = &mut self.links[link];
+            let backlog = lr.queue.backlog_bytes();
+            match &mut lr.controller {
+                Some(ctrl) => ctrl.on_timer(self.clock, backlog),
+                None => None,
+            }
+        };
+        if let Some(delay) = next {
+            self.events
+                .schedule(self.clock + delay, Event::LinkTimer { link, tag });
+        }
+    }
+
+    fn handle_arrival(&mut self, _link: LinkId, mut packet: Packet) {
+        packet.advance_hop();
+        if !packet.at_destination() {
+            let next = packet
+                .next_link()
+                .expect("non-terminal packet must have a next link");
+            self.enqueue_on_link(next, packet);
+            return;
+        }
+        // Delivered to the end host.
+        let flow = packet.flow;
+        match packet.kind {
+            PacketKind::Data | PacketKind::Syn => {
+                if packet.is_data() {
+                    let fr = &mut self.flows[flow];
+                    fr.stats.bytes_delivered += packet.payload_bytes as u64;
+                    fr.stats.packets_delivered += 1;
+                    fr.tracer.on_arrival(packet.payload_bytes as u64, self.clock);
+                }
+                if self.flows[flow].phase == FlowPhase::Active {
+                    self.with_agent(flow, |agent, ctx| agent.on_data(&packet, ctx));
+                }
+                self.check_completion(flow);
+            }
+            PacketKind::Ack => {
+                {
+                    let fr = &mut self.flows[flow];
+                    fr.stats.bytes_acked = fr.stats.bytes_acked.max(packet.header.ack_bytes);
+                }
+                if self.flows[flow].phase == FlowPhase::Active {
+                    self.with_agent(flow, |agent, ctx| agent.on_ack(&packet, ctx));
+                }
+            }
+        }
+    }
+
+    fn check_completion(&mut self, flow: FlowId) {
+        let fr = &mut self.flows[flow];
+        if fr.phase != FlowPhase::Active {
+            return;
+        }
+        if let Some(size) = fr.spec.size_bytes {
+            if fr.stats.bytes_delivered >= size {
+                fr.phase = FlowPhase::Completed;
+                fr.stats.completed_at = Some(self.clock);
+                let route = fr.spec.route.clone();
+                for &l in &route.links {
+                    self.links[l].queue.release_flow(flow);
+                }
+            }
+        }
+    }
+
+    fn dispatch_timer(&mut self, flow: FlowId, tag: u64) {
+        if self.flows[flow].phase != FlowPhase::Active {
+            return;
+        }
+        self.with_agent(flow, |agent, ctx| agent.on_timer(tag, ctx));
+    }
+
+    fn with_agent(
+        &mut self,
+        flow: FlowId,
+        f: impl FnOnce(&mut Box<dyn FlowAgent>, &mut AgentCtx<'_>),
+    ) {
+        let mut agent = match self.flows[flow].agent.take() {
+            Some(a) => a,
+            None => return,
+        };
+        {
+            let mut ctx = AgentCtx { net: self, flow };
+            f(&mut agent, &mut ctx);
+        }
+        self.flows[flow].agent = Some(agent);
+    }
+
+    fn enqueue_on_link(&mut self, link: LinkId, mut packet: Packet) {
+        {
+            let lr = &mut self.links[link];
+            if packet.is_data() {
+                if let Some(ctrl) = &mut lr.controller {
+                    ctrl.on_enqueue(&mut packet, self.clock);
+                }
+            }
+            let outcome = lr.queue.enqueue(packet, self.clock);
+            if let Some(dropped) = outcome.dropped() {
+                lr.stats.packets_dropped += 1;
+                self.flows[dropped.flow].stats.packets_dropped += 1;
+            }
+        }
+        self.try_transmit(link);
+    }
+
+    fn try_transmit(&mut self, link: LinkId) {
+        let (packet, tx_time, delay) = {
+            let lr = &mut self.links[link];
+            if lr.busy {
+                return;
+            }
+            let backlog = lr.queue.backlog_bytes();
+            let mut packet = match lr.queue.dequeue(self.clock) {
+                Some(p) => p,
+                None => return,
+            };
+            if let Some(ctrl) = &mut lr.controller {
+                ctrl.on_dequeue(&mut packet, self.clock, backlog);
+            }
+            lr.busy = true;
+            lr.stats.bytes_transmitted += packet.wire_bytes as u64;
+            lr.stats.packets_transmitted += 1;
+            let tx_time = SimDuration::transmission(packet.wire_bytes as u64, lr.capacity_bps);
+            (packet, tx_time, lr.delay)
+        };
+        self.events.schedule(
+            self.clock + tx_time,
+            Event::TransmitComplete { link },
+        );
+        self.events.schedule(
+            self.clock + tx_time + delay,
+            Event::Arrival { link, packet },
+        );
+    }
+}
+
+/// The interface through which a [`FlowAgent`] interacts with the network
+/// during one of its callbacks.
+pub struct AgentCtx<'a> {
+    net: &'a mut Network,
+    flow: FlowId,
+}
+
+impl AgentCtx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.net.clock
+    }
+
+    /// The flow this context belongs to.
+    pub fn flow_id(&self) -> FlowId {
+        self.flow
+    }
+
+    /// The flow's static description.
+    pub fn spec(&self) -> &FlowSpec {
+        &self.net.flows[self.flow].spec
+    }
+
+    /// The flow's counters.
+    pub fn stats(&self) -> &FlowStats {
+        &self.net.flows[self.flow].stats
+    }
+
+    /// Payload bytes not yet handed to the network (`None` for long-running
+    /// flows).
+    pub fn remaining_bytes(&self) -> Option<u64> {
+        let fr = &self.net.flows[self.flow];
+        fr.spec
+            .size_bytes
+            .map(|s| s.saturating_sub(fr.stats.bytes_sent))
+    }
+
+    /// Capacity of the flow's first-hop (host NIC) link, in bits/s.
+    pub fn first_hop_capacity_bps(&self) -> f64 {
+        let first = self.net.flows[self.flow].spec.route.links[0];
+        self.net.links[first].capacity_bps
+    }
+
+    /// The smallest link capacity along the flow's path, in bits/s.
+    pub fn bottleneck_capacity_bps(&self) -> f64 {
+        self.net.flows[self.flow]
+            .spec
+            .route
+            .links
+            .iter()
+            .map(|&l| self.net.links[l].capacity_bps)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The flow's base (empty-queue) RTT.
+    pub fn base_rtt(&self) -> SimDuration {
+        self.net.flows[self.flow].spec.base_rtt
+    }
+
+    /// Send a data packet of `payload_bytes` starting at byte offset `seq`,
+    /// customizing the header with `modify`. Returns the wire size sent.
+    pub fn send_data(
+        &mut self,
+        seq: SeqNo,
+        payload_bytes: u32,
+        modify: impl FnOnce(&mut PacketHeader),
+    ) -> u32 {
+        let route = self.net.flows[self.flow].spec.route.clone();
+        let mut packet = Packet::data(self.flow, seq, payload_bytes, route);
+        packet.header.sent_time = self.net.clock;
+        modify(&mut packet.header);
+        let wire = packet.wire_bytes;
+        {
+            let stats = &mut self.net.flows[self.flow].stats;
+            stats.bytes_sent += payload_bytes as u64;
+            stats.packets_sent += 1;
+        }
+        let first = packet.route.links[0];
+        self.net.enqueue_on_link(first, packet);
+        wire
+    }
+
+    /// Send a SYN packet along the forward route.
+    pub fn send_syn(&mut self, modify: impl FnOnce(&mut PacketHeader)) {
+        let route = self.net.flows[self.flow].spec.route.clone();
+        let mut packet = Packet::syn(self.flow, route);
+        packet.header.sent_time = self.net.clock;
+        modify(&mut packet.header);
+        let first = packet.route.links[0];
+        self.net.enqueue_on_link(first, packet);
+    }
+
+    /// Send an ACK along the reverse route (receiver side).
+    pub fn send_ack(&mut self, modify: impl FnOnce(&mut PacketHeader)) {
+        let route = self.net.flows[self.flow].spec.reverse_route.clone();
+        let mut packet = Packet::ack(self.flow, route);
+        packet.header.sent_time = self.net.clock;
+        modify(&mut packet.header);
+        let first = packet.route.links[0];
+        self.net.enqueue_on_link(first, packet);
+    }
+
+    /// Arrange for [`FlowAgent::on_timer`] to be called with `tag` after
+    /// `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.net.events.schedule(
+            self.net.clock + delay,
+            Event::FlowTimer {
+                flow: self.flow,
+                tag,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::DEFAULT_PAYLOAD_BYTES;
+    use crate::queue::DropTailFifo;
+    use crate::reference::SimpleWindowAgent;
+    use crate::topology::{LeafSpineConfig, NodeKind};
+    use crate::transport::NullController;
+
+    fn small_net() -> Network {
+        let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
+        Network::new(topo, |_| Box::new(DropTailFifo::with_default_buffer()))
+    }
+
+    #[test]
+    fn single_flow_completes_and_fct_is_sensible() {
+        let mut net = small_net();
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        let size = 150_000u64; // 100 MTU payloads
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[7],
+            Some(size),
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(SimpleWindowAgent::new(20)),
+        );
+        net.run_until(SimTime::from_millis(50));
+        assert_eq!(net.flow_phase(flow), FlowPhase::Completed);
+        let stats = net.flow_stats(flow);
+        assert_eq!(stats.bytes_delivered, size + (size % DEFAULT_PAYLOAD_BYTES as u64 != 0) as u64 * 0); // delivered at least size
+        let fct = stats.fct().expect("completed flow has an FCT");
+        // 150 KB at 10 Gbps minimum is 120 µs plus propagation; the window of
+        // 20 packets never stalls the 16 µs-RTT path, so it finishes quickly.
+        assert!(fct >= SimDuration::from_micros(120), "fct = {fct}");
+        assert!(fct < SimDuration::from_millis(2), "fct = {fct}");
+        assert!(stats.packets_dropped == 0);
+    }
+
+    #[test]
+    fn two_flows_share_a_bottleneck_roughly_equally() {
+        let mut net = small_net();
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        // Both flows converge on the same destination host link.
+        let f0 = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(SimpleWindowAgent::new(8)),
+        );
+        let f1 = net.add_flow(
+            hosts[1],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(SimpleWindowAgent::new(8)),
+        );
+        net.run_until(SimTime::from_millis(10));
+        let r0 = net.flow_rate_estimate(f0);
+        let r1 = net.flow_rate_estimate(f1);
+        let total = r0 + r1;
+        assert!(total > 8e9, "bottleneck underutilized: {total}");
+        assert!(total < 10.5e9, "bottleneck oversubscribed: {total}");
+        assert!((r0 - r1).abs() / total < 0.2, "unfair split {r0} vs {r1}");
+    }
+
+    #[test]
+    fn flows_count_drops_when_buffers_are_tiny() {
+        let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
+        let mut net = Network::new(topo, |_| Box::new(DropTailFifo::new(4 * 1500)));
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        for src in 0..4 {
+            net.add_flow(
+                hosts[src],
+                hosts[5],
+                None,
+                SimTime::ZERO,
+                0,
+                None,
+                Box::new(SimpleWindowAgent::new(64)),
+            );
+        }
+        net.run_until(SimTime::from_millis(2));
+        let dropped: u64 = (0..net.num_flows())
+            .map(|f| net.flow_stats(f).packets_dropped)
+            .sum();
+        assert!(dropped > 0, "expected drops with 4-packet buffers");
+    }
+
+    #[test]
+    fn stopping_a_flow_stops_its_traffic() {
+        let mut net = small_net();
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[7],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(SimpleWindowAgent::new(8)),
+        );
+        net.run_until(SimTime::from_millis(1));
+        assert!(net.flow_rate_estimate(flow) > 1e9);
+        net.stop_flow(flow);
+        net.run_until(SimTime::from_millis(1) + SimDuration::from_micros(100));
+        let sent_at_stop = net.flow_stats(flow).packets_sent;
+        net.run_until(SimTime::from_millis(3));
+        assert_eq!(net.flow_phase(flow), FlowPhase::Stopped);
+        assert_eq!(net.flow_stats(flow).packets_sent, sent_at_stop);
+        // The rate estimate decays once traffic stops.
+        assert!(net.flow_rate_estimate(flow) < 1e9);
+    }
+
+    #[test]
+    fn pending_flows_start_at_their_start_time() {
+        let mut net = small_net();
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[7],
+            Some(15_000),
+            SimTime::from_millis(1),
+            0,
+            None,
+            Box::new(SimpleWindowAgent::new(8)),
+        );
+        net.run_until(SimTime::from_micros(500));
+        assert_eq!(net.flow_phase(flow), FlowPhase::Pending);
+        assert_eq!(net.flow_stats(flow).packets_sent, 0);
+        net.run_until(SimTime::from_millis(5));
+        assert_eq!(net.flow_phase(flow), FlowPhase::Completed);
+        assert_eq!(net.flow_stats(flow).started_at, Some(SimTime::from_millis(1)));
+    }
+
+    #[test]
+    fn link_stats_reflect_traffic() {
+        let mut net = small_net();
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[7],
+            Some(150_000),
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(SimpleWindowAgent::new(16)),
+        );
+        net.run_until(SimTime::from_millis(20));
+        assert_eq!(net.flow_phase(flow), FlowPhase::Completed);
+        let first_link = net.flow_spec(flow).route.links[0];
+        let stats = net.link_stats(first_link);
+        assert!(stats.packets_transmitted >= 100);
+        assert!(stats.bytes_transmitted >= 150_000);
+        assert_eq!(stats.queue_packets, 0);
+    }
+
+    #[test]
+    fn null_controller_and_all_links_installation() {
+        let mut net = small_net();
+        net.set_all_link_controllers(|_, _| Box::new(NullController));
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[1],
+            Some(15_000),
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(SimpleWindowAgent::new(4)),
+        );
+        net.run_until(SimTime::from_millis(5));
+        assert_eq!(net.flow_phase(flow), FlowPhase::Completed);
+    }
+
+    #[test]
+    fn intra_rack_flows_avoid_the_spine() {
+        let mut net = small_net();
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[1],
+            Some(15_000),
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(SimpleWindowAgent::new(4)),
+        );
+        net.run_until(SimTime::from_millis(5));
+        assert_eq!(net.flow_phase(flow), FlowPhase::Completed);
+        // No spine link should have carried data packets.
+        let topo = net.topology().clone();
+        for (id, spec) in topo.links().iter().enumerate() {
+            let from_spine = topo.nodes()[spec.from].kind == NodeKind::Spine;
+            let to_spine = topo.nodes()[spec.to].kind == NodeKind::Spine;
+            if from_spine || to_spine {
+                assert_eq!(net.link_stats(id).packets_transmitted, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_outputs() {
+        let run = || {
+            let mut net = small_net();
+            let hosts: Vec<_> = net.topology().hosts().to_vec();
+            for i in 0..4 {
+                net.add_flow(
+                    hosts[i],
+                    hosts[7 - i],
+                    Some(50_000 + i as u64 * 10_000),
+                    SimTime::from_micros(i as u64 * 10),
+                    i,
+                    None,
+                    Box::new(SimpleWindowAgent::new(8)),
+                );
+            }
+            net.run_until(SimTime::from_millis(10));
+            (0..net.num_flows())
+                .map(|f| {
+                    (
+                        net.flow_stats(f).packets_sent,
+                        net.flow_stats(f).fct().map(|d| d.as_nanos()),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

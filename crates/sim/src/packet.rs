@@ -1,0 +1,260 @@
+//! Packets and the transport-layer header fields NUMFabric and the baseline
+//! protocols carry.
+//!
+//! Following the paper (§5), NUMFabric adds five fields to packet headers:
+//! `virtualPacketLen` and `interPacketTime` for Swift, and `pathPrice`,
+//! `pathLen`, `normalizedResidual` for xWI. The baseline protocols need a
+//! subset of the same machinery (an aggregated price/feedback field and its
+//! reflection in ACKs), and pFabric needs a priority field. Like an ns-3
+//! header, [`PacketHeader`] is the union of all of these; each protocol only
+//! reads and writes the fields it defines.
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Route;
+use std::sync::Arc;
+
+/// Identifier of a flow within a [`crate::network::Network`].
+pub type FlowId = usize;
+
+/// Per-packet sequence number (byte offset of the first payload byte).
+pub type SeqNo = u64;
+
+/// Wire size of the transport/IP/Ethernet headers we model, in bytes.
+pub const HEADER_BYTES: u32 = 40;
+/// Default MTU-sized payload in bytes.
+pub const DEFAULT_PAYLOAD_BYTES: u32 = 1460;
+/// Wire size of a full MTU packet.
+pub const MTU_BYTES: u32 = HEADER_BYTES + DEFAULT_PAYLOAD_BYTES;
+
+/// What kind of packet this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Connection setup (treated as a control packet by WFQ).
+    Syn,
+    /// A data segment.
+    Data,
+    /// A (pure) acknowledgment, carrying reflected feedback fields.
+    Ack,
+}
+
+/// The union of the transport header fields used by NUMFabric, DGD, RCP*,
+/// DCTCP and pFabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketHeader {
+    // ---- Swift (NUMFabric §4.1 / §5) ----
+    /// `virtualPacketLen`: packet length divided by the flow's weight; used by
+    /// the STFQ scheduler to advance per-flow virtual finish times. Zero for
+    /// control packets (SYN / pure ACK), which WFQ treats as highest priority.
+    pub virtual_packet_len: f64,
+    /// `interPacketTime`: receiver-measured spacing between consecutive data
+    /// packets of this flow, reflected to the sender in ACKs.
+    pub inter_packet_time: Option<SimDuration>,
+
+    // ---- xWI (NUMFabric §4.2 / §5) ----
+    /// `pathPrice`: running sum of link prices along the path (stamped by
+    /// switches on dequeue); reflected to the sender in ACKs.
+    pub path_price: f64,
+    /// `pathLen`: number of links that stamped this packet.
+    pub path_len: u32,
+    /// `normalizedResidual`: the flow's KKT residual divided by its path
+    /// length, set by the sender and read by every switch on the path.
+    pub normalized_residual: f64,
+
+    // ---- Receiver → sender reflection (carried in ACKs) ----
+    /// The `pathPrice` accumulated by the acknowledged data packet, reflected
+    /// back to the sender. Kept separate from `path_price` because the ACK
+    /// itself is stamped by the switches on the *reverse* path, and that
+    /// value must not overwrite the forward-path feedback.
+    pub reflected_path_price: f64,
+    /// The `pathLen` of the acknowledged data packet.
+    pub reflected_path_len: u32,
+    /// The RCP* feedback (`Σ R_l^{-α}`) of the acknowledged data packet.
+    pub reflected_rcp_feedback: f64,
+
+    // ---- Baselines ----
+    /// Generic aggregated feedback used by RCP* (`Σ R_l^{-α}`); kept separate
+    /// from `path_price` so a misconfigured experiment cannot mix them up.
+    pub rcp_feedback: f64,
+    /// pFabric priority (remaining flow size in bytes); smaller = higher
+    /// priority.
+    pub pfabric_priority: f64,
+    /// ECN: whether the packet is ECN-capable (DCTCP).
+    pub ecn_capable: bool,
+    /// ECN: congestion-experienced mark set by a queue.
+    pub ecn_marked: bool,
+    /// ECN echo in ACKs (DCTCP receiver feedback).
+    pub ecn_echo: bool,
+
+    // ---- Common bookkeeping ----
+    /// When the packet (or the data packet an ACK acknowledges) was sent.
+    pub sent_time: SimTime,
+    /// For ACKs: the number of payload bytes being acknowledged cumulatively.
+    pub ack_bytes: u64,
+    /// For ACKs: sequence number being acknowledged (cumulative).
+    pub ack_seq: SeqNo,
+}
+
+impl Default for PacketHeader {
+    fn default() -> Self {
+        Self {
+            virtual_packet_len: 0.0,
+            inter_packet_time: None,
+            path_price: 0.0,
+            path_len: 0,
+            normalized_residual: 0.0,
+            reflected_path_price: 0.0,
+            reflected_path_len: 0,
+            reflected_rcp_feedback: 0.0,
+            rcp_feedback: 0.0,
+            pfabric_priority: f64::MAX,
+            ecn_capable: false,
+            ecn_marked: false,
+            ecn_echo: false,
+            sent_time: SimTime::ZERO,
+            ack_bytes: 0,
+            ack_seq: 0,
+        }
+    }
+}
+
+/// A simulated packet.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// The flow this packet belongs to.
+    pub flow: FlowId,
+    /// Byte offset of the first payload byte (data packets) or 0 (control).
+    pub seq: SeqNo,
+    /// Payload bytes carried (0 for SYN/ACK).
+    pub payload_bytes: u32,
+    /// Total wire size in bytes (payload + headers).
+    pub wire_bytes: u32,
+    /// Packet kind.
+    pub kind: PacketKind,
+    /// Transport header fields.
+    pub header: PacketHeader,
+    /// The route this packet follows (shared, precomputed at flow setup).
+    pub route: Arc<Route>,
+    /// Index of the next link on `route` the packet has yet to traverse.
+    pub hop: usize,
+}
+
+impl Packet {
+    /// Create a data packet.
+    pub fn data(flow: FlowId, seq: SeqNo, payload_bytes: u32, route: Arc<Route>) -> Self {
+        Self {
+            flow,
+            seq,
+            payload_bytes,
+            wire_bytes: payload_bytes + HEADER_BYTES,
+            kind: PacketKind::Data,
+            header: PacketHeader::default(),
+            route,
+            hop: 0,
+        }
+    }
+
+    /// Create a pure ACK packet.
+    pub fn ack(flow: FlowId, route: Arc<Route>) -> Self {
+        Self {
+            flow,
+            seq: 0,
+            payload_bytes: 0,
+            wire_bytes: HEADER_BYTES,
+            kind: PacketKind::Ack,
+            header: PacketHeader::default(),
+            route,
+            hop: 0,
+        }
+    }
+
+    /// Create a SYN packet.
+    pub fn syn(flow: FlowId, route: Arc<Route>) -> Self {
+        Self {
+            flow,
+            seq: 0,
+            payload_bytes: 0,
+            wire_bytes: HEADER_BYTES,
+            kind: PacketKind::Syn,
+            header: PacketHeader::default(),
+            route,
+            hop: 0,
+        }
+    }
+
+    /// Whether this is a data packet (control packets have
+    /// `virtualPacketLen = 0` and are ignored by the xWI residual tracking).
+    pub fn is_data(&self) -> bool {
+        self.kind == PacketKind::Data
+    }
+
+    /// The next link this packet must traverse, if it has not reached its
+    /// destination yet.
+    pub fn next_link(&self) -> Option<crate::topology::LinkId> {
+        self.route.links.get(self.hop).copied()
+    }
+
+    /// Whether the packet has traversed its entire route.
+    pub fn at_destination(&self) -> bool {
+        self.hop >= self.route.links.len()
+    }
+
+    /// Advance to the next hop (called by the network when the packet finishes
+    /// traversing a link).
+    pub fn advance_hop(&mut self) {
+        self.hop += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Route;
+
+    fn route(links: Vec<usize>) -> Arc<Route> {
+        Arc::new(Route { links })
+    }
+
+    #[test]
+    fn data_packet_sizes_include_header() {
+        let p = Packet::data(3, 1460, DEFAULT_PAYLOAD_BYTES, route(vec![0, 1]));
+        assert_eq!(p.wire_bytes, MTU_BYTES);
+        assert_eq!(p.payload_bytes, 1460);
+        assert!(p.is_data());
+        assert_eq!(p.flow, 3);
+    }
+
+    #[test]
+    fn control_packets_are_header_only() {
+        let a = Packet::ack(1, route(vec![0]));
+        let s = Packet::syn(1, route(vec![0]));
+        assert_eq!(a.wire_bytes, HEADER_BYTES);
+        assert_eq!(s.wire_bytes, HEADER_BYTES);
+        assert!(!a.is_data());
+        assert!(!s.is_data());
+        assert_eq!(a.header.virtual_packet_len, 0.0);
+    }
+
+    #[test]
+    fn hop_advancement_walks_the_route() {
+        let mut p = Packet::data(0, 0, 1000, route(vec![5, 7, 9]));
+        assert_eq!(p.next_link(), Some(5));
+        assert!(!p.at_destination());
+        p.advance_hop();
+        assert_eq!(p.next_link(), Some(7));
+        p.advance_hop();
+        assert_eq!(p.next_link(), Some(9));
+        p.advance_hop();
+        assert_eq!(p.next_link(), None);
+        assert!(p.at_destination());
+    }
+
+    #[test]
+    fn header_defaults_are_neutral() {
+        let h = PacketHeader::default();
+        assert_eq!(h.path_price, 0.0);
+        assert_eq!(h.path_len, 0);
+        assert!(h.inter_packet_time.is_none());
+        assert!(!h.ecn_marked);
+        assert_eq!(h.pfabric_priority, f64::MAX);
+    }
+}

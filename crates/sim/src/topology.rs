@@ -1,0 +1,482 @@
+//! Network topology: nodes, links and routes.
+//!
+//! The paper's evaluation uses leaf-spine fabrics: 128 servers, 8 leaf
+//! switches and 4 spine switches with 10 Gbps host links and 40 Gbps fabric
+//! links (full bisection bandwidth) for most experiments, and a 16-spine /
+//! 10 Gbps-everywhere variant for the resource-pooling experiment (§6.3).
+//! [`Topology::leaf_spine`] builds both.
+//!
+//! Links are unidirectional; the builders create both directions of every
+//! physical cable. Routes are precomputed per flow (the simulator does not
+//! model hop-by-hop forwarding-table lookups), which matches how the paper
+//! pins each flow or subflow to a path chosen by ECMP hashing.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (host or switch).
+pub type NodeId = usize;
+/// Identifier of a unidirectional link.
+pub type LinkId = usize;
+
+/// What role a node plays in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A server / end-host.
+    Host,
+    /// A top-of-rack (leaf) switch.
+    Leaf,
+    /// A spine (core) switch.
+    Spine,
+}
+
+/// Static description of a node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's role.
+    pub kind: NodeKind,
+    /// Human-readable name (e.g. `host-17`, `leaf-2`, `spine-0`).
+    pub name: String,
+}
+
+/// Static description of a unidirectional link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Capacity in bits per second.
+    pub capacity_bps: f64,
+    /// Propagation delay.
+    pub delay: SimDuration,
+}
+
+/// A precomputed route: the sequence of links a packet traverses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Links in traversal order.
+    pub links: Vec<LinkId>,
+}
+
+impl Route {
+    /// Number of links on the route.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the route is empty (same-host communication).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+/// A static network topology.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<LinkSpec>,
+    /// Host nodes in creation order (convenience index).
+    hosts: Vec<NodeId>,
+    leaves: Vec<NodeId>,
+    spines: Vec<NodeId>,
+}
+
+/// Parameters for [`Topology::leaf_spine`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeafSpineConfig {
+    /// Total number of servers (must be divisible by `leaves`).
+    pub hosts: usize,
+    /// Number of leaf (top-of-rack) switches.
+    pub leaves: usize,
+    /// Number of spine switches.
+    pub spines: usize,
+    /// Host ↔ leaf link speed in bits per second.
+    pub host_link_bps: f64,
+    /// Leaf ↔ spine link speed in bits per second.
+    pub fabric_link_bps: f64,
+    /// Per-link propagation delay.
+    pub link_delay: SimDuration,
+}
+
+impl LeafSpineConfig {
+    /// The paper's main topology: 128 servers, 8 leaves, 4 spines, 10 Gbps
+    /// host links, 40 Gbps fabric links, ~16 µs base RTT.
+    pub fn paper_default() -> Self {
+        Self {
+            hosts: 128,
+            leaves: 8,
+            spines: 4,
+            host_link_bps: 10e9,
+            fabric_link_bps: 40e9,
+            link_delay: SimDuration::from_micros(2),
+        }
+    }
+
+    /// The resource-pooling topology of §6.3: 128 servers, 8 leaves,
+    /// 16 spines, all links 10 Gbps.
+    pub fn resource_pooling() -> Self {
+        Self {
+            hosts: 128,
+            leaves: 8,
+            spines: 16,
+            host_link_bps: 10e9,
+            fabric_link_bps: 10e9,
+            link_delay: SimDuration::from_micros(2),
+        }
+    }
+
+    /// A scaled-down topology with the same shape, for fast tests and the
+    /// default (non `--full`) benchmark runs.
+    pub fn small(hosts: usize, leaves: usize, spines: usize) -> Self {
+        Self {
+            hosts,
+            leaves,
+            spines,
+            host_link_bps: 10e9,
+            fabric_link_bps: 40e9,
+            link_delay: SimDuration::from_micros(2),
+        }
+    }
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node of the given kind; returns its id.
+    pub fn add_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            kind,
+            name: name.into(),
+        });
+        match kind {
+            NodeKind::Host => self.hosts.push(id),
+            NodeKind::Leaf => self.leaves.push(id),
+            NodeKind::Spine => self.spines.push(id),
+        }
+        id
+    }
+
+    /// Add a unidirectional link; returns its id.
+    ///
+    /// # Panics
+    /// Panics if either endpoint does not exist, the endpoints are equal, or
+    /// the capacity is not strictly positive.
+    pub fn add_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        capacity_bps: f64,
+        delay: SimDuration,
+    ) -> LinkId {
+        assert!(from < self.nodes.len(), "unknown node {from}");
+        assert!(to < self.nodes.len(), "unknown node {to}");
+        assert_ne!(from, to, "self-links are not allowed");
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "capacity must be positive"
+        );
+        self.links.push(LinkSpec {
+            from,
+            to,
+            capacity_bps,
+            delay,
+        });
+        self.links.len() - 1
+    }
+
+    /// Add both directions of a physical cable; returns `(forward, reverse)`.
+    pub fn add_duplex_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity_bps: f64,
+        delay: SimDuration,
+    ) -> (LinkId, LinkId) {
+        (
+            self.add_link(a, b, capacity_bps, delay),
+            self.add_link(b, a, capacity_bps, delay),
+        )
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The links.
+    pub fn links(&self) -> &[LinkSpec] {
+        &self.links
+    }
+
+    /// Host node ids in creation order.
+    pub fn hosts(&self) -> &[NodeId] {
+        &self.hosts
+    }
+
+    /// Leaf switch node ids.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Spine switch node ids.
+    pub fn spines(&self) -> &[NodeId] {
+        &self.spines
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Find the link from `from` to `to`, if one exists.
+    pub fn link_between(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        self.links
+            .iter()
+            .position(|l| l.from == from && l.to == to)
+    }
+
+    /// Build a route as the concatenation of links along the node sequence
+    /// `path` (panics if some consecutive pair has no link).
+    pub fn route_via(&self, path: &[NodeId]) -> Route {
+        let links = path
+            .windows(2)
+            .map(|w| {
+                self.link_between(w[0], w[1])
+                    .unwrap_or_else(|| panic!("no link between {} and {}", w[0], w[1]))
+            })
+            .collect();
+        Route { links }
+    }
+
+    /// Build a leaf-spine fabric.
+    ///
+    /// # Panics
+    /// Panics if `hosts` is not divisible by `leaves` or any count is zero.
+    pub fn leaf_spine(cfg: &LeafSpineConfig) -> Self {
+        assert!(cfg.hosts > 0 && cfg.leaves > 0 && cfg.spines > 0, "empty fabric");
+        assert_eq!(
+            cfg.hosts % cfg.leaves,
+            0,
+            "hosts must divide evenly across leaves"
+        );
+        let mut topo = Topology::new();
+        let hosts: Vec<NodeId> = (0..cfg.hosts)
+            .map(|i| topo.add_node(NodeKind::Host, format!("host-{i}")))
+            .collect();
+        let leaves: Vec<NodeId> = (0..cfg.leaves)
+            .map(|i| topo.add_node(NodeKind::Leaf, format!("leaf-{i}")))
+            .collect();
+        let spines: Vec<NodeId> = (0..cfg.spines)
+            .map(|i| topo.add_node(NodeKind::Spine, format!("spine-{i}")))
+            .collect();
+        let per_leaf = cfg.hosts / cfg.leaves;
+        for (i, &h) in hosts.iter().enumerate() {
+            let leaf = leaves[i / per_leaf];
+            topo.add_duplex_link(h, leaf, cfg.host_link_bps, cfg.link_delay);
+        }
+        for &leaf in &leaves {
+            for &spine in &spines {
+                topo.add_duplex_link(leaf, spine, cfg.fabric_link_bps, cfg.link_delay);
+            }
+        }
+        topo
+    }
+
+    /// The leaf switch a host is attached to (leaf-spine topologies only).
+    pub fn leaf_of(&self, host: NodeId) -> Option<NodeId> {
+        assert_eq!(self.nodes[host].kind, NodeKind::Host, "{host} is not a host");
+        self.links
+            .iter()
+            .find(|l| l.from == host)
+            .map(|l| l.to)
+            .filter(|&n| self.nodes[n].kind == NodeKind::Leaf)
+    }
+
+    /// The route from `src` host to `dst` host through spine number
+    /// `spine_choice % spines` (for hosts under different leaves), or directly
+    /// through their shared leaf. Used for ECMP-style per-flow path pinning.
+    ///
+    /// # Panics
+    /// Panics if `src` or `dst` is not a host, or `src == dst`.
+    pub fn host_route(&self, src: NodeId, dst: NodeId, spine_choice: usize) -> Route {
+        assert_ne!(src, dst, "a flow needs distinct endpoints");
+        let src_leaf = self.leaf_of(src).expect("src not attached to a leaf");
+        let dst_leaf = self.leaf_of(dst).expect("dst not attached to a leaf");
+        if src_leaf == dst_leaf {
+            self.route_via(&[src, src_leaf, dst])
+        } else {
+            let spine = self.spines[spine_choice % self.spines.len()];
+            self.route_via(&[src, src_leaf, spine, dst_leaf, dst])
+        }
+    }
+
+    /// All distinct routes from `src` to `dst` (one per spine for inter-rack
+    /// pairs, a single route for intra-rack pairs). Subflows of a multipath
+    /// flow are spread across these.
+    pub fn host_routes(&self, src: NodeId, dst: NodeId) -> Vec<Route> {
+        let src_leaf = self.leaf_of(src).expect("src not attached to a leaf");
+        let dst_leaf = self.leaf_of(dst).expect("dst not attached to a leaf");
+        if src_leaf == dst_leaf {
+            vec![self.route_via(&[src, src_leaf, dst])]
+        } else {
+            (0..self.spines.len())
+                .map(|s| self.host_route(src, dst, s))
+                .collect()
+        }
+    }
+
+    /// The reverse of `route` (the path ACKs take), assuming every link has a
+    /// reverse twin.
+    pub fn reverse_route(&self, route: &Route) -> Route {
+        let links = route
+            .links
+            .iter()
+            .rev()
+            .map(|&l| {
+                let spec = &self.links[l];
+                self.link_between(spec.to, spec.from)
+                    .expect("every link must have a reverse twin for ACK routing")
+            })
+            .collect();
+        Route { links }
+    }
+
+    /// Base (zero-queue) round-trip time along `route` and back for a packet
+    /// of `data_bytes` and an ACK of `ack_bytes`: propagation both ways plus
+    /// serialization at every hop.
+    pub fn base_rtt(&self, route: &Route, data_bytes: u64, ack_bytes: u64) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for &l in &route.links {
+            let spec = &self.links[l];
+            total += spec.delay + SimDuration::transmission(data_bytes, spec.capacity_bps);
+        }
+        let reverse = self.reverse_route(route);
+        for &l in &reverse.links {
+            let spec = &self.links[l];
+            total += spec.delay + SimDuration::transmission(ack_bytes, spec.capacity_bps);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_leaf_spine_dimensions() {
+        let topo = Topology::leaf_spine(&LeafSpineConfig::paper_default());
+        assert_eq!(topo.hosts().len(), 128);
+        assert_eq!(topo.leaves().len(), 8);
+        assert_eq!(topo.spines().len(), 4);
+        // 128 duplex host links + 8*4 duplex fabric links = 2*(128+32) links.
+        assert_eq!(topo.num_links(), 2 * (128 + 32));
+        // Full bisection: each leaf has 16 * 10G down and 4 * 40G up.
+        let leaf0 = topo.leaves()[0];
+        let uplinks: f64 = topo
+            .links()
+            .iter()
+            .filter(|l| l.from == leaf0 && topo.nodes()[l.to].kind == NodeKind::Spine)
+            .map(|l| l.capacity_bps)
+            .sum();
+        assert_eq!(uplinks, 160e9);
+    }
+
+    #[test]
+    fn intra_rack_route_has_two_hops() {
+        let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
+        let hosts = topo.hosts();
+        // hosts 0..3 share leaf 0.
+        let r = topo.host_route(hosts[0], hosts[1], 0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn inter_rack_route_has_four_hops_and_uses_chosen_spine() {
+        let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
+        let hosts = topo.hosts();
+        let r0 = topo.host_route(hosts[0], hosts[7], 0);
+        let r1 = topo.host_route(hosts[0], hosts[7], 1);
+        assert_eq!(r0.len(), 4);
+        assert_eq!(r1.len(), 4);
+        assert_ne!(r0, r1, "different spine choices must give different routes");
+        assert_eq!(topo.host_routes(hosts[0], hosts[7]).len(), 2);
+        assert_eq!(topo.host_routes(hosts[0], hosts[1]).len(), 1);
+    }
+
+    #[test]
+    fn reverse_route_retraces_the_path() {
+        let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
+        let hosts = topo.hosts();
+        let fwd = topo.host_route(hosts[0], hosts[7], 1);
+        let rev = topo.reverse_route(&fwd);
+        assert_eq!(rev.len(), fwd.len());
+        // The reverse of the reverse is the original.
+        assert_eq!(topo.reverse_route(&rev), fwd);
+        // First reverse link starts where the forward route ended.
+        let last_fwd = &topo.links()[*fwd.links.last().unwrap()];
+        let first_rev = &topo.links()[rev.links[0]];
+        assert_eq!(first_rev.from, last_fwd.to);
+    }
+
+    #[test]
+    fn base_rtt_matches_paper_scale() {
+        // Paper: "The network RTT is 16 µs." With 2 µs/link propagation and 8
+        // link traversals per round trip, propagation alone is 16 µs; header
+        // serialization adds a little.
+        let topo = Topology::leaf_spine(&LeafSpineConfig::paper_default());
+        let hosts = topo.hosts();
+        let route = topo.host_route(hosts[0], hosts[127], 0);
+        let rtt = topo.base_rtt(&route, 40, 40);
+        assert!(rtt >= SimDuration::from_micros(16), "rtt = {rtt}");
+        assert!(rtt < SimDuration::from_micros(18), "rtt = {rtt}");
+    }
+
+    #[test]
+    fn route_via_and_link_between_agree() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Host, "a");
+        let s = topo.add_node(NodeKind::Leaf, "s");
+        let b = topo.add_node(NodeKind::Host, "b");
+        topo.add_duplex_link(a, s, 10e9, SimDuration::from_micros(1));
+        topo.add_duplex_link(s, b, 10e9, SimDuration::from_micros(1));
+        let r = topo.route_via(&[a, s, b]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(topo.links()[r.links[0]].from, a);
+        assert_eq!(topo.links()[r.links[1]].to, b);
+        assert_eq!(topo.leaf_of(a), Some(s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_link_rejected() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Host, "a");
+        topo.add_link(a, a, 1e9, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uneven_hosts_per_leaf_rejected() {
+        Topology::leaf_spine(&LeafSpineConfig::small(7, 2, 2));
+    }
+
+    #[test]
+    fn resource_pooling_topology_shape() {
+        let topo = Topology::leaf_spine(&LeafSpineConfig::resource_pooling());
+        assert_eq!(topo.spines().len(), 16);
+        let leaf0 = topo.leaves()[0];
+        let up: Vec<_> = topo
+            .links()
+            .iter()
+            .filter(|l| l.from == leaf0 && topo.nodes()[l.to].kind == NodeKind::Spine)
+            .collect();
+        assert_eq!(up.len(), 16);
+        assert!(up.iter().all(|l| l.capacity_bps == 10e9));
+    }
+}

@@ -1,0 +1,96 @@
+//! The interfaces protocols implement to run on the simulator.
+//!
+//! A transport protocol consists of:
+//!
+//! * a [`FlowAgent`] per flow — the end-host logic. One object handles both
+//!   endpoints: the receiver-side callback ([`FlowAgent::on_data`]) and the
+//!   sender-side callbacks ([`FlowAgent::on_ack`], [`FlowAgent::on_timer`]).
+//!   NUMFabric's Swift/xWI sender and receiver, DGD, RCP*, DCTCP and pFabric
+//!   are all implemented as `FlowAgent`s (in `numfabric-core` and
+//!   `numfabric-baselines`).
+//! * optionally a [`LinkController`] per link — the switch-side logic that
+//!   runs at one egress port: xWI's price computation, DGD's price update,
+//!   RCP*'s fair-share update. Controllers see every packet at enqueue and
+//!   dequeue time and can run a periodic timer (the synchronized price
+//!   update of §5).
+//!
+//! Agents interact with the network exclusively through [`AgentCtx`]
+//! (sending packets, setting timers, reading flow state), which keeps them
+//! free of any knowledge of the event queue or link internals.
+
+use crate::network::AgentCtx;
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+
+/// Per-flow transport logic (both endpoints).
+pub trait FlowAgent: Send {
+    /// The flow reached its start time. Typically sends a SYN or the initial
+    /// burst/window of data.
+    fn on_start(&mut self, ctx: &mut AgentCtx<'_>);
+
+    /// A data (or SYN) packet arrived at the destination. Typically updates
+    /// receiver state and sends an ACK with reflected feedback fields.
+    fn on_data(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>);
+
+    /// An ACK arrived back at the source. Typically updates rate/window state
+    /// and transmits more data.
+    fn on_ack(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>);
+
+    /// A timer set via [`AgentCtx::set_timer`] fired.
+    fn on_timer(&mut self, tag: u64, ctx: &mut AgentCtx<'_>);
+
+    /// A human-readable protocol name (for logs and experiment tables).
+    fn name(&self) -> &'static str {
+        "unnamed"
+    }
+}
+
+/// Per-egress-port switch logic.
+pub trait LinkController: Send {
+    /// A data packet is about to be enqueued at this port. xWI uses this to
+    /// track the minimum `normalizedResidual` seen since the last price
+    /// update (Figure 3 of the paper).
+    fn on_enqueue(&mut self, packet: &mut Packet, now: SimTime);
+
+    /// A packet is being dequeued for transmission. xWI stamps `pathPrice`
+    /// and `pathLen` here and counts serviced bytes; RCP* adds `R_l^{-α}`.
+    fn on_dequeue(&mut self, packet: &mut Packet, now: SimTime, queue_bytes: usize);
+
+    /// The delay until the controller's first periodic timer, or `None` if it
+    /// does not need one.
+    fn initial_timer(&self) -> Option<SimDuration>;
+
+    /// The periodic timer fired. Returns the delay until the next firing, or
+    /// `None` to stop the timer. `queue_bytes` is the port's current backlog.
+    fn on_timer(&mut self, now: SimTime, queue_bytes: usize) -> Option<SimDuration>;
+
+    /// The link's capacity was changed at runtime (e.g. the Fig. 10
+    /// capacity-change experiment). Controllers that normalize by capacity
+    /// should update their notion of it; the default implementation ignores
+    /// the change.
+    fn on_capacity_change(&mut self, _new_capacity_bps: f64) {}
+
+    /// A human-readable name (for logs).
+    fn name(&self) -> &'static str {
+        "unnamed"
+    }
+}
+
+/// A no-op controller, useful for protocols whose switches only schedule
+/// packets (pFabric, DCTCP) and for tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullController;
+
+impl LinkController for NullController {
+    fn on_enqueue(&mut self, _packet: &mut Packet, _now: SimTime) {}
+    fn on_dequeue(&mut self, _packet: &mut Packet, _now: SimTime, _queue_bytes: usize) {}
+    fn initial_timer(&self) -> Option<SimDuration> {
+        None
+    }
+    fn on_timer(&mut self, _now: SimTime, _queue_bytes: usize) -> Option<SimDuration> {
+        None
+    }
+    fn name(&self) -> &'static str {
+        "null"
+    }
+}

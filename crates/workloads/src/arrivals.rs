@@ -1,0 +1,171 @@
+//! Poisson flow arrivals for the dynamic workloads (§6.1).
+//!
+//! "The flows arrive as a Poisson process of different rates to simulate
+//! different load levels." Load is defined the usual way: the average offered
+//! traffic on the servers' access links as a fraction of their capacity.
+
+use crate::distributions::FlowSizeDistribution;
+use numfabric_sim::{NodeId, SimDuration, SimTime};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One generated flow arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowArrival {
+    /// When the flow starts.
+    pub start: SimTime,
+    /// Source host (node id in the topology).
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Flow size in bytes.
+    pub size_bytes: u64,
+    /// Spine choice for ECMP path pinning (pre-drawn so every protocol sees
+    /// the identical workload).
+    pub spine_choice: usize,
+}
+
+/// Configuration of a Poisson dynamic workload.
+#[derive(Debug, Clone)]
+pub struct PoissonWorkloadConfig {
+    /// Target load on the host access links, as a fraction in `(0, 1)`.
+    pub load: f64,
+    /// Access link capacity in bits per second (10 Gbps in the paper).
+    pub host_link_bps: f64,
+    /// How long to keep generating arrivals.
+    pub duration: SimDuration,
+    /// RNG seed (the workload is fully reproducible given the seed).
+    pub seed: u64,
+    /// Number of spine choices available (for ECMP pinning).
+    pub num_spines: usize,
+}
+
+impl PoissonWorkloadConfig {
+    /// A workload at `load` on 10 Gbps access links for `duration`.
+    pub fn new(load: f64, duration: SimDuration, seed: u64) -> Self {
+        assert!(load > 0.0 && load < 1.0, "load must be in (0, 1)");
+        Self {
+            load,
+            host_link_bps: 10e9,
+            duration,
+            seed,
+            num_spines: 4,
+        }
+    }
+}
+
+/// Generate Poisson arrivals between random host pairs.
+///
+/// Each arrival picks a uniformly random source and a distinct uniformly
+/// random destination (the all-to-all traffic model used by the paper's
+/// dynamic experiments). The aggregate arrival rate is chosen so the expected
+/// offered load on the host links equals `config.load`:
+///
+/// `λ = load · host_link_bps · num_hosts / (8 · mean_flow_size)`.
+pub fn poisson_arrivals(
+    hosts: &[NodeId],
+    dist: &dyn FlowSizeDistribution,
+    config: &PoissonWorkloadConfig,
+) -> Vec<FlowArrival> {
+    assert!(hosts.len() >= 2, "need at least two hosts");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let lambda_per_sec =
+        config.load * config.host_link_bps * hosts.len() as f64 / (8.0 * dist.mean_bytes());
+    let mut arrivals = Vec::new();
+    let mut t = 0.0_f64;
+    let horizon = config.duration.as_secs_f64();
+    loop {
+        // Exponential inter-arrival times.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        t += -u.ln() / lambda_per_sec;
+        if t >= horizon {
+            break;
+        }
+        let src = *hosts.choose(&mut rng).expect("non-empty");
+        let dst = loop {
+            let d = *hosts.choose(&mut rng).expect("non-empty");
+            if d != src {
+                break d;
+            }
+        };
+        arrivals.push(FlowArrival {
+            start: SimTime::from_secs_f64(t),
+            src,
+            dst,
+            size_bytes: dist.sample(&mut rng).max(1),
+            spine_choice: rng.gen_range(0..config.num_spines.max(1)),
+        });
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{EmpiricalCdf, FixedSize};
+
+    fn hosts(n: usize) -> Vec<NodeId> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn arrival_rate_matches_target_load() {
+        let dist = FixedSize(100_000);
+        let cfg = PoissonWorkloadConfig::new(0.6, SimDuration::from_millis(200), 7);
+        let hosts = hosts(16);
+        let arrivals = poisson_arrivals(&hosts, &dist, &cfg);
+        let offered_bytes: f64 = arrivals.iter().map(|a| a.size_bytes as f64).sum();
+        let capacity_bytes = 16.0 * 10e9 / 8.0 * 0.2;
+        let load = offered_bytes / capacity_bytes;
+        assert!((load - 0.6).abs() < 0.08, "realized load = {load}");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_within_horizon() {
+        let dist = EmpiricalCdf::web_search();
+        let cfg = PoissonWorkloadConfig::new(0.4, SimDuration::from_millis(50), 3);
+        let arrivals = poisson_arrivals(&hosts(32), &dist, &cfg);
+        assert!(!arrivals.is_empty());
+        for w in arrivals.windows(2) {
+            assert!(w[1].start >= w[0].start);
+        }
+        assert!(arrivals.iter().all(|a| a.start < SimTime::from_millis(50)));
+        assert!(arrivals.iter().all(|a| a.src != a.dst));
+    }
+
+    #[test]
+    fn same_seed_same_workload_different_seed_different_workload() {
+        let dist = EmpiricalCdf::web_search();
+        let cfg = PoissonWorkloadConfig::new(0.5, SimDuration::from_millis(20), 11);
+        let a = poisson_arrivals(&hosts(8), &dist, &cfg);
+        let b = poisson_arrivals(&hosts(8), &dist, &cfg);
+        assert_eq!(a, b);
+        let cfg2 = PoissonWorkloadConfig::new(0.5, SimDuration::from_millis(20), 12);
+        let c = poisson_arrivals(&hosts(8), &dist, &cfg2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn higher_load_means_more_arrivals() {
+        let dist = FixedSize(50_000);
+        let lo = poisson_arrivals(
+            &hosts(16),
+            &dist,
+            &PoissonWorkloadConfig::new(0.2, SimDuration::from_millis(100), 5),
+        );
+        let hi = poisson_arrivals(
+            &hosts(16),
+            &dist,
+            &PoissonWorkloadConfig::new(0.8, SimDuration::from_millis(100), 5),
+        );
+        assert!(hi.len() > 2 * lo.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn load_must_be_fractional() {
+        PoissonWorkloadConfig::new(1.5, SimDuration::from_millis(1), 0);
+    }
+}

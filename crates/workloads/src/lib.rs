@@ -1,0 +1,46 @@
+//! # numfabric-workloads
+//!
+//! Workload generation and measurement for the NUMFabric evaluation
+//! (SIGCOMM 2016, §6):
+//!
+//! * [`distributions`] — flow-size distributions: synthetic empirical CDFs
+//!   matching the published web-search and enterprise workload statistics,
+//!   plus fixed/uniform/Pareto helpers.
+//! * [`arrivals`] — Poisson flow arrivals at a target load.
+//! * [`scenarios`] — the semi-dynamic convergence scenario (1000 random
+//!   paths, 100-flow start/stop events, 300–500 active flows), permutation
+//!   traffic for resource pooling, and random-pair helpers.
+//! * [`convergence`] — the §6.1 convergence criterion (95 % of flows within
+//!   10 % of the oracle allocation, sustained for 5 ms, filter rise time
+//!   subtracted) and the mapping from packet-level flows to fluid NUM
+//!   instances for the oracle.
+//! * [`ideal`] — the Oracle reference for dynamic workloads: a fluid event
+//!   simulation that re-solves the NUM problem at every arrival/departure,
+//!   and the empty-network FCT bound used to normalize Fig. 7.
+//!
+//! Everything is deterministic given the seeds embedded in the
+//! configuration structs, so every protocol under comparison sees an
+//! identical workload.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod arrivals;
+pub mod convergence;
+pub mod distributions;
+pub mod ideal;
+pub mod scenarios;
+
+pub use arrivals::{poisson_arrivals, FlowArrival, PoissonWorkloadConfig};
+pub use convergence::{
+    convergence_stats, fluid_instance, measure_convergence, oracle_rates_bps,
+    ConvergenceCriterion, ConvergenceOutcome, ConvergenceStats,
+};
+pub use distributions::{
+    BoundedPareto, EmpiricalCdf, FixedSize, FlowSizeDistribution, UniformSize,
+};
+pub use ideal::{empty_network_fct, IdealCompletion, IdealFluidSimulator};
+pub use scenarios::{
+    permutation_pairs, random_pairs, EventKind, NetworkEvent, PathSpec, SemiDynamicConfig,
+    SemiDynamicScenario,
+};

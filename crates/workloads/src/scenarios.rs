@@ -1,0 +1,306 @@
+//! Workload scenarios from the paper's evaluation.
+//!
+//! * [`SemiDynamicScenario`] — §6.1's controlled convergence experiment:
+//!   1000 random sender/receiver paths; each "network event" starts or stops
+//!   100 flows while keeping 300–500 flows active; convergence time is
+//!   measured after every event.
+//! * [`permutation_pairs`] — the resource-pooling experiment's permutation
+//!   traffic (§6.3): servers 1–64 each send to one server among 65–128.
+//! * [`random_pairs`] — uniformly random distinct host pairs (used to build
+//!   the semi-dynamic paths and ad-hoc experiments).
+
+use numfabric_sim::topology::Topology;
+use numfabric_sim::NodeId;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A source/destination pair pinned to a spine choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathSpec {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// ECMP spine choice.
+    pub spine_choice: usize,
+}
+
+/// Draw `n` uniformly random distinct-endpoint paths among `hosts`.
+pub fn random_pairs(hosts: &[NodeId], n: usize, seed: u64) -> Vec<PathSpec> {
+    assert!(hosts.len() >= 2, "need at least two hosts");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let src = *hosts.choose(&mut rng).expect("non-empty");
+            let dst = loop {
+                let d = *hosts.choose(&mut rng).expect("non-empty");
+                if d != src {
+                    break d;
+                }
+            };
+            PathSpec {
+                src,
+                dst,
+                spine_choice: rng.gen_range(0..64),
+            }
+        })
+        .collect()
+}
+
+/// The permutation traffic pattern of the resource-pooling experiment: the
+/// first half of the hosts each send to a distinct host in the second half.
+pub fn permutation_pairs(topo: &Topology, seed: u64) -> Vec<PathSpec> {
+    let hosts = topo.hosts();
+    assert!(hosts.len() >= 2 && hosts.len() % 2 == 0, "need an even host count");
+    let half = hosts.len() / 2;
+    let mut receivers: Vec<NodeId> = hosts[half..].to_vec();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    receivers.shuffle(&mut rng);
+    hosts[..half]
+        .iter()
+        .zip(receivers)
+        .map(|(&src, dst)| PathSpec {
+            src,
+            dst,
+            spine_choice: rng.gen_range(0..64),
+        })
+        .collect()
+}
+
+/// What one semi-dynamic network event does to a set of paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Start new flows on the listed paths.
+    Start,
+    /// Stop the active flows on the listed paths.
+    Stop,
+}
+
+/// One network event: start or stop flows on `paths` (indices into the
+/// scenario's path list).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkEvent {
+    /// Whether flows start or stop.
+    pub kind: EventKind,
+    /// Indices into [`SemiDynamicScenario::paths`].
+    pub paths: Vec<usize>,
+}
+
+/// The §6.1 semi-dynamic convergence scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SemiDynamicScenario {
+    /// The candidate paths (1000 random pairs in the paper).
+    pub paths: Vec<PathSpec>,
+    /// The set of path indices active before the first event.
+    pub initial_active: Vec<usize>,
+    /// The sequence of network events.
+    pub events: Vec<NetworkEvent>,
+}
+
+/// Parameters of the semi-dynamic scenario generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SemiDynamicConfig {
+    /// Number of candidate paths (1000 in the paper).
+    pub num_paths: usize,
+    /// Flows started or stopped per event (100 in the paper).
+    pub flows_per_event: usize,
+    /// Number of events to generate (100 in the paper).
+    pub num_events: usize,
+    /// Lower bound on concurrently active flows (300 in the paper).
+    pub min_active: usize,
+    /// Upper bound on concurrently active flows (500 in the paper).
+    pub max_active: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SemiDynamicConfig {
+    /// The paper's parameters: 1000 paths, 100 flows per event, 100 events,
+    /// 300–500 active flows.
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            num_paths: 1000,
+            flows_per_event: 100,
+            num_events: 100,
+            min_active: 300,
+            max_active: 500,
+            seed,
+        }
+    }
+
+    /// A scaled-down version with the same structure (for tests and the
+    /// default bench runs).
+    pub fn scaled(num_paths: usize, flows_per_event: usize, num_events: usize, seed: u64) -> Self {
+        Self {
+            num_paths,
+            flows_per_event,
+            num_events,
+            min_active: 3 * flows_per_event,
+            max_active: 5 * flows_per_event,
+            seed,
+        }
+    }
+}
+
+impl SemiDynamicScenario {
+    /// Generate the scenario on a topology.
+    ///
+    /// The initial active set has `(min_active + max_active) / 2` flows; each
+    /// event starts flows when the active count is at or below the midpoint
+    /// and stops flows otherwise, which keeps the count inside
+    /// `[min_active, max_active]` exactly as in the paper's setup.
+    pub fn generate(topo: &Topology, config: &SemiDynamicConfig) -> Self {
+        assert!(config.flows_per_event > 0 && config.num_paths > config.max_active);
+        let paths = random_pairs(topo.hosts(), config.num_paths, config.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5eed_0123);
+
+        let midpoint = (config.min_active + config.max_active) / 2;
+        let mut active: Vec<bool> = vec![false; config.num_paths];
+        let mut order: Vec<usize> = (0..config.num_paths).collect();
+        order.shuffle(&mut rng);
+        let initial_active: Vec<usize> = order[..midpoint].to_vec();
+        for &i in &initial_active {
+            active[i] = true;
+        }
+        let mut active_count = initial_active.len();
+
+        let mut events = Vec::with_capacity(config.num_events);
+        for _ in 0..config.num_events {
+            let kind = if active_count <= midpoint {
+                EventKind::Start
+            } else {
+                EventKind::Stop
+            };
+            let candidates: Vec<usize> = (0..config.num_paths)
+                .filter(|&i| match kind {
+                    EventKind::Start => !active[i],
+                    EventKind::Stop => active[i],
+                })
+                .collect();
+            let chosen: Vec<usize> = candidates
+                .choose_multiple(&mut rng, config.flows_per_event)
+                .copied()
+                .collect();
+            for &i in &chosen {
+                active[i] = kind == EventKind::Start;
+            }
+            match kind {
+                EventKind::Start => active_count += chosen.len(),
+                EventKind::Stop => active_count -= chosen.len(),
+            }
+            events.push(NetworkEvent { kind, paths: chosen });
+        }
+        Self {
+            paths,
+            initial_active,
+            events,
+        }
+    }
+
+    /// The number of active flows after applying the first `k` events.
+    pub fn active_after(&self, k: usize) -> usize {
+        let mut active: std::collections::HashSet<usize> =
+            self.initial_active.iter().copied().collect();
+        for event in self.events.iter().take(k) {
+            for &p in &event.paths {
+                match event.kind {
+                    EventKind::Start => {
+                        active.insert(p);
+                    }
+                    EventKind::Stop => {
+                        active.remove(&p);
+                    }
+                }
+            }
+        }
+        active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numfabric_sim::topology::LeafSpineConfig;
+
+    fn topo() -> Topology {
+        Topology::leaf_spine(&LeafSpineConfig::small(32, 4, 2))
+    }
+
+    #[test]
+    fn random_pairs_have_distinct_endpoints_and_are_reproducible() {
+        let topo = topo();
+        let a = random_pairs(topo.hosts(), 50, 9);
+        let b = random_pairs(topo.hosts(), 50, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| p.src != p.dst));
+        let c = random_pairs(topo.hosts(), 50, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection_between_halves() {
+        let topo = topo();
+        let pairs = permutation_pairs(&topo, 4);
+        let hosts = topo.hosts();
+        assert_eq!(pairs.len(), 16);
+        // Sources are exactly the first half.
+        let srcs: Vec<_> = pairs.iter().map(|p| p.src).collect();
+        assert_eq!(srcs, hosts[..16].to_vec());
+        // Destinations are a permutation of the second half (no repeats).
+        let mut dsts: Vec<_> = pairs.iter().map(|p| p.dst).collect();
+        dsts.sort_unstable();
+        let mut expected = hosts[16..].to_vec();
+        expected.sort_unstable();
+        assert_eq!(dsts, expected);
+    }
+
+    #[test]
+    fn semi_dynamic_keeps_active_count_in_bounds() {
+        let topo = topo();
+        let cfg = SemiDynamicConfig::scaled(120, 10, 40, 77);
+        let scenario = SemiDynamicScenario::generate(&topo, &cfg);
+        assert_eq!(scenario.events.len(), 40);
+        for k in 0..=40 {
+            let active = scenario.active_after(k);
+            assert!(
+                active >= cfg.min_active - cfg.flows_per_event
+                    && active <= cfg.max_active + cfg.flows_per_event,
+                "after event {k}: {active} active flows"
+            );
+        }
+    }
+
+    #[test]
+    fn semi_dynamic_events_touch_exactly_the_requested_number_of_paths() {
+        let topo = topo();
+        let cfg = SemiDynamicConfig::scaled(200, 15, 20, 3);
+        let scenario = SemiDynamicScenario::generate(&topo, &cfg);
+        for e in &scenario.events {
+            assert_eq!(e.paths.len(), 15);
+            // No duplicates within an event.
+            let unique: std::collections::HashSet<_> = e.paths.iter().collect();
+            assert_eq!(unique.len(), 15);
+        }
+    }
+
+    #[test]
+    fn semi_dynamic_is_reproducible() {
+        let topo = topo();
+        let cfg = SemiDynamicConfig::scaled(100, 10, 10, 5);
+        let a = SemiDynamicScenario::generate(&topo, &cfg);
+        let b = SemiDynamicScenario::generate(&topo, &cfg);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.initial_active, b.initial_active);
+    }
+
+    #[test]
+    fn paper_default_matches_published_scale() {
+        let cfg = SemiDynamicConfig::paper_default(1);
+        assert_eq!(cfg.num_paths, 1000);
+        assert_eq!(cfg.flows_per_event, 100);
+        assert_eq!(cfg.num_events, 100);
+        assert_eq!((cfg.min_active, cfg.max_active), (300, 500));
+    }
+}
