@@ -144,9 +144,8 @@ impl FlowAgent for DctcpAgent {
                 // Use the running α for the cut; the canonical algorithm cuts
                 // at window boundaries but per-mark cuts with the smoothed α
                 // behave equivalently at this level of abstraction.
-                self.cwnd_bytes =
-                    (self.cwnd_bytes * (1.0 - self.alpha.max(1.0 / 16.0) / 2.0))
-                        .max(MTU_BYTES as f64);
+                self.cwnd_bytes = (self.cwnd_bytes * (1.0 - self.alpha.max(1.0 / 16.0) / 2.0))
+                    .max(MTU_BYTES as f64);
                 self.ssthresh_bytes = self.cwnd_bytes;
                 self.cut_this_window = true;
             }
@@ -158,7 +157,7 @@ impl FlowAgent for DctcpAgent {
             self.cwnd_bytes +=
                 (DEFAULT_PAYLOAD_BYTES as f64 * DEFAULT_PAYLOAD_BYTES as f64) / self.cwnd_bytes;
         }
-        if packet.header.ack_bytes >= self.window_end_seq.min(u64::MAX) {
+        if packet.header.ack_bytes >= self.window_end_seq {
             self.end_of_window_update();
         }
         self.send_available(ctx);
@@ -193,10 +192,24 @@ mod tests {
         let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
         let mut net = dctcp_network(topo, &DctcpConfig::default());
         let hosts: Vec<_> = net.topology().hosts().to_vec();
-        let f0 = net.add_flow(hosts[0], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(DctcpAgent::new(DctcpConfig::default())));
-        let f1 = net.add_flow(hosts[1], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(DctcpAgent::new(DctcpConfig::default())));
+        let f0 = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(DctcpAgent::new(DctcpConfig::default())),
+        );
+        let f1 = net.add_flow(
+            hosts[1],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(DctcpAgent::new(DctcpConfig::default())),
+        );
         // Long-run average over several milliseconds.
         let mut sum0 = 0.0;
         let mut sum1 = 0.0;
@@ -213,7 +226,10 @@ mod tests {
         let avg1 = sum1 / samples as f64;
         let total = avg0 + avg1;
         assert!(total > 7e9, "severely underutilized: {total:.3e}");
-        assert!((avg0 - avg1).abs() / total < 0.35, "{avg0:.3e} vs {avg1:.3e}");
+        assert!(
+            (avg0 - avg1).abs() / total < 0.35,
+            "{avg0:.3e} vs {avg1:.3e}"
+        );
     }
 
     #[test]
@@ -222,10 +238,24 @@ mod tests {
         let cfg = DctcpConfig::default();
         let mut net = dctcp_network(topo, &cfg);
         let hosts: Vec<_> = net.topology().hosts().to_vec();
-        let _ = net.add_flow(hosts[0], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(DctcpAgent::new(cfg.clone())));
-        let _ = net.add_flow(hosts[1], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(DctcpAgent::new(cfg.clone())));
+        let _ = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(DctcpAgent::new(cfg.clone())),
+        );
+        let _ = net.add_flow(
+            hosts[1],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(DctcpAgent::new(cfg.clone())),
+        );
         net.run_until(SimTime::from_millis(10));
         let topo = net.topology().clone();
         let hosts: Vec<_> = topo.hosts().to_vec();
@@ -242,8 +272,15 @@ mod tests {
         let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
         let mut net = dctcp_network(topo, &DctcpConfig::default());
         let hosts: Vec<_> = net.topology().hosts().to_vec();
-        let flow = net.add_flow(hosts[0], hosts[7], Some(1_000_000), SimTime::ZERO, 0, None,
-            Box::new(DctcpAgent::new(DctcpConfig::default())));
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[7],
+            Some(1_000_000),
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(DctcpAgent::new(DctcpConfig::default())),
+        );
         net.run_until(SimTime::from_millis(50));
         assert_eq!(net.flow_phase(flow), FlowPhase::Completed);
     }

@@ -178,8 +178,8 @@ impl DgdAgent {
             self.pacing_scheduled = false;
             return;
         }
-        let under_cap = self.unacked_bytes() + (DEFAULT_PAYLOAD_BYTES as u64)
-            <= self.unacked_cap_bytes;
+        let under_cap =
+            self.unacked_bytes() + (DEFAULT_PAYLOAD_BYTES as u64) <= self.unacked_cap_bytes;
         let payload = match ctx.remaining_bytes() {
             Some(0) => {
                 self.pacing_scheduled = false;
@@ -196,8 +196,7 @@ impl DgdAgent {
         // Schedule the next transmission opportunity at the paced interval
         // regardless of whether this one was capped, so sending resumes as
         // soon as ACKs free up the cap.
-        let interval =
-            SimDuration::transmission((payload + 40) as u64, self.rate_bps.max(1e6));
+        let interval = SimDuration::transmission((payload + 40) as u64, self.rate_bps.max(1e6));
         ctx.set_timer(interval, PACING_TIMER);
         self.pacing_scheduled = true;
     }
@@ -301,10 +300,24 @@ mod tests {
         let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
         let mut net = dgd_network(topo, &DgdConfig::default());
         let hosts: Vec<_> = net.topology().hosts().to_vec();
-        let f0 = net.add_flow(hosts[0], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(DgdAgent::new(DgdConfig::default(), LogUtility::new())));
-        let f1 = net.add_flow(hosts[1], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(DgdAgent::new(DgdConfig::default(), LogUtility::new())));
+        let f0 = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(DgdAgent::new(DgdConfig::default(), LogUtility::new())),
+        );
+        let f1 = net.add_flow(
+            hosts[1],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(DgdAgent::new(DgdConfig::default(), LogUtility::new())),
+        );
         net.run_until(SimTime::from_millis(30));
         let r0 = net.flow_rate_estimate(f0);
         let r1 = net.flow_rate_estimate(f1);
@@ -322,8 +335,15 @@ mod tests {
         let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
         let mut net = dgd_network(topo, &DgdConfig::default());
         let hosts: Vec<_> = net.topology().hosts().to_vec();
-        let flow = net.add_flow(hosts[0], hosts[7], Some(500_000), SimTime::ZERO, 0, None,
-            Box::new(DgdAgent::new(DgdConfig::default(), LogUtility::new())));
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[7],
+            Some(500_000),
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(DgdAgent::new(DgdConfig::default(), LogUtility::new())),
+        );
         net.run_until(SimTime::from_millis(60));
         assert_eq!(net.flow_phase(flow), FlowPhase::Completed);
     }
@@ -339,8 +359,15 @@ mod tests {
         };
         let mut net = dgd_network(topo, &cfg);
         let hosts: Vec<_> = net.topology().hosts().to_vec();
-        let flow = net.add_flow(hosts[0], hosts[7], None, SimTime::ZERO, 0, None,
-            Box::new(DgdAgent::new(cfg.clone(), LogUtility::new())));
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[7],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(DgdAgent::new(cfg.clone(), LogUtility::new())),
+        );
         // Run for only half an RTT: nothing has been acknowledged yet, so no
         // more than 2×BDP ≈ 40 kB may have been sent.
         net.run_until(SimTime::from_micros(8));

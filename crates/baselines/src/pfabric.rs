@@ -207,11 +207,25 @@ mod tests {
         let mut net = small_pfabric();
         let hosts: Vec<_> = net.topology().hosts().to_vec();
         // A long flow keeps the bottleneck busy…
-        let long = net.add_flow(hosts[0], hosts[4], Some(10_000_000), SimTime::ZERO, 0, None,
-            Box::new(PfabricAgent::new(PfabricConfig::default())));
+        let long = net.add_flow(
+            hosts[0],
+            hosts[4],
+            Some(10_000_000),
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(PfabricAgent::new(PfabricConfig::default())),
+        );
         // …and a short flow arrives 1 ms later.
-        let short = net.add_flow(hosts[1], hosts[4], Some(30_000), SimTime::from_millis(1), 0, None,
-            Box::new(PfabricAgent::new(PfabricConfig::default())));
+        let short = net.add_flow(
+            hosts[1],
+            hosts[4],
+            Some(30_000),
+            SimTime::from_millis(1),
+            0,
+            None,
+            Box::new(PfabricAgent::new(PfabricConfig::default())),
+        );
         net.run_until(SimTime::from_millis(30));
         assert_eq!(net.flow_phase(short), FlowPhase::Completed);
         let short_fct = net.flow_stats(short).fct().unwrap();
@@ -230,19 +244,50 @@ mod tests {
         let mut net = small_pfabric();
         let hosts: Vec<_> = net.topology().hosts().to_vec();
         // Three flows to the same destination, started together.
-        let small = net.add_flow(hosts[0], hosts[4], Some(50_000), SimTime::ZERO, 0, None,
-            Box::new(PfabricAgent::new(PfabricConfig::default())));
-        let medium = net.add_flow(hosts[1], hosts[4], Some(500_000), SimTime::ZERO, 0, None,
-            Box::new(PfabricAgent::new(PfabricConfig::default())));
-        let large = net.add_flow(hosts[2], hosts[4], Some(2_000_000), SimTime::ZERO, 0, None,
-            Box::new(PfabricAgent::new(PfabricConfig::default())));
+        let small = net.add_flow(
+            hosts[0],
+            hosts[4],
+            Some(50_000),
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(PfabricAgent::new(PfabricConfig::default())),
+        );
+        let medium = net.add_flow(
+            hosts[1],
+            hosts[4],
+            Some(500_000),
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(PfabricAgent::new(PfabricConfig::default())),
+        );
+        let large = net.add_flow(
+            hosts[2],
+            hosts[4],
+            Some(2_000_000),
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(PfabricAgent::new(PfabricConfig::default())),
+        );
         net.run_until(SimTime::from_millis(30));
         let fct = |f| net.flow_stats(f).fct().unwrap();
         assert_eq!(net.flow_phase(small), FlowPhase::Completed);
         assert_eq!(net.flow_phase(medium), FlowPhase::Completed);
         assert_eq!(net.flow_phase(large), FlowPhase::Completed);
-        assert!(fct(small) < fct(medium), "{} vs {}", fct(small), fct(medium));
-        assert!(fct(medium) < fct(large), "{} vs {}", fct(medium), fct(large));
+        assert!(
+            fct(small) < fct(medium),
+            "{} vs {}",
+            fct(small),
+            fct(medium)
+        );
+        assert!(
+            fct(medium) < fct(large),
+            "{} vs {}",
+            fct(medium),
+            fct(large)
+        );
     }
 
     #[test]
@@ -253,17 +298,31 @@ mod tests {
         // buffers, forcing drops; every flow must still complete.
         let flows: Vec<_> = (0..4)
             .map(|i| {
-                net.add_flow(hosts[i], hosts[4], Some(400_000), SimTime::ZERO, i, None,
-                    Box::new(PfabricAgent::new(PfabricConfig::default())))
+                net.add_flow(
+                    hosts[i],
+                    hosts[4],
+                    Some(400_000),
+                    SimTime::ZERO,
+                    i,
+                    None,
+                    Box::new(PfabricAgent::new(PfabricConfig::default())),
+                )
             })
             .collect();
         net.run_until(SimTime::from_millis(50));
         let total_drops: u64 = (0..net.num_links())
             .map(|l| net.link_stats(l).packets_dropped)
             .sum();
-        assert!(total_drops > 0, "expected drops with shallow pFabric buffers");
+        assert!(
+            total_drops > 0,
+            "expected drops with shallow pFabric buffers"
+        );
         for f in flows {
-            assert_eq!(net.flow_phase(f), FlowPhase::Completed, "flow {f} did not finish");
+            assert_eq!(
+                net.flow_phase(f),
+                FlowPhase::Completed,
+                "flow {f} did not finish"
+            );
         }
     }
 

@@ -113,8 +113,7 @@ impl RcpStarController {
         let q_gbps = queue_bytes as f64 * 8.0 / d / 1e9;
         let factor =
             1.0 + (t / d) * (self.config.a * (c_gbps - y_gbps) - self.config.b * q_gbps) / c_gbps;
-        self.share_gbps = (self.share_gbps * factor.clamp(0.5, 2.0))
-            .clamp(1e-4, 10.0 * c_gbps);
+        self.share_gbps = (self.share_gbps * factor.clamp(0.5, 2.0)).clamp(1e-4, 10.0 * c_gbps);
         self.bytes_serviced = 0;
     }
 }
@@ -204,8 +203,7 @@ impl RcpStarAgent {
             ctx.send_data(seq, payload, |_| {});
             self.next_seq += payload as u64;
         }
-        let interval =
-            SimDuration::transmission((payload + 40) as u64, self.rate_bps.max(1e6));
+        let interval = SimDuration::transmission((payload + 40) as u64, self.rate_bps.max(1e6));
         ctx.set_timer(interval, PACING_TIMER);
         self.pacing_scheduled = true;
     }
@@ -313,10 +311,24 @@ mod tests {
         let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
         let mut net = rcp_star_network(topo, &RcpStarConfig::default());
         let hosts: Vec<_> = net.topology().hosts().to_vec();
-        let f0 = net.add_flow(hosts[0], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(RcpStarAgent::new(RcpStarConfig::default())));
-        let f1 = net.add_flow(hosts[1], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(RcpStarAgent::new(RcpStarConfig::default())));
+        let f0 = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(RcpStarAgent::new(RcpStarConfig::default())),
+        );
+        let f1 = net.add_flow(
+            hosts[1],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(RcpStarAgent::new(RcpStarConfig::default())),
+        );
         net.run_until(SimTime::from_millis(30));
         let r0 = net.flow_rate_estimate(f0);
         let r1 = net.flow_rate_estimate(f1);
@@ -334,8 +346,15 @@ mod tests {
         let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
         let mut net = rcp_star_network(topo, &RcpStarConfig::default());
         let hosts: Vec<_> = net.topology().hosts().to_vec();
-        let flow = net.add_flow(hosts[0], hosts[7], Some(500_000), SimTime::ZERO, 0, None,
-            Box::new(RcpStarAgent::new(RcpStarConfig::default())));
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[7],
+            Some(500_000),
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(RcpStarAgent::new(RcpStarConfig::default())),
+        );
         net.run_until(SimTime::from_millis(60));
         assert_eq!(net.flow_phase(flow), FlowPhase::Completed);
     }

@@ -28,10 +28,27 @@ fn run_two_flow(config: &NumFabricConfig, use_stfq: bool) -> (f64, f64) {
     };
     install_numfabric(&mut net, config);
     let hosts: Vec<_> = net.topology().hosts().to_vec();
-    let f0 = net.add_flow(hosts[0], hosts[4], None, SimTime::ZERO, 0, None,
-        Box::new(NumFabricAgent::new(config.clone(), LogUtility::weighted(3.0))));
-    let f1 = net.add_flow(hosts[1], hosts[4], None, SimTime::ZERO, 0, None,
-        Box::new(NumFabricAgent::new(config.clone(), LogUtility::new())));
+    let f0 = net.add_flow(
+        hosts[0],
+        hosts[4],
+        None,
+        SimTime::ZERO,
+        0,
+        None,
+        Box::new(NumFabricAgent::new(
+            config.clone(),
+            LogUtility::weighted(3.0),
+        )),
+    );
+    let f1 = net.add_flow(
+        hosts[1],
+        hosts[4],
+        None,
+        SimTime::ZERO,
+        0,
+        None,
+        Box::new(NumFabricAgent::new(config.clone(), LogUtility::new())),
+    );
     net.run_until(SimTime::from_millis(3));
     (net.flow_rate_estimate(f0), net.flow_rate_estimate(f1))
 }

@@ -62,10 +62,24 @@ fn bench_packet_reconvergence(c: &mut Criterion) {
             let cfg = NumFabricConfig::default();
             let mut net = numfabric_network(topo, &cfg);
             let hosts: Vec<_> = net.topology().hosts().to_vec();
-            let f0 = net.add_flow(hosts[0], hosts[4], None, SimTime::ZERO, 0, None,
-                Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())));
-            let f1 = net.add_flow(hosts[1], hosts[4], None, SimTime::from_millis(2), 0, None,
-                Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())));
+            let f0 = net.add_flow(
+                hosts[0],
+                hosts[4],
+                None,
+                SimTime::ZERO,
+                0,
+                None,
+                Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())),
+            );
+            let f1 = net.add_flow(
+                hosts[1],
+                hosts[4],
+                None,
+                SimTime::from_millis(2),
+                0,
+                None,
+                Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())),
+            );
             net.run_until(SimTime::from_millis(4));
             black_box((net.flow_rate_estimate(f0), net.flow_rate_estimate(f1)))
         })

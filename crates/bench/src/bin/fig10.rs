@@ -47,26 +47,42 @@ fn main() {
     let handles1 = AggregateState::create(2);
     let u1 = || BandwidthFunctionUtility::new(BandwidthFunction::paper_flow1());
     let f1a = net.add_flow_on_route(
-        src1, dst1, topo.route_via(&[src1, sw1, dst1]),
-        None, SimTime::ZERO, Some(1),
+        src1,
+        dst1,
+        topo.route_via(&[src1, sw1, dst1]),
+        None,
+        SimTime::ZERO,
+        Some(1),
         Box::new(NumFabricAgent::new(config.clone(), u1()).with_aggregate(handles1[0].clone())),
     );
     let f1b = net.add_flow_on_route(
-        src1, dst1, topo.route_via(&[src1, sw1, sw_mid_in, sw_mid_out, dst1]),
-        None, SimTime::ZERO, Some(1),
+        src1,
+        dst1,
+        topo.route_via(&[src1, sw1, sw_mid_in, sw_mid_out, dst1]),
+        None,
+        SimTime::ZERO,
+        Some(1),
         Box::new(NumFabricAgent::new(config.clone(), u1()).with_aggregate(handles1[1].clone())),
     );
     // Flow 2: aggregate over {bottom path, middle path} with bandwidth function 2.
     let handles2 = AggregateState::create(2);
     let u2 = || BandwidthFunctionUtility::new(BandwidthFunction::paper_flow2());
     let f2a = net.add_flow_on_route(
-        src2, dst2, topo.route_via(&[src2, sw2, dst2]),
-        None, SimTime::ZERO, Some(2),
+        src2,
+        dst2,
+        topo.route_via(&[src2, sw2, dst2]),
+        None,
+        SimTime::ZERO,
+        Some(2),
         Box::new(NumFabricAgent::new(config.clone(), u2()).with_aggregate(handles2[0].clone())),
     );
     let f2b = net.add_flow_on_route(
-        src2, dst2, topo.route_via(&[src2, sw2, sw_mid_in, sw_mid_out, dst2]),
-        None, SimTime::ZERO, Some(2),
+        src2,
+        dst2,
+        topo.route_via(&[src2, sw2, sw_mid_in, sw_mid_out, dst2]),
+        None,
+        SimTime::ZERO,
+        Some(2),
         Box::new(NumFabricAgent::new(config.clone(), u2()).with_aggregate(handles2[1].clone())),
     );
 
@@ -77,7 +93,7 @@ fn main() {
     let mut t = SimTime::ZERO;
     let mut switched = false;
     while t < end {
-        t = t + SimDuration::from_micros(200);
+        t += SimDuration::from_micros(200);
         if !switched && t >= switch_at {
             net.set_link_capacity(mid_fwd, 17e9);
             switched = true;
@@ -86,7 +102,12 @@ fn main() {
         net.run_until(t);
         let flow1 = (net.flow_rate_estimate(f1a) + net.flow_rate_estimate(f1b)) / 1e9;
         let flow2 = (net.flow_rate_estimate(f2a) + net.flow_rate_estimate(f2b)) / 1e9;
-        println!("  {:7.2}   {:10.2}   {:10.2}", t.as_secs_f64() * 1e3, flow1, flow2);
+        println!(
+            "  {:7.2}   {:10.2}   {:10.2}",
+            t.as_secs_f64() * 1e3,
+            flow1,
+            flow2
+        );
     }
     println!(
         "\nExpected shape (paper): ~(10, 3) Gbps while the middle link is 5 Gbps (flow 1 gets the\n\

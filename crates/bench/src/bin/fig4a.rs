@@ -14,9 +14,7 @@
 
 use numfabric_bench::report::{mean, percentile, print_cdf, print_table, times_ms};
 use numfabric_bench::{run_semi_dynamic, Protocol, SemiDynamicRun};
-use numfabric_num::fluid::{
-    iterations_to_oracle, DgdFluid, RcpStarFluid, XwiFluid,
-};
+use numfabric_num::fluid::{iterations_to_oracle, DgdFluid, RcpStarFluid, XwiFluid};
 use numfabric_num::utility::LogUtility;
 use numfabric_num::{FluidFlow, FluidNetwork, Oracle};
 use rand::{Rng, SeedableRng};

@@ -7,9 +7,9 @@
 //! cargo run --release -p numfabric-bench --bin fig5 [-- --workload websearch|enterprise] [--load 0.6] [--full]
 //! ```
 
-use numfabric_bench::report::{quartiles, print_table, FIG5_BIN_LABELS};
-use numfabric_bench::{generate_arrivals, run_dynamic, DynamicRun, Objective, Protocol};
 use numfabric_bench::dynamic::bdp_bytes;
+use numfabric_bench::report::{print_table, quartiles, FIG5_BIN_LABELS};
+use numfabric_bench::{generate_arrivals, run_dynamic, DynamicRun, Objective, Protocol};
 use numfabric_sim::topology::LeafSpineConfig;
 use numfabric_sim::SimDuration;
 use numfabric_workloads::distributions::{EmpiricalCdf, FlowSizeDistribution};
@@ -23,7 +23,9 @@ fn arg_value(name: &str) -> Option<String> {
 
 fn main() {
     let workload = arg_value("--workload").unwrap_or_else(|| "websearch".into());
-    let load: f64 = arg_value("--load").and_then(|v| v.parse().ok()).unwrap_or(0.6);
+    let load: f64 = arg_value("--load")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.6);
     let full = std::env::args().any(|a| a == "--full");
 
     let dist: Box<dyn FlowSizeDistribution> = match workload.as_str() {

@@ -20,7 +20,9 @@ fn arg_value(name: &str) -> Option<String> {
 }
 
 fn events() -> usize {
-    arg_value("--events").and_then(|v| v.parse().ok()).unwrap_or(5)
+    arg_value("--events")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
 }
 
 fn median_convergence(config: NumFabricConfig, alpha: f64, seed: u64) -> (String, String) {
@@ -52,12 +54,19 @@ fn sweep_interval() {
     println!("Figure 6b: sensitivity to the xWI price update interval\n");
     let mut rows = Vec::new();
     for us in [30u64, 60, 90, 128] {
-        let cfg = NumFabricConfig::default()
-            .with_price_update_interval(SimDuration::from_micros(us));
+        let cfg =
+            NumFabricConfig::default().with_price_update_interval(SimDuration::from_micros(us));
         let (median, converged) = median_convergence(cfg, 1.0, 12);
         rows.push(vec![format!("{us} us"), median, converged]);
     }
-    print_table(&["price update interval", "median convergence", "events converged"], &rows);
+    print_table(
+        &[
+            "price update interval",
+            "median convergence",
+            "events converged",
+        ],
+        &rows,
+    );
     println!();
 }
 
@@ -76,7 +85,13 @@ fn sweep_alpha() {
         ]);
     }
     print_table(
-        &["alpha", "1x median", "1x converged", "2x median", "2x converged"],
+        &[
+            "alpha",
+            "1x median",
+            "1x converged",
+            "2x median",
+            "2x converged",
+        ],
         &rows,
     );
     println!(

@@ -35,7 +35,10 @@ fn main() {
         let run = DynamicRun::reduced(load, 31);
         let arrivals = generate_arrivals(&run, &dist);
 
-        let mut cells = vec![format!("{:.0}%", load * 100.0), format!("{}", arrivals.len())];
+        let mut cells = vec![
+            format!("{:.0}%", load * 100.0),
+            format!("{}", arrivals.len()),
+        ];
         let mut means = Vec::new();
         for protocol in [
             Protocol::NumFabric(nf_config.clone()),

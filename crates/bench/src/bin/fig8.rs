@@ -27,7 +27,12 @@ fn arg_flag(name: &str) -> bool {
 
 /// Run the permutation workload with `subflows` subflows per pair. Returns
 /// per-pair aggregate throughputs in bits per second.
-fn run_permutation(topo_cfg: &LeafSpineConfig, subflows: usize, pooling: bool, seed: u64) -> Vec<f64> {
+fn run_permutation(
+    topo_cfg: &LeafSpineConfig,
+    subflows: usize,
+    pooling: bool,
+    seed: u64,
+) -> Vec<f64> {
     let topo = Topology::leaf_spine(topo_cfg);
     let pairs = permutation_pairs(&topo, seed);
     let config = NumFabricConfig::default();
@@ -104,7 +109,10 @@ fn main() {
         rows.push(vec![
             format!("{k}"),
             format!("{:.1}%", pooled.iter().sum::<f64>() / optimal_total * 100.0),
-            format!("{:.1}%", unpooled.iter().sum::<f64>() / optimal_total * 100.0),
+            format!(
+                "{:.1}%",
+                unpooled.iter().sum::<f64>() / optimal_total * 100.0
+            ),
         ]);
     }
     print_table(
@@ -130,7 +138,13 @@ fn main() {
         .iter()
         .zip(&ranked_unpooled)
         .enumerate()
-        .map(|(rank, (p, u))| vec![format!("{}", rank + 1), format!("{p:.1}%"), format!("{u:.1}%")])
+        .map(|(rank, (p, u))| {
+            vec![
+                format!("{}", rank + 1),
+                format!("{p:.1}%"),
+                format!("{u:.1}%"),
+            ]
+        })
         .collect();
     print_table(&["rank", "resource pooling", "no resource pooling"], &rows);
     println!(

@@ -147,9 +147,8 @@ pub fn run_dynamic(
     net.run_until(SimTime::ZERO + run.arrival_window + run.drain);
 
     // Oracle reference (fluid) and empty-network bounds.
-    let ideal = IdealFluidSimulator::new(&topo).run(arrivals, |a| {
-        objective.utility_for(a.size_bytes)
-    });
+    let ideal =
+        IdealFluidSimulator::new(&topo).run(arrivals, |a| objective.utility_for(a.size_bytes));
 
     arrivals
         .iter()

@@ -1,0 +1,103 @@
+//! Offline API-compatible shim for the `rand_chacha` crate.
+//!
+//! Exposes [`ChaCha8Rng`] with the `SeedableRng`/`RngCore` interface the
+//! workspace uses. The core is xoshiro256++ (seeded via SplitMix64), not
+//! the real ChaCha8 stream cipher — deterministic and statistically solid,
+//! which is all the simulator's seeded-workload contract requires. See
+//! `crates/compat/README.md`.
+
+#![deny(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seedable PRNG standing in for ChaCha8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    s: [u64; 4],
+}
+
+impl ChaCha8Rng {
+    fn step(&mut self) -> u64 {
+        // xoshiro256++
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s.iter().all(|&w| w == 0) {
+            // xoshiro must not start from the all-zero state.
+            let mut sm = 0x9E37_79B9_7F4A_7C15u64;
+            for w in s.iter_mut() {
+                *w = rand::splitmix64(&mut sm);
+            }
+        }
+        ChaCha8Rng { s }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(1234);
+        let mut b = ChaCha8Rng::seed_from_u64(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn zero_seed_not_stuck() {
+        let mut rng = ChaCha8Rng::from_seed([0u8; 32]);
+        let v: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert!(v.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn unit_floats_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline no-op shim for serde's derive macros.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` to mark
+//! config/report types as serializable — nothing actually serializes them
+//! yet. These derives expand to nothing, so the attribute compiles while
+//! keeping the annotation in place for when a real serde becomes
+//! available. See `crates/compat/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -135,8 +135,8 @@ mod tests {
     #[test]
     fn bdp_initial_window_matches_arithmetic() {
         // 10 Gbps × 16 µs = 160 kb = 20 kB.
-        let c = NumFabricConfig::default()
-            .with_bdp_initial_window(10e9, SimDuration::from_micros(16));
+        let c =
+            NumFabricConfig::default().with_bdp_initial_window(10e9, SimDuration::from_micros(16));
         assert_eq!(c.initial_window_bytes, Some(20_000));
     }
 

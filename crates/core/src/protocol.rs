@@ -179,7 +179,9 @@ impl NumFabricAgent {
                 .unwrap_or(1.0);
             // One BDP at the demand cap (no probing slack: a saturated flow
             // has nothing to gain from pushing past its cap).
-            let cap = w.bdp_bytes(cap_gbps * 1e9 * share.min(1.0)).max(MTU_BYTES as u64);
+            let cap = w
+                .bdp_bytes(cap_gbps * 1e9 * share.min(1.0))
+                .max(MTU_BYTES as u64);
             window = window.min(cap);
         }
         window
@@ -402,12 +404,33 @@ mod tests {
         // C: host0's rack-mate host2 -> host4... To build a true parking lot
         // we instead share the *source* NIC: A and B share host0's NIC by
         // both originating at host0; C shares A's destination NIC at host5.
-        let fa = net.add_flow(hosts[0], hosts[5], None, SimTime::ZERO, 0, None,
-            Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())));
-        let fb = net.add_flow(hosts[0], hosts[6], None, SimTime::ZERO, 1, None,
-            Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())));
-        let fc = net.add_flow(hosts[1], hosts[5], None, SimTime::ZERO, 2, None,
-            Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())));
+        let fa = net.add_flow(
+            hosts[0],
+            hosts[5],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())),
+        );
+        let fb = net.add_flow(
+            hosts[0],
+            hosts[6],
+            None,
+            SimTime::ZERO,
+            1,
+            None,
+            Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())),
+        );
+        let fc = net.add_flow(
+            hosts[1],
+            hosts[5],
+            None,
+            SimTime::ZERO,
+            2,
+            None,
+            Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())),
+        );
         net.run_until(SimTime::from_millis(10));
 
         // Fluid model: link0 = host0 NIC (A, B), link1 = host5 NIC (A, C).
@@ -442,10 +465,27 @@ mod tests {
         let cfg = NumFabricConfig::slowed_down(2.0);
         //
 
-        let small = net.add_flow(hosts[0], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(NumFabricAgent::new(cfg.clone(), FctUtility::new(10_000.0))));
-        let large = net.add_flow(hosts[1], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(NumFabricAgent::new(cfg.clone(), FctUtility::new(10_000_000.0))));
+        let small = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(NumFabricAgent::new(cfg.clone(), FctUtility::new(10_000.0))),
+        );
+        let large = net.add_flow(
+            hosts[1],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(NumFabricAgent::new(
+                cfg.clone(),
+                FctUtility::new(10_000_000.0),
+            )),
+        );
         net.run_until(SimTime::from_millis(10));
         let rs = net.flow_rate_estimate(small);
         let rl = net.flow_rate_estimate(large);
@@ -453,7 +493,11 @@ mod tests {
             rs > 3.0 * rl,
             "the small flow should dominate: small {rs:.2e}, large {rl:.2e}"
         );
-        assert!(rs + rl > 8e9, "bottleneck should stay busy: {:.2e}", rs + rl);
+        assert!(
+            rs + rl > 8e9,
+            "bottleneck should stay busy: {:.2e}",
+            rs + rl
+        );
     }
 
     #[test]
@@ -510,7 +554,9 @@ mod tests {
             stats.queue_packets
         );
         // And nothing was dropped anywhere.
-        let drops: u64 = (0..net.num_links()).map(|l| net.link_stats(l).packets_dropped).sum();
+        let drops: u64 = (0..net.num_links())
+            .map(|l| net.link_stats(l).packets_dropped)
+            .sum();
         assert_eq!(drops, 0);
     }
 
@@ -519,13 +565,30 @@ mod tests {
         let mut net = small_numfabric_net();
         let hosts: Vec<_> = net.topology().hosts().to_vec();
         let cfg = NumFabricConfig::default();
-        let f0 = net.add_flow(hosts[0], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())));
+        let f0 = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())),
+        );
         // Second flow arrives 3 ms in.
-        let f1 = net.add_flow(hosts[1], hosts[4], None, SimTime::from_millis(3), 0, None,
-            Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())));
+        let f1 = net.add_flow(
+            hosts[1],
+            hosts[4],
+            None,
+            SimTime::from_millis(3),
+            0,
+            None,
+            Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())),
+        );
         net.run_until(SimTime::from_millis(2));
-        assert!(net.flow_rate_estimate(f0) > 8.5e9, "single flow should get the whole NIC");
+        assert!(
+            net.flow_rate_estimate(f0) > 8.5e9,
+            "single flow should get the whole NIC"
+        );
         // 2 ms after the arrival both flows should have re-converged to ~5 Gbps.
         net.run_until(SimTime::from_millis(6));
         let r0 = net.flow_rate_estimate(f0);
@@ -545,8 +608,10 @@ mod tests {
             .links()
             .iter()
             .enumerate()
-            .filter(|(_, s)| topo.nodes()[s.from].kind == NodeKind::Spine
-                || topo.nodes()[s.to].kind == NodeKind::Spine)
+            .filter(|(_, s)| {
+                topo.nodes()[s.from].kind == NodeKind::Spine
+                    || topo.nodes()[s.to].kind == NodeKind::Spine
+            })
             .map(|(id, _)| net.link_stats(id).packets_transmitted)
             .sum();
         assert!(spine_carried > 1000);

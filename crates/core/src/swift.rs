@@ -122,8 +122,8 @@ impl SwiftWindow {
     /// never recover upward.
     pub fn window_bytes(&self, rate_bps: f64) -> u64 {
         let bdp = rate_bps.max(0.0) * self.base_rtt.as_secs_f64() / 8.0;
-        let slack = (rate_bps.max(0.0) * self.dt.as_secs_f64() / 8.0)
-            .max(self.min_window_bytes as f64);
+        let slack =
+            (rate_bps.max(0.0) * self.dt.as_secs_f64() / 8.0).max(self.min_window_bytes as f64);
         (bdp + slack).ceil() as u64
     }
 
@@ -146,7 +146,11 @@ mod tests {
         let mut est = SwiftRateEstimator::new(us(20));
         assert!(!est.is_initialized());
         // 1500 bytes spaced 1.2 µs apart = 10 Gbps.
-        est.on_sample(1500, SimDuration::from_nanos(1200), SimTime::from_micros(10));
+        est.on_sample(
+            1500,
+            SimDuration::from_nanos(1200),
+            SimTime::from_micros(10),
+        );
         let r = est.rate_bps().unwrap();
         assert!((r - 10e9).abs() / 10e9 < 1e-9);
     }
@@ -200,21 +204,16 @@ mod tests {
         // At low rates the window is the BDP plus at least two packets of
         // slack — the slack never degenerates to a fraction of a packet.
         let low = win.window_bytes(1e9);
-        assert!(low >= win.bdp_bytes(1e9) + 2 * 1500, "low-rate window {low}");
+        assert!(
+            low >= win.bdp_bytes(1e9) + 2 * 1500,
+            "low-rate window {low}"
+        );
     }
 
     #[test]
     fn larger_dt_gives_larger_window() {
-        let small = SwiftWindow::new(
-            &NumFabricConfig::default().with_dt(us(3)),
-            us(16),
-            1500,
-        );
-        let large = SwiftWindow::new(
-            &NumFabricConfig::default().with_dt(us(24)),
-            us(16),
-            1500,
-        );
+        let small = SwiftWindow::new(&NumFabricConfig::default().with_dt(us(3)), us(16), 1500);
+        let large = SwiftWindow::new(&NumFabricConfig::default().with_dt(us(24)), us(16), 1500);
         assert!(large.window_bytes(10e9) > small.window_bytes(10e9));
     }
 

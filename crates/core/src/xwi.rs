@@ -132,7 +132,12 @@ mod tests {
     }
 
     fn data_packet(residual: f64) -> Packet {
-        let mut p = Packet::data(0, 0, DEFAULT_PAYLOAD_BYTES, Arc::new(Route { links: vec![0] }));
+        let mut p = Packet::data(
+            0,
+            0,
+            DEFAULT_PAYLOAD_BYTES,
+            Arc::new(Route { links: vec![0] }),
+        );
         p.header.normalized_residual = residual;
         p
     }
@@ -155,7 +160,11 @@ mod tests {
         // 10 Gbps × 30 µs = 37.5 kB per interval = 25 MTU packets (full load).
         run_interval(&mut ctrl, 25, 0.4);
         // β = 0.5: price moves halfway toward (0 + 0.4) = 0.4.
-        assert!((ctrl.price() - 0.2).abs() < 1e-9, "price = {}", ctrl.price());
+        assert!(
+            (ctrl.price() - 0.2).abs() < 1e-9,
+            "price = {}",
+            ctrl.price()
+        );
         run_interval(&mut ctrl, 25, 0.4);
         assert!(ctrl.price() > 0.2);
     }

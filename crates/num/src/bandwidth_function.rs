@@ -32,8 +32,12 @@ impl std::fmt::Display for BandwidthFunctionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::TooFewPoints => write!(f, "a bandwidth function needs at least two points"),
-            Self::UnsortedFairShare => write!(f, "fair-share coordinates must be strictly increasing"),
-            Self::DecreasingBandwidth => write!(f, "bandwidth must be non-decreasing in fair share"),
+            Self::UnsortedFairShare => {
+                write!(f, "fair-share coordinates must be strictly increasing")
+            }
+            Self::DecreasingBandwidth => {
+                write!(f, "bandwidth must be non-decreasing in fair share")
+            }
             Self::InvalidCoordinate => write!(f, "coordinates must be finite and non-negative"),
         }
     }
@@ -181,10 +185,7 @@ impl BandwidthFunction {
 ///
 /// If even `f* = +∞` does not fill the link (all functions saturate below
 /// capacity), every flow gets its maximum bandwidth.
-pub fn single_link_allocation(
-    functions: &[BandwidthFunction],
-    capacity: f64,
-) -> (Vec<f64>, f64) {
+pub fn single_link_allocation(functions: &[BandwidthFunction], capacity: f64) -> (Vec<f64>, f64) {
     assert!(capacity >= 0.0, "capacity must be non-negative");
     if functions.is_empty() {
         return (Vec::new(), 0.0);
@@ -209,7 +210,10 @@ pub fn single_link_allocation(
         }
     }
     let f_star = lo;
-    (functions.iter().map(|b| b.bandwidth(f_star)).collect(), f_star)
+    (
+        functions.iter().map(|b| b.bandwidth(f_star)).collect(),
+        f_star,
+    )
 }
 
 /// Network-wide bandwidth-function allocation: max-min over fair shares.
@@ -228,7 +232,11 @@ pub fn network_allocation(
     paths: &[Vec<usize>],
     capacities: &[f64],
 ) -> Vec<f64> {
-    assert_eq!(functions.len(), paths.len(), "one path per bandwidth function");
+    assert_eq!(
+        functions.len(),
+        paths.len(),
+        "one path per bandwidth function"
+    );
     let n = functions.len();
     let m = capacities.len();
     for path in paths {
@@ -398,7 +406,10 @@ mod tests {
     #[test]
     fn paper_figure2_allocation_at_10gbps() {
         // With a 10 Gbps link, flow 1 gets everything (strict priority band).
-        let fs = [BandwidthFunction::paper_flow1(), BandwidthFunction::paper_flow2()];
+        let fs = [
+            BandwidthFunction::paper_flow1(),
+            BandwidthFunction::paper_flow2(),
+        ];
         let (alloc, f) = single_link_allocation(&fs, 10.0);
         assert!(close(alloc[0], 10.0, 1e-6), "{alloc:?}");
         assert!(close(alloc[1], 0.0, 1e-6), "{alloc:?}");
@@ -408,7 +419,10 @@ mod tests {
     #[test]
     fn paper_figure2_allocation_at_25gbps() {
         // With 25 Gbps, the paper's expected split is 15 / 10 at fair share 2.5.
-        let fs = [BandwidthFunction::paper_flow1(), BandwidthFunction::paper_flow2()];
+        let fs = [
+            BandwidthFunction::paper_flow1(),
+            BandwidthFunction::paper_flow2(),
+        ];
         let (alloc, f) = single_link_allocation(&fs, 25.0);
         assert!(close(alloc[0], 15.0, 1e-3), "{alloc:?}");
         assert!(close(alloc[1], 10.0, 1e-3), "{alloc:?}");
@@ -417,7 +431,10 @@ mod tests {
 
     #[test]
     fn single_link_under_subscription_gives_everyone_max() {
-        let fs = [BandwidthFunction::paper_flow1(), BandwidthFunction::paper_flow2()];
+        let fs = [
+            BandwidthFunction::paper_flow1(),
+            BandwidthFunction::paper_flow2(),
+        ];
         let (alloc, _) = single_link_allocation(&fs, 100.0);
         assert!(close(alloc[0], 15.0, 1e-9));
         assert!(close(alloc[1], 10.0, 1e-9));
@@ -425,7 +442,10 @@ mod tests {
 
     #[test]
     fn network_allocation_matches_single_link_when_one_link() {
-        let fs = vec![BandwidthFunction::paper_flow1(), BandwidthFunction::paper_flow2()];
+        let fs = vec![
+            BandwidthFunction::paper_flow1(),
+            BandwidthFunction::paper_flow2(),
+        ];
         let paths = vec![vec![0], vec![0]];
         for cap in [5.0, 10.0, 17.0, 25.0, 35.0] {
             let net = network_allocation(&fs, &paths, &[cap]);
@@ -448,7 +468,10 @@ mod tests {
         // totals: X=5 → (10, 3) is not reachable through a single shared link
         // (flow 1's private 5G link caps it), so we only check feasibility
         // and priority ordering.
-        let fs = vec![BandwidthFunction::paper_flow1(), BandwidthFunction::paper_flow2()];
+        let fs = vec![
+            BandwidthFunction::paper_flow1(),
+            BandwidthFunction::paper_flow2(),
+        ];
         let paths = vec![vec![0, 1], vec![2, 1]];
         let alloc = network_allocation(&fs, &paths, &[5.0, 5.0, 3.0]);
         assert!(alloc[0] <= 5.0 + 1e-6);

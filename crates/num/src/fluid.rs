@@ -81,7 +81,10 @@ pub struct XwiParams {
 
 impl Default for XwiParams {
     fn default() -> Self {
-        Self { eta: 5.0, beta: 0.5 }
+        Self {
+            eta: 5.0,
+            beta: 0.5,
+        }
     }
 }
 
@@ -180,8 +183,7 @@ impl FluidAlgorithm for XwiFluid {
             if flows.is_empty() {
                 // No flows: decay to zero.
                 let res = (self.prices[l] - self.params.eta * self.prices[l]).max(0.0);
-                new_prices[l] =
-                    self.params.beta * self.prices[l] + (1.0 - self.params.beta) * res;
+                new_prices[l] = self.params.beta * self.prices[l] + (1.0 - self.params.beta) * res;
                 continue;
             }
             // Minimum normalized residual over the flows crossing this link.
@@ -195,10 +197,8 @@ impl FluidAlgorithm for XwiFluid {
                 .fold(f64::INFINITY, f64::min);
             let p_res = self.prices[l] + min_res;
             let utilization = (loads[l] / caps[l]).min(1.0);
-            let p_new =
-                (p_res - self.params.eta * (1.0 - utilization) * self.prices[l]).max(0.0);
-            new_prices[l] =
-                self.params.beta * self.prices[l] + (1.0 - self.params.beta) * p_new;
+            let p_new = (p_res - self.params.eta * (1.0 - utilization) * self.prices[l]).max(0.0);
+            new_prices[l] = self.params.beta * self.prices[l] + (1.0 - self.params.beta) * p_new;
         }
         self.prices = new_prices;
         self.rates = rates;
@@ -300,8 +300,7 @@ impl FluidAlgorithm for DgdFluid {
         let loads = net.link_loads(&rates);
         let caps = net.capacities();
         for l in 0..net.num_links() {
-            self.prices[l] =
-                (self.prices[l] + self.params.gamma * (loads[l] - caps[l])).max(0.0);
+            self.prices[l] = (self.prices[l] + self.params.gamma * (loads[l] - caps[l])).max(0.0);
         }
         self.rates = rates;
         self.state()
@@ -448,7 +447,7 @@ mod tests {
     use crate::oracle::Oracle;
     use crate::topology::{FluidFlow, FluidNetwork};
     use crate::utility::{AlphaFair, LogUtility};
-    use rand::{Rng, SeedableRng, seq::SliceRandom};
+    use rand::{seq::SliceRandom, Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
     fn close(a: f64, b: f64, tol: f64) -> bool {
@@ -518,10 +517,18 @@ mod tests {
             }
         }
         // With a fresh start DGD transits through infeasible allocations.
-        assert!(oversubscribed, "DGD never oversubscribed — unexpected for a cold start");
+        assert!(
+            oversubscribed,
+            "DGD never oversubscribed — unexpected for a cold start"
+        );
         let state = dgd.state();
         for (x, t) in state.rates.iter().zip(oracle.rates.iter()) {
-            assert!(close(*x, *t, 0.05), "{:?} vs {:?}", state.rates, oracle.rates);
+            assert!(
+                close(*x, *t, 0.05),
+                "{:?} vs {:?}",
+                state.rates,
+                oracle.rates
+            );
         }
     }
 
@@ -533,7 +540,10 @@ mod tests {
         let oracle = Oracle::new().solve(&net);
         let mut dgd = DgdFluid::new(net, DgdParams { gamma: 50.0 }, 1.0);
         let converged = iterations_to_oracle(&mut dgd, &oracle, 0.01, 2_000);
-        assert!(converged.is_none(), "huge step size should not converge cleanly");
+        assert!(
+            converged.is_none(),
+            "huge step size should not converge cleanly"
+        );
     }
 
     #[test]
@@ -606,27 +616,54 @@ mod tests {
     #[test]
     fn xwi_warm_start_after_flow_churn_is_fast() {
         // After a flow arrival, xWI restarted with the old prices should
-        // converge in noticeably fewer iterations than from a cold start.
-        let mut net = random_network(11, 4, 8);
-        let mut xwi = XwiFluid::with_defaults(net.clone());
-        for _ in 0..500 {
-            xwi.step();
+        // typically converge in fewer iterations than from a cold start.
+        // Individual instances can go either way (the new flow may move the
+        // equilibrium far from the old prices), so the claim is aggregate:
+        // warm starts win a majority of instances and in total iterations.
+        let mut wins = 0usize;
+        let mut total = 0usize;
+        let (mut warm_total, mut cold_total) = (0usize, 0usize);
+        for seed in 0..10u64 {
+            let mut net = random_network(seed, 4, 8);
+            let mut xwi = XwiFluid::with_defaults(net.clone());
+            for _ in 0..500 {
+                xwi.step();
+            }
+            // Add one flow on links 0 and 1.
+            net.add_simple_flow(vec![0, 1], LogUtility::new());
+            let oracle = Oracle::new().solve(&net);
+            if !oracle.converged {
+                continue;
+            }
+
+            let mut warm = xwi.clone();
+            warm.replace_flows(net.clone());
+            let warm_iters = iterations_to_oracle(&mut warm, &oracle, 0.05, 5_000);
+
+            let mut cold = XwiFluid::with_defaults(net.clone());
+            let cold_iters = iterations_to_oracle(&mut cold, &oracle, 0.05, 5_000);
+
+            let (Some(w), Some(c)) = (warm_iters, cold_iters) else {
+                panic!(
+                    "seed {seed}: xWI failed to converge: warm={warm_iters:?} cold={cold_iters:?}"
+                );
+            };
+            total += 1;
+            if w <= c {
+                wins += 1;
+            }
+            warm_total += w;
+            cold_total += c;
         }
-        // Add one flow on links 0 and 1.
-        net.add_simple_flow(vec![0, 1], LogUtility::new());
-        let oracle = Oracle::new().solve(&net);
-
-        let mut warm = xwi.clone();
-        warm.replace_flows(net.clone());
-        let warm_iters = iterations_to_oracle(&mut warm, &oracle, 0.05, 5_000);
-
-        let mut cold = XwiFluid::with_defaults(net.clone());
-        let cold_iters = iterations_to_oracle(&mut cold, &oracle, 0.05, 5_000);
-
-        let (Some(w), Some(c)) = (warm_iters, cold_iters) else {
-            panic!("xWI failed to converge: warm={warm_iters:?} cold={cold_iters:?}");
-        };
-        assert!(w <= c, "warm start ({w}) should not be slower than cold start ({c})");
+        assert!(total >= 8, "oracle failed too often ({total}/10)");
+        assert!(
+            wins * 2 > total,
+            "warm start won only {wins}/{total} instances"
+        );
+        assert!(
+            warm_total < cold_total,
+            "warm starts used {warm_total} total iterations vs {cold_total} cold"
+        );
     }
 
     #[test]

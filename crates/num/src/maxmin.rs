@@ -29,7 +29,10 @@ use crate::EPS;
 pub fn weighted_max_min(net: &FluidNetwork, weights: &[f64]) -> Vec<f64> {
     assert_eq!(weights.len(), net.num_flows(), "one weight per flow");
     for (i, &w) in weights.iter().enumerate() {
-        assert!(w.is_finite() && w > 0.0, "weight of flow {i} must be positive, got {w}");
+        assert!(
+            w.is_finite() && w > 0.0,
+            "weight of flow {i} must be positive, got {w}"
+        );
     }
     let n = net.num_flows();
     let m = net.num_links();
@@ -174,7 +177,7 @@ mod tests {
     use crate::topology::{FluidFlow, FluidNetwork};
     use crate::utility::LogUtility;
     use proptest::prelude::*;
-    use rand::{Rng, SeedableRng, seq::SliceRandom};
+    use rand::{seq::SliceRandom, Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
     fn close(a: f64, b: f64, tol: f64) -> bool {

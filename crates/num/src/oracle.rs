@@ -249,9 +249,8 @@ impl Oracle {
                 .map(|&i| net.path_price(prices, i).max(1e-12))
                 .collect();
             let q_min = qs.iter().cloned().fold(f64::INFINITY, f64::min);
-            let total_at = |mu: f64| -> f64 {
-                qs.iter().map(|&q| regularizer / (q - mu)).sum::<f64>()
-            };
+            let total_at =
+                |mu: f64| -> f64 { qs.iter().map(|&q| regularizer / (q - mu)).sum::<f64>() };
             // f(mu) = U'^{-1}(mu) - ε Σ 1/(q_p - mu): decreasing in mu.
             let f = |mu: f64| utility.inverse_marginal(mu).min(MAX_RATE) - total_at(mu);
             let mut lo = q_min * 1e-12;
@@ -290,7 +289,10 @@ impl Oracle {
         // that link's price changes).
         let mut groups_per_link: Vec<Vec<usize>> = vec![Vec::new(); m];
         for l in 0..m {
-            let mut gs: Vec<usize> = flows_per_link[l].iter().map(|&i| groups.group_of(i)).collect();
+            let mut gs: Vec<usize> = flows_per_link[l]
+                .iter()
+                .map(|&i| groups.group_of(i))
+                .collect();
             gs.sort_unstable();
             gs.dedup();
             groups_per_link[l] = gs;
@@ -404,7 +406,9 @@ impl Oracle {
         }
 
         let (rates, prices, residuals) = best.expect("at least one sweep ran");
-        let converged = residuals.primal_feasibility.max(residuals.complementary_slackness)
+        let converged = residuals
+            .primal_feasibility
+            .max(residuals.complementary_slackness)
             <= self.tolerance.max(10.0 * regularizer);
         OracleSolution {
             rates,
@@ -419,10 +423,11 @@ impl Oracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::maxmin::weighted_max_min;
     use crate::topology::{FluidFlow, FluidNetwork};
     use crate::utility::{AlphaFair, FctUtility, LogUtility};
     use proptest::prelude::*;
-    use rand::{Rng, SeedableRng, seq::SliceRandom};
+    use rand::{seq::SliceRandom, Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
     fn close(a: f64, b: f64, tol: f64) -> bool {
@@ -546,11 +551,7 @@ mod tests {
         for seed in 0..20 {
             let net = random_instance(seed, 6, 15, 1.0);
             let sol = Oracle::new().solve(&net);
-            assert!(
-                sol.converged,
-                "seed {seed} residuals {:?}",
-                sol.residuals
-            );
+            assert!(sol.converged, "seed {seed} residuals {:?}", sol.residuals);
         }
     }
 
@@ -567,7 +568,11 @@ mod tests {
         let groups = MultipathGroups::from_network(&net);
         let sol = Oracle::new().solve_multipath(&net, &groups, 1e-4);
         let totals = groups.aggregate_rates(&sol.rates);
-        assert!(close(totals[0], 12.0, 0.05), "{totals:?} rates={:?}", sol.rates);
+        assert!(
+            close(totals[0], 12.0, 0.05),
+            "{totals:?} rates={:?}",
+            sol.rates
+        );
         assert!(net.is_feasible(&sol.rates, 1e-3));
     }
 
@@ -601,6 +606,38 @@ mod tests {
             }
             prop_assert!(net.is_feasible(&rates, 1e-6));
             prop_assert!(net.total_utility(&sol.rates) >= net.total_utility(&rates) - 1e-6);
+        }
+
+        /// On a single-bottleneck topology, the NUM optimum for pure
+        /// (weighted) log utilities IS the weighted max-min allocation —
+        /// proportional fairness splits one link in proportion to weight,
+        /// which is exactly what `weighted_max_min` computes. This pins the
+        /// two solvers to each other on the one case with a closed form.
+        #[test]
+        fn prop_oracle_matches_weighted_maxmin_on_single_bottleneck(
+            seed in 0u64..300,
+            flows in 1usize..10,
+            cap in 1.0f64..50.0,
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x51_b0);
+            let mut net = FluidNetwork::new();
+            let l = net.add_link(cap);
+            let weights: Vec<f64> =
+                (0..flows).map(|_| rng.gen_range(0.1..5.0)).collect();
+            for &w in &weights {
+                net.add_simple_flow(vec![l], LogUtility::weighted(w));
+            }
+            let sol = Oracle::with_tolerance(1e-7).solve(&net);
+            prop_assert!(sol.converged, "oracle did not converge: {:?}", sol.residuals);
+            let mm = weighted_max_min(&net, &weights);
+            for (i, (&o, &m)) in sol.rates.iter().zip(mm.iter()).enumerate() {
+                prop_assert!(
+                    close(o, m, 1e-4),
+                    "flow {i}: oracle {o} vs weighted max-min {m} (weights {weights:?})"
+                );
+            }
+            // And the KKT residuals of that solution are below tolerance.
+            prop_assert!(sol.residuals.within(1e-4), "residuals {:?}", sol.residuals);
         }
     }
 }

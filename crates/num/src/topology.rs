@@ -103,7 +103,10 @@ impl FluidNetwork {
     /// # Panics
     /// Panics if the flow's path is empty or references an unknown link.
     pub fn add_flow(&mut self, flow: FluidFlow) -> FlowId {
-        assert!(!flow.path.is_empty(), "a flow must traverse at least one link");
+        assert!(
+            !flow.path.is_empty(),
+            "a flow must traverse at least one link"
+        );
         for &l in &flow.path {
             assert!(l < self.links.len(), "flow references unknown link {l}");
         }
@@ -112,7 +115,11 @@ impl FluidNetwork {
     }
 
     /// Convenience: add a single-path flow with a utility.
-    pub fn add_simple_flow(&mut self, path: Vec<LinkId>, utility: impl Utility + 'static) -> FlowId {
+    pub fn add_simple_flow(
+        &mut self,
+        path: Vec<LinkId>,
+        utility: impl Utility + 'static,
+    ) -> FlowId {
         self.add_flow(FluidFlow::new(path, utility))
     }
 
@@ -213,7 +220,8 @@ pub struct MultipathGroups {
 impl MultipathGroups {
     /// Build the grouping from the `group` markers on a network's flows.
     pub fn from_network(net: &FluidNetwork) -> Self {
-        let mut explicit: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        let mut explicit: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
         let mut group_of = Vec::with_capacity(net.num_flows());
         let mut members: Vec<Vec<FlowId>> = Vec::new();
         for (i, f) in net.flows().iter().enumerate() {

@@ -340,7 +340,12 @@ impl Utility for BandwidthFunctionUtility {
             return 0.0;
         }
         let mut acc = 0.0;
-        let f = |t: f64| self.bwf.fair_share(t.max(MIN_RATE)).max(MIN_RATE).powf(-self.alpha);
+        let f = |t: f64| {
+            self.bwf
+                .fair_share(t.max(MIN_RATE))
+                .max(MIN_RATE)
+                .powf(-self.alpha)
+        };
         for k in 0..n {
             let a = k as f64 * h;
             let b = a + h;
@@ -504,7 +509,9 @@ mod tests {
     fn bandwidth_function_utility_inverse_marginal_follows_bwf() {
         // Figure 2 of the paper: flow 1 has strict priority for its first
         // 10 Gbps, so at moderate prices its allocated rate is larger.
-        let bwf1 = BandwidthFunction::from_points(&[(0.0, 0.0), (2.0, 10.0), (2.5, 15.0), (4.0, 15.0)]).unwrap();
+        let bwf1 =
+            BandwidthFunction::from_points(&[(0.0, 0.0), (2.0, 10.0), (2.5, 15.0), (4.0, 15.0)])
+                .unwrap();
         let u1 = BandwidthFunctionUtility::new(bwf1);
         // price = marginal at fair share 2 => F(x)=2 => x = B(2) = 10
         let p = 2.0_f64.powf(-u1.alpha());

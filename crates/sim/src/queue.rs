@@ -155,8 +155,7 @@ impl EcnFifo {
 
 impl QueueDiscipline for EcnFifo {
     fn enqueue(&mut self, mut packet: Packet, now: SimTime) -> EnqueueOutcome {
-        if packet.header.ecn_capable && self.inner.backlog_bytes() >= self.marking_threshold_bytes
-        {
+        if packet.header.ecn_capable && self.inner.backlog_bytes() >= self.marking_threshold_bytes {
             packet.header.ecn_marked = true;
         }
         self.inner.enqueue(packet, now)
@@ -479,7 +478,9 @@ mod tests {
         }
         assert_eq!(q.backlog_packets(), 3);
         assert_eq!(q.backlog_bytes(), 3 * 1500);
-        let order: Vec<FlowId> = std::iter::from_fn(|| q.dequeue(now())).map(|p| p.flow).collect();
+        let order: Vec<FlowId> = std::iter::from_fn(|| q.dequeue(now()))
+            .map(|p| p.flow)
+            .collect();
         assert_eq!(order, vec![0, 1, 2]);
         assert!(q.is_empty());
     }
@@ -560,7 +561,9 @@ mod tests {
         // virtual time, so it is served before data packets whose virtual
         // start is strictly later. (The first data packet also has virtual
         // start == current virtual time; FIFO tie-break applies.)
-        let kinds: Vec<bool> = (0..3).map(|_| q.dequeue(now()).unwrap().is_data()).collect();
+        let kinds: Vec<bool> = (0..3)
+            .map(|_| q.dequeue(now()).unwrap().is_data())
+            .collect();
         assert!(kinds.iter().filter(|&&d| !d).count() == 1, "{kinds:?}");
     }
 
@@ -636,7 +639,9 @@ mod tests {
         q.enqueue(pfabric_pkt(1, 60.0), now());
         q.enqueue(pfabric_pkt(2, 1.0), now()); // evicts flow 1
         q.enqueue(pfabric_pkt(3, 2.0), now()); // evicts flow 0
-        let order: Vec<FlowId> = std::iter::from_fn(|| q.dequeue(now())).map(|p| p.flow).collect();
+        let order: Vec<FlowId> = std::iter::from_fn(|| q.dequeue(now()))
+            .map(|p| p.flow)
+            .collect();
         assert_eq!(order, vec![2, 3]);
     }
 }

@@ -11,11 +11,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// An absolute simulation timestamp (nanoseconds since simulation start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A (non-negative) span of simulated time in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -235,7 +239,10 @@ mod tests {
         assert_eq!((d * 3).as_nanos(), 18_000);
         assert_eq!((d / 2).as_nanos(), 3_000);
         assert_eq!((d * 0.5).as_nanos(), 3_000);
-        assert_eq!(d.saturating_sub(SimDuration::from_micros(10)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_micros(10)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -235,9 +235,7 @@ impl Topology {
 
     /// Find the link from `from` to `to`, if one exists.
     pub fn link_between(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
-        self.links
-            .iter()
-            .position(|l| l.from == from && l.to == to)
+        self.links.iter().position(|l| l.from == from && l.to == to)
     }
 
     /// Build a route as the concatenation of links along the node sequence
@@ -258,7 +256,10 @@ impl Topology {
     /// # Panics
     /// Panics if `hosts` is not divisible by `leaves` or any count is zero.
     pub fn leaf_spine(cfg: &LeafSpineConfig) -> Self {
-        assert!(cfg.hosts > 0 && cfg.leaves > 0 && cfg.spines > 0, "empty fabric");
+        assert!(
+            cfg.hosts > 0 && cfg.leaves > 0 && cfg.spines > 0,
+            "empty fabric"
+        );
         assert_eq!(
             cfg.hosts % cfg.leaves,
             0,
@@ -289,7 +290,11 @@ impl Topology {
 
     /// The leaf switch a host is attached to (leaf-spine topologies only).
     pub fn leaf_of(&self, host: NodeId) -> Option<NodeId> {
-        assert_eq!(self.nodes[host].kind, NodeKind::Host, "{host} is not a host");
+        assert_eq!(
+            self.nodes[host].kind,
+            NodeKind::Host,
+            "{host} is not a host"
+        );
         self.links
             .iter()
             .find(|l| l.from == host)

@@ -31,9 +31,9 @@ pub fn fluid_instance(topo: &Topology, flows: &[(Route, UtilityRef)]) -> FluidNe
     for (route, utility) in flows {
         let mut path = Vec::with_capacity(route.links.len());
         for &l in &route.links {
-            let fluid_id = *link_map.entry(l).or_insert_with(|| {
-                net.add_link(topo.links()[l].capacity_bps / 1e9)
-            });
+            let fluid_id = *link_map
+                .entry(l)
+                .or_insert_with(|| net.add_link(topo.links()[l].capacity_bps / 1e9));
             path.push(fluid_id);
         }
         net.add_flow(FluidFlow::with_utility_ref(path, utility.clone()));
@@ -72,9 +72,7 @@ impl Default for ConvergenceCriterion {
             tolerance: 0.10,
             hold: SimDuration::from_millis(5),
             poll_interval: SimDuration::from_micros(10),
-            filter_rise_time: SimDuration::from_secs_f64(
-                PAPER_EWMA_TAU.as_secs_f64() * 10f64.ln(),
-            ),
+            filter_rise_time: SimDuration::from_secs_f64(PAPER_EWMA_TAU.as_secs_f64() * 10f64.ln()),
         }
     }
 }
@@ -215,8 +213,14 @@ mod tests {
         // Far fewer links than the full topology (only traversed ones).
         assert!(fluid.num_links() < topo.num_links());
         // Host links are 10 Gbps → 10.0 in fluid units.
-        assert!(fluid.links().iter().any(|l| (l.capacity - 10.0).abs() < 1e-9));
-        assert!(fluid.links().iter().any(|l| (l.capacity - 40.0).abs() < 1e-9));
+        assert!(fluid
+            .links()
+            .iter()
+            .any(|l| (l.capacity - 10.0).abs() < 1e-9));
+        assert!(fluid
+            .links()
+            .iter()
+            .any(|l| (l.capacity - 40.0).abs() < 1e-9));
     }
 
     #[test]
@@ -243,10 +247,24 @@ mod tests {
         let topo = topo();
         let hosts = topo.hosts().to_vec();
         let mut net = Network::new(topo, |_| Box::new(DropTailFifo::with_default_buffer()));
-        let f0 = net.add_flow(hosts[0], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(SimpleWindowAgent::new(8)));
-        let f1 = net.add_flow(hosts[1], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(SimpleWindowAgent::new(8)));
+        let f0 = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(SimpleWindowAgent::new(8)),
+        );
+        let f1 = net.add_flow(
+            hosts[1],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(SimpleWindowAgent::new(8)),
+        );
         let criterion = ConvergenceCriterion {
             hold: SimDuration::from_millis(1),
             ..Default::default()
@@ -267,8 +285,15 @@ mod tests {
         let topo = topo();
         let hosts = topo.hosts().to_vec();
         let mut net = Network::new(topo, |_| Box::new(DropTailFifo::with_default_buffer()));
-        let f0 = net.add_flow(hosts[0], hosts[4], None, SimTime::ZERO, 0, None,
-            Box::new(SimpleWindowAgent::new(8)));
+        let f0 = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(SimpleWindowAgent::new(8)),
+        );
         let criterion = ConvergenceCriterion {
             hold: SimDuration::from_millis(1),
             ..Default::default()

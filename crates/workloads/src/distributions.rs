@@ -132,7 +132,10 @@ impl FlowSizeDistribution for EmpiricalCdf {
     fn mean_bytes(&self) -> f64 {
         // Numerical integration of the quantile function.
         let n = 10_000;
-        (0..n).map(|i| self.quantile((i as f64 + 0.5) / n as f64)).sum::<f64>() / n as f64
+        (0..n)
+            .map(|i| self.quantile((i as f64 + 0.5) / n as f64))
+            .sum::<f64>()
+            / n as f64
     }
 
     fn name(&self) -> &'static str {
@@ -202,8 +205,7 @@ impl FlowSizeDistribution for BoundedPareto {
         if (a - 1.0).abs() < 1e-9 {
             (h.ln() - l.ln()) * l * h / (h - l)
         } else {
-            (a / (a - 1.0)) * (l.powf(a) * h - l * h.powf(a)).abs()
-                / (h.powf(a) - l.powf(a))
+            (a / (a - 1.0)) * (l.powf(a) * h - l * h.powf(a)).abs() / (h.powf(a) - l.powf(a))
         }
     }
 
@@ -227,15 +229,26 @@ mod tests {
     fn web_search_matches_published_summary_statistics() {
         let dist = EmpiricalCdf::web_search();
         let samples = sample_many(&dist, 50_000, 1);
-        let below_100k = samples.iter().filter(|&&s| s < 100_000).count() as f64
-            / samples.len() as f64;
-        assert!((0.40..=0.60).contains(&below_100k), "P(<100kB) = {below_100k}");
+        let below_100k =
+            samples.iter().filter(|&&s| s < 100_000).count() as f64 / samples.len() as f64;
+        assert!(
+            (0.40..=0.60).contains(&below_100k),
+            "P(<100kB) = {below_100k}"
+        );
         // ~95 % of bytes in flows larger than 1 MB is the headline statistic.
         let total: f64 = samples.iter().map(|&s| s as f64).sum();
-        let big: f64 = samples.iter().filter(|&&s| s > 1_000_000).map(|&s| s as f64).sum();
-        assert!(big / total > 0.80, "byte share of >1MB flows = {}", big / total);
-        let big_count = samples.iter().filter(|&&s| s > 1_000_000).count() as f64
-            / samples.len() as f64;
+        let big: f64 = samples
+            .iter()
+            .filter(|&&s| s > 1_000_000)
+            .map(|&s| s as f64)
+            .sum();
+        assert!(
+            big / total > 0.80,
+            "byte share of >1MB flows = {}",
+            big / total
+        );
+        let big_count =
+            samples.iter().filter(|&&s| s > 1_000_000).count() as f64 / samples.len() as f64;
         assert!((0.2..=0.4).contains(&big_count), "P(>1MB) = {big_count}");
     }
 
@@ -243,12 +256,11 @@ mod tests {
     fn enterprise_is_dominated_by_short_flows() {
         let dist = EmpiricalCdf::enterprise();
         let samples = sample_many(&dist, 50_000, 2);
-        let below_10k = samples.iter().filter(|&&s| s < 10_000).count() as f64
-            / samples.len() as f64;
+        let below_10k =
+            samples.iter().filter(|&&s| s < 10_000).count() as f64 / samples.len() as f64;
         assert!(below_10k > 0.90, "P(<10kB) = {below_10k}");
         // Most flows are only one or two packets.
-        let tiny = samples.iter().filter(|&&s| s <= 3_000).count() as f64
-            / samples.len() as f64;
+        let tiny = samples.iter().filter(|&&s| s <= 3_000).count() as f64 / samples.len() as f64;
         assert!(tiny > 0.6, "P(<=2 packets) = {tiny}");
     }
 
@@ -292,7 +304,11 @@ mod tests {
 
     #[test]
     fn bounded_pareto_respects_bounds_and_skew() {
-        let p = BoundedPareto { min: 1_000.0, max: 1_000_000.0, shape: 1.2 };
+        let p = BoundedPareto {
+            min: 1_000.0,
+            max: 1_000_000.0,
+            shape: 1.2,
+        };
         let samples = sample_many(&p, 20_000, 4);
         assert!(samples.iter().all(|&s| (1_000..=1_000_000).contains(&s)));
         let median = {

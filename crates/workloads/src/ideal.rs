@@ -99,7 +99,10 @@ impl<'a> IdealFluidSimulator<'a> {
             }
             // Time until the next arrival.
             let dt_arrival = if next_arrival < arrivals.len() {
-                arrivals[next_arrival].start.duration_since(now).as_secs_f64()
+                arrivals[next_arrival]
+                    .start
+                    .duration_since(now)
+                    .as_secs_f64()
             } else {
                 f64::INFINITY
             };
@@ -109,7 +112,7 @@ impl<'a> IdealFluidSimulator<'a> {
             for (f, &rate) in active.iter_mut().zip(rates_bps.iter()) {
                 f.remaining_bytes -= rate * dt / 8.0;
             }
-            now = now + SimDuration::from_secs_f64(dt);
+            now += SimDuration::from_secs_f64(dt);
 
             // Retire completed flows.
             let mut i = 0;
@@ -121,7 +124,11 @@ impl<'a> IdealFluidSimulator<'a> {
                     completions[f.index] = Some(IdealCompletion {
                         flow: f.index,
                         fct,
-                        rate_bps: if fct.is_zero() { f64::INFINITY } else { size * 8.0 / fct.as_secs_f64() },
+                        rate_bps: if fct.is_zero() {
+                            f64::INFINITY
+                        } else {
+                            size * 8.0 / fct.as_secs_f64()
+                        },
                     });
                 } else {
                     i += 1;

@@ -33,8 +33,8 @@ pub mod scenarios;
 
 pub use arrivals::{poisson_arrivals, FlowArrival, PoissonWorkloadConfig};
 pub use convergence::{
-    convergence_stats, fluid_instance, measure_convergence, oracle_rates_bps,
-    ConvergenceCriterion, ConvergenceOutcome, ConvergenceStats,
+    convergence_stats, fluid_instance, measure_convergence, oracle_rates_bps, ConvergenceCriterion,
+    ConvergenceOutcome, ConvergenceStats,
 };
 pub use distributions::{
     BoundedPareto, EmpiricalCdf, FixedSize, FlowSizeDistribution, UniformSize,

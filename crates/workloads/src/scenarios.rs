@@ -53,7 +53,10 @@ pub fn random_pairs(hosts: &[NodeId], n: usize, seed: u64) -> Vec<PathSpec> {
 /// first half of the hosts each send to a distinct host in the second half.
 pub fn permutation_pairs(topo: &Topology, seed: u64) -> Vec<PathSpec> {
     let hosts = topo.hosts();
-    assert!(hosts.len() >= 2 && hosts.len() % 2 == 0, "need an even host count");
+    assert!(
+        hosts.len() >= 2 && hosts.len().is_multiple_of(2),
+        "need an even host count"
+    );
     let half = hosts.len() / 2;
     let mut receivers: Vec<NodeId> = hosts[half..].to_vec();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -190,7 +193,10 @@ impl SemiDynamicScenario {
                 EventKind::Start => active_count += chosen.len(),
                 EventKind::Stop => active_count -= chosen.len(),
             }
-            events.push(NetworkEvent { kind, paths: chosen });
+            events.push(NetworkEvent {
+                kind,
+                paths: chosen,
+            });
         }
         Self {
             paths,

@@ -38,12 +38,28 @@ fn main() {
         install_numfabric(&mut net, &config);
 
         let f1 = net.add_flow_on_route(
-            src1, dst, topo.route_via(&[src1, sw, dst]), None, SimTime::ZERO, None,
-            Box::new(NumFabricAgent::new(config.clone(), BandwidthFunctionUtility::new(bwf1.clone()))),
+            src1,
+            dst,
+            topo.route_via(&[src1, sw, dst]),
+            None,
+            SimTime::ZERO,
+            None,
+            Box::new(NumFabricAgent::new(
+                config.clone(),
+                BandwidthFunctionUtility::new(bwf1.clone()),
+            )),
         );
         let f2 = net.add_flow_on_route(
-            src2, dst, topo.route_via(&[src2, sw, dst]), None, SimTime::ZERO, None,
-            Box::new(NumFabricAgent::new(config.clone(), BandwidthFunctionUtility::new(bwf2.clone()))),
+            src2,
+            dst,
+            topo.route_via(&[src2, sw, dst]),
+            None,
+            SimTime::ZERO,
+            None,
+            Box::new(NumFabricAgent::new(
+                config.clone(),
+                BandwidthFunctionUtility::new(bwf2.clone()),
+            )),
         );
         net.run_until(SimTime::from_millis(8));
 

@@ -38,14 +38,25 @@ fn main() {
             SimTime::from_millis(2 + i as u64)
         };
         let id = net.add_flow(
-            hosts[i], hosts[4], Some(size), start, i, None,
-            Box::new(NumFabricAgent::new(config.clone(), FctUtility::new(size as f64))),
+            hosts[i],
+            hosts[4],
+            Some(size),
+            start,
+            i,
+            None,
+            Box::new(NumFabricAgent::new(
+                config.clone(),
+                FctUtility::new(size as f64),
+            )),
         );
         flows.push((id, size, label, start));
     }
     net.run_until(SimTime::from_millis(60));
 
-    println!("{:<10} {:>10} {:>12} {:>12} {:>10}", "flow", "size", "fct", "ideal", "slowdown");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>10}",
+        "flow", "size", "fct", "ideal", "slowdown"
+    );
     for (id, size, label, _) in &flows {
         let fct = net.flow_stats(*id).fct().expect("flow completed");
         let route = net.flow_spec(*id).route.clone();

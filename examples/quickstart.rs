@@ -22,11 +22,24 @@ fn main() {
     // Flow A has weight 3, flow B weight 1: weighted proportional fairness
     // should split the 10 Gbps NIC roughly 7.5 / 2.5.
     let flow_a = net.add_flow(
-        hosts[0], hosts[4], None, SimTime::ZERO, 0, None,
-        Box::new(NumFabricAgent::new(config.clone(), LogUtility::weighted(3.0))),
+        hosts[0],
+        hosts[4],
+        None,
+        SimTime::ZERO,
+        0,
+        None,
+        Box::new(NumFabricAgent::new(
+            config.clone(),
+            LogUtility::weighted(3.0),
+        )),
     );
     let flow_b = net.add_flow(
-        hosts[1], hosts[4], None, SimTime::ZERO, 1, None,
+        hosts[1],
+        hosts[4],
+        None,
+        SimTime::ZERO,
+        1,
+        None,
         Box::new(NumFabricAgent::new(config.clone(), LogUtility::new())),
     );
 
@@ -43,6 +56,9 @@ fn main() {
 
     let a = net.flow_rate_estimate(flow_a) / 1e9;
     let b = net.flow_rate_estimate(flow_b) / 1e9;
-    println!("\nfinal allocation: flow A = {a:.2} Gbps, flow B = {b:.2} Gbps (ratio {:.2})", a / b);
+    println!(
+        "\nfinal allocation: flow A = {a:.2} Gbps, flow B = {b:.2} Gbps (ratio {:.2})",
+        a / b
+    );
     println!("expected: ~7.5 / ~2.5 Gbps (3:1 weighted proportional fairness)");
 }

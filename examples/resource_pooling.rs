@@ -32,25 +32,44 @@ fn main() {
     let mut subflows = Vec::new();
     for (spine, handle) in handles.into_iter().enumerate() {
         let id = net.add_flow(
-            hosts[0], hosts[4], None, SimTime::ZERO, spine, Some(0),
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            spine,
+            Some(0),
             Box::new(NumFabricAgent::new(config.clone(), LogUtility::new()).with_aggregate(handle)),
         );
         subflows.push(id);
     }
     // A single-path competitor sharing spine 0 only.
     let single = net.add_flow(
-        hosts[1], hosts[5], None, SimTime::ZERO, 0, None,
+        hosts[1],
+        hosts[5],
+        None,
+        SimTime::ZERO,
+        0,
+        None,
         Box::new(NumFabricAgent::new(config.clone(), LogUtility::new())),
     );
 
     net.run_until(SimTime::from_millis(10));
 
     let aggregate: f64 = subflows.iter().map(|&f| net.flow_rate_estimate(f)).sum();
-    println!("multipath aggregate (4 subflows over 4 spines): {:.2} Gbps", aggregate / 1e9);
+    println!(
+        "multipath aggregate (4 subflows over 4 spines): {:.2} Gbps",
+        aggregate / 1e9
+    );
     for (i, &f) in subflows.iter().enumerate() {
-        println!("  subflow via spine {i}: {:.2} Gbps", net.flow_rate_estimate(f) / 1e9);
+        println!(
+            "  subflow via spine {i}: {:.2} Gbps",
+            net.flow_rate_estimate(f) / 1e9
+        );
     }
-    println!("single-path competitor on spine 0: {:.2} Gbps", net.flow_rate_estimate(single) / 1e9);
+    println!(
+        "single-path competitor on spine 0: {:.2} Gbps",
+        net.flow_rate_estimate(single) / 1e9
+    );
     println!(
         "\nThe aggregate pools the capacity of all four 10 Gbps spine paths (minus what the\n\
          competitor gets on spine 0), instead of being stuck with a single path's 10 Gbps."

@@ -54,6 +54,6 @@ pub use numfabric_workloads as workloads;
 /// NUMFabric itself (Swift + xWI). Re-exported from `numfabric-core`; named
 /// `core` here for discoverability, shadowing nothing from `std`.
 pub mod core {
-    pub use numfabric_core::*;
     pub use numfabric_core::protocol::{install_numfabric, numfabric_network};
+    pub use numfabric_core::*;
 }

@@ -21,12 +21,33 @@ fn parking_lot_share(alpha: f64) -> (f64, f64) {
     let hosts: Vec<_> = net.topology().hosts().to_vec();
     // Long flow shares its source NIC with flow B and its destination NIC
     // with flow C (two bottlenecks).
-    let long = net.add_flow(hosts[0], hosts[5], None, SimTime::ZERO, 0, None,
-        Box::new(NumFabricAgent::new(config.clone(), AlphaFair::new(alpha))));
-    let _b = net.add_flow(hosts[0], hosts[6], None, SimTime::ZERO, 1, None,
-        Box::new(NumFabricAgent::new(config.clone(), AlphaFair::new(alpha))));
-    let _c = net.add_flow(hosts[1], hosts[5], None, SimTime::ZERO, 2, None,
-        Box::new(NumFabricAgent::new(config.clone(), AlphaFair::new(alpha))));
+    let long = net.add_flow(
+        hosts[0],
+        hosts[5],
+        None,
+        SimTime::ZERO,
+        0,
+        None,
+        Box::new(NumFabricAgent::new(config.clone(), AlphaFair::new(alpha))),
+    );
+    let _b = net.add_flow(
+        hosts[0],
+        hosts[6],
+        None,
+        SimTime::ZERO,
+        1,
+        None,
+        Box::new(NumFabricAgent::new(config.clone(), AlphaFair::new(alpha))),
+    );
+    let _c = net.add_flow(
+        hosts[1],
+        hosts[5],
+        None,
+        SimTime::ZERO,
+        2,
+        None,
+        Box::new(NumFabricAgent::new(config.clone(), AlphaFair::new(alpha))),
+    );
     net.run_until(SimTime::from_millis(8));
 
     let mut fluid = FluidNetwork::new();
@@ -76,8 +97,15 @@ fn fct_objective_is_competitive_with_pfabric_on_a_small_mix() {
             net = pfabric_network(topo, &PfabricConfig::default());
             let hosts: Vec<_> = net.topology().hosts().to_vec();
             for (i, &size) in sizes.iter().enumerate() {
-                ids.push(net.add_flow(hosts[i], hosts[4], Some(size), SimTime::ZERO, i, None,
-                    Box::new(PfabricAgent::new(PfabricConfig::default()))));
+                ids.push(net.add_flow(
+                    hosts[i],
+                    hosts[4],
+                    Some(size),
+                    SimTime::ZERO,
+                    i,
+                    None,
+                    Box::new(PfabricAgent::new(PfabricConfig::default())),
+                ));
             }
         } else {
             let config = NumFabricConfig::slowed_down(2.0)
@@ -85,13 +113,28 @@ fn fct_objective_is_competitive_with_pfabric_on_a_small_mix() {
             net = numfabric_network(topo, &config);
             let hosts: Vec<_> = net.topology().hosts().to_vec();
             for (i, &size) in sizes.iter().enumerate() {
-                ids.push(net.add_flow(hosts[i], hosts[4], Some(size), SimTime::ZERO, i, None,
-                    Box::new(NumFabricAgent::new(config.clone(), FctUtility::new(size as f64)))));
+                ids.push(net.add_flow(
+                    hosts[i],
+                    hosts[4],
+                    Some(size),
+                    SimTime::ZERO,
+                    i,
+                    None,
+                    Box::new(NumFabricAgent::new(
+                        config.clone(),
+                        FctUtility::new(size as f64),
+                    )),
+                ));
             }
         }
         net.run_until(SimTime::from_millis(60));
         ids.iter()
-            .map(|&f| net.flow_stats(f).fct().expect("flow finished").as_secs_f64())
+            .map(|&f| {
+                net.flow_stats(f)
+                    .fct()
+                    .expect("flow finished")
+                    .as_secs_f64()
+            })
             .collect()
     };
 
@@ -127,16 +170,37 @@ fn bandwidth_functions_realize_the_bwe_allocation_at_25gbps() {
     install_numfabric(&mut net, &config);
     let bwf1 = BandwidthFunction::paper_flow1();
     let bwf2 = BandwidthFunction::paper_flow2();
-    let f1 = net.add_flow_on_route(src1, dst, topo.route_via(&[src1, sw, dst]), None,
-        SimTime::ZERO, None,
-        Box::new(NumFabricAgent::new(config.clone(), BandwidthFunctionUtility::new(bwf1.clone()))));
-    let f2 = net.add_flow_on_route(src2, dst, topo.route_via(&[src2, sw, dst]), None,
-        SimTime::ZERO, None,
-        Box::new(NumFabricAgent::new(config.clone(), BandwidthFunctionUtility::new(bwf2.clone()))));
+    let f1 = net.add_flow_on_route(
+        src1,
+        dst,
+        topo.route_via(&[src1, sw, dst]),
+        None,
+        SimTime::ZERO,
+        None,
+        Box::new(NumFabricAgent::new(
+            config.clone(),
+            BandwidthFunctionUtility::new(bwf1.clone()),
+        )),
+    );
+    let f2 = net.add_flow_on_route(
+        src2,
+        dst,
+        topo.route_via(&[src2, sw, dst]),
+        None,
+        SimTime::ZERO,
+        None,
+        Box::new(NumFabricAgent::new(
+            config.clone(),
+            BandwidthFunctionUtility::new(bwf2.clone()),
+        )),
+    );
     net.run_until(SimTime::from_millis(10));
 
     let (expected, _) = single_link_allocation(&[bwf1, bwf2], 25.0);
-    let measured = [net.flow_rate_estimate(f1) / 1e9, net.flow_rate_estimate(f2) / 1e9];
+    let measured = [
+        net.flow_rate_estimate(f1) / 1e9,
+        net.flow_rate_estimate(f2) / 1e9,
+    ];
     for i in 0..2 {
         assert!(
             (measured[i] - expected[i]).abs() < 2.0,
