@@ -298,7 +298,8 @@ mod tests {
             0,
             0,
             DEFAULT_PAYLOAD_BYTES,
-            std::sync::Arc::new(numfabric_sim::topology::Route { links: vec![0] }),
+            numfabric_sim::RouteTable::new()
+                .intern(numfabric_sim::topology::Route { links: vec![0] }),
         );
         ctrl.on_dequeue(&mut p, SimTime::ZERO, 0);
         // Share starts at 10 Gbps → feedback = 10^-2 = 0.01.

@@ -7,17 +7,17 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use numfabric_core::protocol::numfabric_network;
 use numfabric_core::{NumFabricAgent, NumFabricConfig};
+use numfabric_num::fluid::{FluidAlgorithm, XwiFluid};
 use numfabric_num::utility::LogUtility;
 use numfabric_num::{weighted_max_min, FluidFlow, FluidNetwork, Oracle};
 use numfabric_sim::event::{Event, EventQueue};
 use numfabric_sim::packet::{Packet, DEFAULT_PAYLOAD_BYTES};
-use numfabric_sim::queue::{QueueDiscipline, StfqQueue};
+use numfabric_sim::queue::{PfabricQueue, QueueDiscipline, StfqQueue};
 use numfabric_sim::topology::{LeafSpineConfig, Route, Topology};
-use numfabric_sim::SimTime;
+use numfabric_sim::{RouteTable, SimTime};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
-use std::sync::Arc;
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue_schedule_pop_10k", |b| {
@@ -40,16 +40,11 @@ fn bench_event_queue(c: &mut Criterion) {
 
 fn bench_stfq(c: &mut Criterion) {
     c.bench_function("stfq_enqueue_dequeue_1k_packets_8_flows", |b| {
-        let route = Arc::new(Route { links: vec![0] });
+        let route = RouteTable::new().intern(Route { links: vec![0] });
         b.iter(|| {
             let mut q = StfqQueue::new(10_000_000);
             for i in 0..1_000u64 {
-                let mut p = Packet::data(
-                    (i % 8) as usize,
-                    i * 1460,
-                    DEFAULT_PAYLOAD_BYTES,
-                    route.clone(),
-                );
+                let mut p = Packet::data((i % 8) as usize, i * 1460, DEFAULT_PAYLOAD_BYTES, route);
                 p.header.virtual_packet_len = 1500.0 / ((i % 8) + 1) as f64;
                 q.enqueue(p, SimTime::ZERO);
             }
@@ -100,9 +95,75 @@ fn bench_solvers(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pfabric_churn(c: &mut Criterion) {
+    // The pFabric worst-drop path: a shallow buffer under heavy overload, so
+    // almost every enqueue evicts the lowest-priority queued packet.
+    c.bench_function("pfabric_worst_drop_churn_10k", |b| {
+        let route = RouteTable::new().intern(Route { links: vec![0] });
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let priorities: Vec<f64> = (0..10_000).map(|_| rng.gen_range(1.0..1e7)).collect();
+        b.iter(|| {
+            let mut q = PfabricQueue::new(64 * 1500);
+            let mut outcomes = 0u64;
+            for (i, &prio) in priorities.iter().enumerate() {
+                let mut p = Packet::data(i % 32, i as u64 * 1460, DEFAULT_PAYLOAD_BYTES, route);
+                p.header.pfabric_priority = prio;
+                if q.enqueue(p, SimTime::ZERO).accepted() {
+                    outcomes += 1;
+                }
+                if i % 8 == 0 {
+                    q.dequeue(SimTime::ZERO);
+                }
+            }
+            black_box(outcomes)
+        })
+    });
+}
+
+fn bench_fluid_step(c: &mut Criterion) {
+    // One synchronous xWI iteration on a mid-sized network — the inner loop
+    // of every fluid convergence comparison. The `step` variant includes the
+    // FluidState snapshot clone; `step_in_place` is the allocation-free path
+    // the convergence loops actually use.
+    c.bench_function("xwi_fluid_step_20links_500flows", |b| {
+        let (net, _) = random_fluid_network(3, 20, 500);
+        let mut xwi = XwiFluid::with_defaults(net);
+        b.iter(|| black_box(xwi.step().rates[0]))
+    });
+    c.bench_function("xwi_fluid_step_in_place_20links_500flows", |b| {
+        let (net, _) = random_fluid_network(3, 20, 500);
+        let mut xwi = XwiFluid::with_defaults(net);
+        b.iter(|| {
+            xwi.step_in_place();
+            black_box(FluidAlgorithm::rates(&xwi)[0])
+        })
+    });
+}
+
 fn bench_packet_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("packet_sim");
     group.sample_size(10);
+    group.bench_function("numfabric_32hosts_16flows_5ms", |b| {
+        b.iter(|| {
+            let topo = Topology::leaf_spine(&LeafSpineConfig::small(32, 4, 2));
+            let cfg = NumFabricConfig::default();
+            let mut net = numfabric_network(topo, &cfg);
+            let hosts: Vec<_> = net.topology().hosts().to_vec();
+            for i in 0..16 {
+                net.add_flow(
+                    hosts[i],
+                    hosts[16 + i],
+                    None,
+                    SimTime::ZERO,
+                    i,
+                    None,
+                    Box::new(NumFabricAgent::new(cfg.clone(), LogUtility::new())),
+                );
+            }
+            net.run_until(SimTime::from_millis(5));
+            black_box(net.flow_rate_estimate(0))
+        })
+    });
     group.bench_function("numfabric_8hosts_4flows_2ms", |b| {
         b.iter(|| {
             let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
@@ -132,6 +193,8 @@ criterion_group!(
     bench_event_queue,
     bench_stfq,
     bench_solvers,
+    bench_pfabric_churn,
+    bench_fluid_step,
     bench_packet_sim
 );
 criterion_main!(benches);

@@ -1,116 +1,9 @@
-//! Regenerate **Figure 10**: bandwidth functions combined with resource
-//! pooling under a capacity change.
-//!
-//! Flow 1 owns a private 5 Gbps path and flow 2 a private 3 Gbps path; both
-//! also have a subflow over a shared middle link whose capacity starts at
-//! 5 Gbps and jumps to 17 Gbps mid-run. Each flow's *aggregate* rate is
-//! governed by the Figure-2 bandwidth functions. Expected allocation:
-//! (10, 3) Gbps before the change and (15, 10) Gbps after it.
+//! Regenerate **Figure 10** — thin wrapper over
+//! [`numfabric_bench::figures::fig10`] (also available as
+//! `numfabric-run fig10`).
 
-use numfabric_core::protocol::install_numfabric;
-use numfabric_core::{AggregateState, NumFabricAgent, NumFabricConfig};
-use numfabric_num::bandwidth_function::BandwidthFunction;
-use numfabric_num::utility::BandwidthFunctionUtility;
-use numfabric_sim::queue::StfqQueue;
-use numfabric_sim::topology::{NodeKind, Topology};
-use numfabric_sim::{Network, SimDuration, SimTime};
+use numfabric_workloads::registry::ScenarioOptions;
 
 fn main() {
-    let delay = SimDuration::from_micros(2);
-    let mut topo = Topology::new();
-    let src1 = topo.add_node(NodeKind::Host, "src1");
-    let src2 = topo.add_node(NodeKind::Host, "src2");
-    let sw1 = topo.add_node(NodeKind::Leaf, "sw1");
-    let sw2 = topo.add_node(NodeKind::Leaf, "sw2");
-    let sw_mid_in = topo.add_node(NodeKind::Spine, "mid-in");
-    let sw_mid_out = topo.add_node(NodeKind::Spine, "mid-out");
-    let dst1 = topo.add_node(NodeKind::Host, "dst1");
-    let dst2 = topo.add_node(NodeKind::Host, "dst2");
-
-    topo.add_duplex_link(src1, sw1, 100e9, delay);
-    topo.add_duplex_link(src2, sw2, 100e9, delay);
-    // Private paths: 5 Gbps "top" link for flow 1, 3 Gbps "bottom" for flow 2.
-    topo.add_duplex_link(sw1, dst1, 5e9, delay);
-    topo.add_duplex_link(sw2, dst2, 3e9, delay);
-    // Shared middle link (initially 5 Gbps) reachable from both sources.
-    topo.add_duplex_link(sw1, sw_mid_in, 100e9, delay);
-    topo.add_duplex_link(sw2, sw_mid_in, 100e9, delay);
-    let (mid_fwd, _mid_rev) = topo.add_duplex_link(sw_mid_in, sw_mid_out, 5e9, delay);
-    topo.add_duplex_link(sw_mid_out, dst1, 100e9, delay);
-    topo.add_duplex_link(sw_mid_out, dst2, 100e9, delay);
-
-    let config = NumFabricConfig::default();
-    let mut net = Network::new(topo.clone(), |_| Box::new(StfqQueue::with_default_buffer()));
-    install_numfabric(&mut net, &config);
-
-    // Flow 1: aggregate over {top path, middle path} with bandwidth function 1.
-    let handles1 = AggregateState::create(2);
-    let u1 = || BandwidthFunctionUtility::new(BandwidthFunction::paper_flow1());
-    let f1a = net.add_flow_on_route(
-        src1,
-        dst1,
-        topo.route_via(&[src1, sw1, dst1]),
-        None,
-        SimTime::ZERO,
-        Some(1),
-        Box::new(NumFabricAgent::new(config.clone(), u1()).with_aggregate(handles1[0].clone())),
-    );
-    let f1b = net.add_flow_on_route(
-        src1,
-        dst1,
-        topo.route_via(&[src1, sw1, sw_mid_in, sw_mid_out, dst1]),
-        None,
-        SimTime::ZERO,
-        Some(1),
-        Box::new(NumFabricAgent::new(config.clone(), u1()).with_aggregate(handles1[1].clone())),
-    );
-    // Flow 2: aggregate over {bottom path, middle path} with bandwidth function 2.
-    let handles2 = AggregateState::create(2);
-    let u2 = || BandwidthFunctionUtility::new(BandwidthFunction::paper_flow2());
-    let f2a = net.add_flow_on_route(
-        src2,
-        dst2,
-        topo.route_via(&[src2, sw2, dst2]),
-        None,
-        SimTime::ZERO,
-        Some(2),
-        Box::new(NumFabricAgent::new(config.clone(), u2()).with_aggregate(handles2[0].clone())),
-    );
-    let f2b = net.add_flow_on_route(
-        src2,
-        dst2,
-        topo.route_via(&[src2, sw2, sw_mid_in, sw_mid_out, dst2]),
-        None,
-        SimTime::ZERO,
-        Some(2),
-        Box::new(NumFabricAgent::new(config.clone(), u2()).with_aggregate(handles2[1].clone())),
-    );
-
-    println!("Figure 10: aggregate throughput of the two flows; middle link 5 Gbps -> 17 Gbps at t = 5 ms\n");
-    println!("  time_ms   flow1_Gbps   flow2_Gbps");
-    let switch_at = SimTime::from_millis(5);
-    let end = SimTime::from_millis(10);
-    let mut t = SimTime::ZERO;
-    let mut switched = false;
-    while t < end {
-        t += SimDuration::from_micros(200);
-        if !switched && t >= switch_at {
-            net.set_link_capacity(mid_fwd, 17e9);
-            switched = true;
-            println!("  -- middle link capacity changed to 17 Gbps --");
-        }
-        net.run_until(t);
-        let flow1 = (net.flow_rate_estimate(f1a) + net.flow_rate_estimate(f1b)) / 1e9;
-        let flow2 = (net.flow_rate_estimate(f2a) + net.flow_rate_estimate(f2b)) / 1e9;
-        println!(
-            "  {:7.2}   {:10.2}   {:10.2}",
-            t.as_secs_f64() * 1e3,
-            flow1,
-            flow2
-        );
-    }
-    println!(
-        "\nExpected shape (paper): ~(10, 3) Gbps while the middle link is 5 Gbps (flow 1 gets the\n\
-         whole middle link), switching quickly to ~(15, 10) Gbps once it becomes 17 Gbps."
-    );
+    numfabric_bench::figures::fig10(&ScenarioOptions::from_env());
 }

@@ -1,165 +1,9 @@
-//! Regenerate **Figure 4a**: CDF of convergence times for NUMFabric, DGD and
-//! RCP* in the semi-dynamic scenario (proportional fairness).
-//!
-//! Usage:
-//! ```text
-//! cargo run --release -p numfabric-bench --bin fig4a [-- --events N] [--full] [--fluid]
-//! ```
-//! * default: reduced scale (32 hosts, 200 paths, 20-flow events).
-//! * `--full`: the paper's scale (128 hosts, 1000 paths, 100-flow events) —
-//!   expect a long run.
-//! * `--fluid`: additionally report fluid-model iteration counts (xWI vs DGD
-//!   vs RCP*) on random instances, isolating the algorithmic speed-up from
-//!   packet-level effects.
+//! Regenerate **Figure 4a** — thin wrapper over
+//! [`numfabric_bench::figures::fig4a`] (also available as
+//! `numfabric-run fig4a [--events N] [--full] [--fluid]`).
 
-use numfabric_bench::report::{mean, percentile, print_cdf, print_table, times_ms};
-use numfabric_bench::{run_semi_dynamic, Protocol, SemiDynamicRun};
-use numfabric_num::fluid::{iterations_to_oracle, DgdFluid, RcpStarFluid, XwiFluid};
-use numfabric_num::utility::LogUtility;
-use numfabric_num::{FluidFlow, FluidNetwork, Oracle};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use std::sync::Arc;
-
-fn arg_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn packet_level(events: usize, full: bool) {
-    let run = if full {
-        SemiDynamicRun::paper_scale(events, 1)
-    } else {
-        SemiDynamicRun::reduced(events, 1)
-    };
-    println!(
-        "Figure 4a (packet level, {} scale): {} events, {} candidate paths\n",
-        if full { "paper" } else { "reduced" },
-        run.scenario.num_events,
-        run.scenario.num_paths
-    );
-
-    let utility = Arc::new(LogUtility::new());
-    let mut rows = Vec::new();
-    let mut all: Vec<(String, Vec<f64>)> = Vec::new();
-    for protocol in Protocol::convergence_contenders() {
-        let result = run_semi_dynamic(&protocol, &run, utility.clone());
-        let ms = times_ms(&result.times);
-        rows.push(vec![
-            result.protocol.clone(),
-            format!("{}/{}", result.stats.converged, result.stats.total),
-            result
-                .stats
-                .median
-                .map(|d| format!("{:.0} us", d.as_micros_f64()))
-                .unwrap_or_else(|| "-".into()),
-            result
-                .stats
-                .p95
-                .map(|d| format!("{:.0} us", d.as_micros_f64()))
-                .unwrap_or_else(|| "-".into()),
-        ]);
-        all.push((result.protocol, ms));
-    }
-    print_table(&["scheme", "converged", "median", "p95"], &rows);
-    println!();
-    for (name, ms) in &all {
-        print_cdf(&format!("{name} convergence time"), ms, "ms", 12);
-        println!();
-    }
-    // Speed-up summary (the paper reports 2.3x median / 2.7x p95).
-    let median_of = |name: &str| {
-        all.iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, ms)| percentile(ms, 0.5))
-    };
-    if let (Some(nf), Some(dgd), Some(rcp)) =
-        (median_of("NUMFabric"), median_of("DGD"), median_of("RCP*"))
-    {
-        println!(
-            "median speed-up of NUMFabric: {:.1}x vs DGD, {:.1}x vs RCP*",
-            dgd / nf,
-            rcp / nf
-        );
-    }
-}
-
-fn fluid_level(instances: usize) {
-    println!("\nFluid-model comparison (iterations to reach within 5% of the oracle):");
-    let mut xwi_iters = Vec::new();
-    let mut dgd_iters = Vec::new();
-    let mut rcp_iters = Vec::new();
-    for seed in 0..instances as u64 {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut net = FluidNetwork::new();
-        for _ in 0..8 {
-            net.add_link(rng.gen_range(5.0..40.0));
-        }
-        for _ in 0..24 {
-            let a = rng.gen_range(0..8);
-            let b = loop {
-                let b = rng.gen_range(0..8);
-                if b != a {
-                    break b;
-                }
-            };
-            net.add_flow(FluidFlow::new(vec![a, b], LogUtility::new()));
-        }
-        let oracle = Oracle::new().solve(&net);
-        if !oracle.converged {
-            continue;
-        }
-        let mut xwi = XwiFluid::with_defaults(net.clone());
-        let mut dgd = DgdFluid::with_defaults(net.clone());
-        let mut rcp = RcpStarFluid::with_defaults(net.clone());
-        if let Some(i) = iterations_to_oracle(&mut xwi, &oracle, 0.05, 20_000) {
-            xwi_iters.push(i as f64);
-        }
-        if let Some(i) = iterations_to_oracle(&mut dgd, &oracle, 0.05, 20_000) {
-            dgd_iters.push(i as f64);
-        }
-        if let Some(i) = iterations_to_oracle(&mut rcp, &oracle, 0.05, 20_000) {
-            rcp_iters.push(i as f64);
-        }
-    }
-    print_table(
-        &["scheme", "converged", "mean iters", "median iters"],
-        &[
-            vec![
-                "xWI".into(),
-                format!("{}/{}", xwi_iters.len(), instances),
-                format!("{:.1}", mean(&xwi_iters).unwrap_or(f64::NAN)),
-                format!("{:.1}", percentile(&xwi_iters, 0.5).unwrap_or(f64::NAN)),
-            ],
-            vec![
-                "DGD".into(),
-                format!("{}/{}", dgd_iters.len(), instances),
-                format!("{:.1}", mean(&dgd_iters).unwrap_or(f64::NAN)),
-                format!("{:.1}", percentile(&dgd_iters, 0.5).unwrap_or(f64::NAN)),
-            ],
-            vec![
-                "RCP*".into(),
-                format!("{}/{}", rcp_iters.len(), instances),
-                format!("{:.1}", mean(&rcp_iters).unwrap_or(f64::NAN)),
-                format!("{:.1}", percentile(&rcp_iters, 0.5).unwrap_or(f64::NAN)),
-            ],
-        ],
-    );
-}
+use numfabric_workloads::registry::ScenarioOptions;
 
 fn main() {
-    let full = arg_flag("--full");
-    let events: usize = arg_value("--events")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if full { 100 } else { 8 });
-    packet_level(events, full);
-    if arg_flag("--fluid") {
-        fluid_level(20);
-    }
+    numfabric_bench::figures::fig4a(&ScenarioOptions::from_env());
 }

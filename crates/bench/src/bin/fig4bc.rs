@@ -1,61 +1,9 @@
-//! Regenerate **Figure 4b/4c**: the rate of a typical DCTCP flow vs a typical
-//! NUMFabric flow across several network events, measured with the 80 µs
-//! EWMA filter.
-//!
-//! The paper's point is qualitative: DCTCP rates are so noisy at 100 µs
-//! timescales that they never settle within 10 % of any target, while
-//! NUMFabric rates converge crisply after every event. The output is two
-//! time-series (time in ms, rate in Gbps) plus a noise summary.
+//! Regenerate **Figure 4b/4c** — thin wrapper over
+//! [`numfabric_bench::figures::fig4bc`] (also available as
+//! `numfabric-run fig4bc`).
 
-use numfabric_baselines::DctcpConfig;
-use numfabric_bench::report::print_table;
-use numfabric_bench::{rate_timeseries, Protocol, SemiDynamicRun};
-use numfabric_core::NumFabricConfig;
-use numfabric_num::utility::LogUtility;
-use numfabric_sim::SimDuration;
-use std::sync::Arc;
-
-fn coefficient_of_variation(series: &[(f64, f64)], from_ms: f64) -> f64 {
-    let vals: Vec<f64> = series
-        .iter()
-        .filter(|(t, _)| *t >= from_ms)
-        .map(|&(_, r)| r)
-        .collect();
-    let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
-    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len().max(1) as f64;
-    var.sqrt() / mean.max(1.0)
-}
+use numfabric_workloads::registry::ScenarioOptions;
 
 fn main() {
-    let run = SemiDynamicRun::reduced(6, 7);
-    let utility = Arc::new(LogUtility::new());
-    let spacing = SimDuration::from_millis(4);
-    let sample = SimDuration::from_micros(50);
-
-    println!("Figure 4b/4c: rate of one tracked flow across network events\n");
-    let mut summaries = Vec::new();
-    for (label, protocol) in [
-        ("DCTCP", Protocol::Dctcp(DctcpConfig::default())),
-        ("NUMFabric", Protocol::NumFabric(NumFabricConfig::default())),
-    ] {
-        let series = rate_timeseries(&protocol, &run, utility.clone(), spacing, sample);
-        println!("{label} rate time series (time_ms, rate_gbps):");
-        let step = (series.len() / 60).max(1);
-        for (i, (t, r)) in series.iter().enumerate() {
-            if i % step == 0 {
-                println!("  {:8.2} ms  {:6.2} Gbps", t, r / 1e9);
-            }
-        }
-        println!();
-        summaries.push(vec![
-            label.to_string(),
-            format!("{:.3}", coefficient_of_variation(&series, 2.0)),
-        ]);
-    }
-    println!("Rate noisiness after warm-up (coefficient of variation of the 80us-filtered rate):");
-    print_table(&["scheme", "coeff. of variation"], &summaries);
-    println!(
-        "\nExpected shape: DCTCP's filtered rate oscillates strongly (large CoV), so it never\n\
-         stays within 10% of a target; NUMFabric's rate is comparatively steady between events."
-    );
+    numfabric_bench::figures::fig4bc(&ScenarioOptions::from_env());
 }

@@ -1,97 +1,9 @@
-//! Regenerate **Figure 5**: normalized deviation from the Oracle's ideal
-//! rates, per flow-size bin (in BDPs), for NUMFabric, DGD and RCP* under the
-//! web-search and enterprise dynamic workloads.
-//!
-//! Usage:
-//! ```text
-//! cargo run --release -p numfabric-bench --bin fig5 [-- --workload websearch|enterprise] [--load 0.6] [--full]
-//! ```
+//! Regenerate **Figure 5** — thin wrapper over
+//! [`numfabric_bench::figures::fig5`] (also available as
+//! `numfabric-run fig5 [--workload websearch|enterprise] [--load F] [--full]`).
 
-use numfabric_bench::dynamic::bdp_bytes;
-use numfabric_bench::report::{print_table, quartiles, FIG5_BIN_LABELS};
-use numfabric_bench::{generate_arrivals, run_dynamic, DynamicRun, Objective, Protocol};
-use numfabric_sim::topology::LeafSpineConfig;
-use numfabric_sim::SimDuration;
-use numfabric_workloads::distributions::{EmpiricalCdf, FlowSizeDistribution};
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
+use numfabric_workloads::registry::ScenarioOptions;
 
 fn main() {
-    let workload = arg_value("--workload").unwrap_or_else(|| "websearch".into());
-    let load: f64 = arg_value("--load")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.6);
-    let full = std::env::args().any(|a| a == "--full");
-
-    let dist: Box<dyn FlowSizeDistribution> = match workload.as_str() {
-        "enterprise" => Box::new(EmpiricalCdf::enterprise()),
-        _ => Box::new(EmpiricalCdf::web_search()),
-    };
-
-    let mut run = DynamicRun::reduced(load, 21);
-    if full {
-        run.topology = LeafSpineConfig::paper_default();
-        run.arrival_window = SimDuration::from_millis(50);
-        run.drain = SimDuration::from_millis(300);
-    }
-    let arrivals = generate_arrivals(&run, dist.as_ref());
-    let bdp = bdp_bytes(&run.topology);
-    println!(
-        "Figure 5 ({} workload, load {:.0}%): {} flows, BDP = {:.0} kB\n",
-        dist.name(),
-        load * 100.0,
-        arrivals.len(),
-        bdp / 1e3
-    );
-
-    let mut rows: Vec<Vec<String>> = FIG5_BIN_LABELS
-        .iter()
-        .map(|l| vec![l.to_string()])
-        .collect();
-    let mut headers = vec!["size (BDPs)"];
-
-    for protocol in Protocol::convergence_contenders() {
-        headers.push(match protocol.name() {
-            "NUMFabric" => "NUMFabric  p25/med/p75",
-            "DGD" => "DGD  p25/med/p75",
-            _ => "RCP*  p25/med/p75",
-        });
-        let results = run_dynamic(&protocol, &run, &arrivals, Objective::ProportionalFairness);
-        // Bin by flow size in BDPs.
-        let mut bins: Vec<Vec<f64>> = vec![Vec::new(); FIG5_BIN_LABELS.len()];
-        for r in &results {
-            if let (Some(dev), Some(bin)) = (
-                r.rate_deviation(),
-                numfabric_bench::report::fig5_bin(r.size_in_bdp(bdp)),
-            ) {
-                bins[bin].push(dev);
-            }
-        }
-        for (bin, devs) in bins.iter().enumerate() {
-            let cell = match quartiles(devs) {
-                Some((q1, q2, q3)) => format!("{q1:+.2}/{q2:+.2}/{q3:+.2} (n={})", devs.len()),
-                None => "-".to_string(),
-            };
-            rows[bin].push(cell);
-        }
-        let finished = results.iter().filter(|r| r.fct.is_some()).count();
-        eprintln!(
-            "  [{}] {}/{} flows completed",
-            protocol.name(),
-            finished,
-            results.len()
-        );
-    }
-
-    print_table(&headers, &rows);
-    println!(
-        "\nExpected shape (paper): NUMFabric's median deviation is near zero for every bin above\n\
-         ~5 BDP; DGD and RCP* are negatively biased (flows get less than the ideal rate), worst\n\
-         for small flows that finish before those schemes converge."
-    );
+    numfabric_bench::figures::fig5(&ScenarioOptions::from_env());
 }

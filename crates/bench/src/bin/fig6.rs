@@ -1,114 +1,9 @@
-//! Regenerate **Figure 6**: NUMFabric parameter sensitivity.
-//!
-//! * `--sweep dt`       — convergence time vs the Swift delay slack `dt` (Fig. 6a)
-//! * `--sweep interval` — convergence time vs the xWI price-update interval (Fig. 6b)
-//! * `--sweep alpha`    — convergence time vs α, at 1× and 2× slow-down (Fig. 6c)
-//! * default: all three sweeps.
+//! Regenerate **Figure 6** — thin wrapper over
+//! [`numfabric_bench::figures::fig6`] (also available as
+//! `numfabric-run fig6 [--sweep dt|interval|alpha] [--events N]`).
 
-use numfabric_bench::report::print_table;
-use numfabric_bench::{run_semi_dynamic, Protocol, SemiDynamicRun};
-use numfabric_core::NumFabricConfig;
-use numfabric_num::utility::AlphaFair;
-use numfabric_sim::SimDuration;
-use std::sync::Arc;
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn events() -> usize {
-    arg_value("--events")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5)
-}
-
-fn median_convergence(config: NumFabricConfig, alpha: f64, seed: u64) -> (String, String) {
-    let run = SemiDynamicRun::reduced(events(), seed);
-    let protocol = Protocol::NumFabric(config);
-    let result = run_semi_dynamic(&protocol, &run, Arc::new(AlphaFair::new(alpha)));
-    let median = result
-        .stats
-        .median
-        .map(|d| format!("{:.0} us", d.as_micros_f64()))
-        .unwrap_or_else(|| "did not converge".into());
-    let converged = format!("{}/{}", result.stats.converged, result.stats.total);
-    (median, converged)
-}
-
-fn sweep_dt() {
-    println!("Figure 6a: sensitivity to the Swift delay slack dt (proportional fairness)\n");
-    let mut rows = Vec::new();
-    for dt_us in [3u64, 6, 12, 24] {
-        let cfg = NumFabricConfig::default().with_dt(SimDuration::from_micros(dt_us));
-        let (median, converged) = median_convergence(cfg, 1.0, 11);
-        rows.push(vec![format!("{dt_us} us"), median, converged]);
-    }
-    print_table(&["dt", "median convergence", "events converged"], &rows);
-    println!();
-}
-
-fn sweep_interval() {
-    println!("Figure 6b: sensitivity to the xWI price update interval\n");
-    let mut rows = Vec::new();
-    for us in [30u64, 60, 90, 128] {
-        let cfg =
-            NumFabricConfig::default().with_price_update_interval(SimDuration::from_micros(us));
-        let (median, converged) = median_convergence(cfg, 1.0, 12);
-        rows.push(vec![format!("{us} us"), median, converged]);
-    }
-    print_table(
-        &[
-            "price update interval",
-            "median convergence",
-            "events converged",
-        ],
-        &rows,
-    );
-    println!();
-}
-
-fn sweep_alpha() {
-    println!("Figure 6c: sensitivity to alpha (1x = default parameters, 2x = slowed down)\n");
-    let mut rows = Vec::new();
-    for &alpha in &[0.25, 0.5, 1.0, 2.0, 4.0] {
-        let (median_1x, conv_1x) = median_convergence(NumFabricConfig::default(), alpha, 13);
-        let (median_2x, conv_2x) = median_convergence(NumFabricConfig::slowed_down(2.0), alpha, 13);
-        rows.push(vec![
-            format!("{alpha}"),
-            median_1x,
-            conv_1x,
-            median_2x,
-            conv_2x,
-        ]);
-    }
-    print_table(
-        &[
-            "alpha",
-            "1x median",
-            "1x converged",
-            "2x median",
-            "2x converged",
-        ],
-        &rows,
-    );
-    println!(
-        "\nExpected shape (paper): extreme alpha values fail to converge reliably at 1x but\n\
-         converge at 2x slow-down, at a modest cost in median convergence time."
-    );
-}
+use numfabric_workloads::registry::ScenarioOptions;
 
 fn main() {
-    match arg_value("--sweep").as_deref() {
-        Some("dt") => sweep_dt(),
-        Some("interval") => sweep_interval(),
-        Some("alpha") => sweep_alpha(),
-        _ => {
-            sweep_dt();
-            sweep_interval();
-            sweep_alpha();
-        }
-    }
+    numfabric_bench::figures::fig6(&ScenarioOptions::from_env());
 }

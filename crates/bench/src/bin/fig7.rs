@@ -1,65 +1,9 @@
-//! Regenerate **Figure 7**: mean normalized FCT vs load for NUMFabric (with
-//! the FCT-minimization utility, 2× slowed down, BDP initial window) against
-//! pFabric, on the web-search workload.
-//!
-//! FCTs are normalized to the lowest possible FCT for each flow given its
-//! size (empty-network bound), exactly as in the paper.
+//! Regenerate **Figure 7** — thin wrapper over
+//! [`numfabric_bench::figures::fig7`] (also available as
+//! `numfabric-run fig7 [--full]`).
 
-use numfabric_baselines::PfabricConfig;
-use numfabric_bench::report::{mean, print_table};
-use numfabric_bench::{generate_arrivals, run_dynamic, DynamicRun, Objective, Protocol};
-use numfabric_core::NumFabricConfig;
-use numfabric_sim::SimDuration;
-use numfabric_workloads::distributions::EmpiricalCdf;
-
-fn arg_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
+use numfabric_workloads::registry::ScenarioOptions;
 
 fn main() {
-    let loads: Vec<f64> = if arg_flag("--full") {
-        vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
-    } else {
-        vec![0.2, 0.4, 0.6, 0.8]
-    };
-    let dist = EmpiricalCdf::web_search();
-    println!("Figure 7: mean normalized FCT vs load (web-search workload)\n");
-
-    // NUMFabric for FCT minimization: 2x slow-down and a BDP initial window
-    // (mimicking pFabric), as described in §6.3.
-    let nf_config = NumFabricConfig::slowed_down(2.0)
-        .with_bdp_initial_window(10e9, SimDuration::from_micros(16));
-
-    let mut rows = Vec::new();
-    for &load in &loads {
-        let run = DynamicRun::reduced(load, 31);
-        let arrivals = generate_arrivals(&run, &dist);
-
-        let mut cells = vec![
-            format!("{:.0}%", load * 100.0),
-            format!("{}", arrivals.len()),
-        ];
-        let mut means = Vec::new();
-        for protocol in [
-            Protocol::NumFabric(nf_config.clone()),
-            Protocol::Pfabric(PfabricConfig::default()),
-        ] {
-            let results = run_dynamic(&protocol, &run, &arrivals, Objective::FctMinimization);
-            let normalized: Vec<f64> = results.iter().filter_map(|r| r.normalized_fct()).collect();
-            let unfinished = results.len() - normalized.len();
-            let m = mean(&normalized).unwrap_or(f64::NAN);
-            means.push(m);
-            cells.push(format!("{m:.2}{}", if unfinished > 0 { "*" } else { "" }));
-        }
-        cells.push(format!("{:.2}", means[0] / means[1]));
-        rows.push(cells);
-    }
-    print_table(
-        &["load", "flows", "NUMFabric", "pFabric", "NUMFabric/pFabric"],
-        &rows,
-    );
-    println!(
-        "\n(* some flows had not completed when the simulation ended and are excluded)\n\
-         Expected shape (paper): NUMFabric tracks pFabric within ~4-20% across loads."
-    );
+    numfabric_bench::figures::fig7(&ScenarioOptions::from_env());
 }

@@ -1,155 +1,9 @@
-//! Regenerate **Figure 8**: resource pooling with multipath NUMFabric.
-//!
-//! Permutation traffic on an all-10 Gbps leaf-spine fabric; each
-//! source-destination pair splits into 1–8 subflows hashed onto random spine
-//! paths. Two objectives are compared:
-//! * **Resource pooling** — proportional fairness on the aggregate rate of
-//!   each pair (row 4 of Table 1), realized with the §6.3 subflow
-//!   weight-splitting heuristic.
-//! * **No resource pooling** — per-subflow proportional fairness.
-//!
-//! Outputs: total throughput (% of optimal) vs number of subflows (Fig. 8a)
-//! and the per-pair throughputs, ranked, for 8 subflows (Fig. 8b).
+//! Regenerate **Figure 8** — thin wrapper over
+//! [`numfabric_bench::figures::fig8`] (also available as
+//! `numfabric-run fig8 [--full]`).
 
-use numfabric_bench::report::print_table;
-use numfabric_core::protocol::numfabric_network;
-use numfabric_core::{AggregateState, NumFabricAgent, NumFabricConfig};
-use numfabric_num::utility::LogUtility;
-use numfabric_sim::topology::{LeafSpineConfig, Topology};
-use numfabric_sim::{Network, SimTime};
-use numfabric_workloads::scenarios::permutation_pairs;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-
-fn arg_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
-
-/// Run the permutation workload with `subflows` subflows per pair. Returns
-/// per-pair aggregate throughputs in bits per second.
-fn run_permutation(
-    topo_cfg: &LeafSpineConfig,
-    subflows: usize,
-    pooling: bool,
-    seed: u64,
-) -> Vec<f64> {
-    let topo = Topology::leaf_spine(topo_cfg);
-    let pairs = permutation_pairs(&topo, seed);
-    let config = NumFabricConfig::default();
-    let mut net: Network = numfabric_network(topo, &config);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xf1f0);
-
-    let mut pair_flows: Vec<Vec<usize>> = Vec::with_capacity(pairs.len());
-    for (pair_idx, pair) in pairs.iter().enumerate() {
-        let handles = AggregateState::create(subflows);
-        let mut ids = Vec::with_capacity(subflows);
-        for handle in handles {
-            let spine = rng.gen_range(0..topo_cfg.spines.max(1));
-            let agent = if pooling {
-                NumFabricAgent::new(config.clone(), LogUtility::new()).with_aggregate(handle)
-            } else {
-                NumFabricAgent::new(config.clone(), LogUtility::new())
-            };
-            let id = net.add_flow(
-                pair.src,
-                pair.dst,
-                None,
-                SimTime::ZERO,
-                spine,
-                Some(pair_idx),
-                Box::new(agent),
-            );
-            ids.push(id);
-        }
-        pair_flows.push(ids);
-    }
-    net.run_until(SimTime::from_millis(12));
-    pair_flows
-        .iter()
-        .map(|ids| ids.iter().map(|&id| net.flow_rate_estimate(id)).sum())
-        .collect()
-}
+use numfabric_workloads::registry::ScenarioOptions;
 
 fn main() {
-    let topo_cfg = if arg_flag("--full") {
-        LeafSpineConfig::resource_pooling()
-    } else {
-        // Same shape, smaller: 32 hosts, 4 leaves, 8 spines, all 10 Gbps.
-        LeafSpineConfig {
-            hosts: 32,
-            leaves: 4,
-            spines: 8,
-            host_link_bps: 10e9,
-            fabric_link_bps: 10e9,
-            ..LeafSpineConfig::resource_pooling()
-        }
-    };
-    let pairs = topo_cfg.hosts / 2;
-    let optimal_total = pairs as f64 * topo_cfg.host_link_bps;
-
-    println!(
-        "Figure 8a: total throughput (% of optimal) vs number of subflows ({} pairs)\n",
-        pairs
-    );
-    let subflow_counts: Vec<usize> = if arg_flag("--full") {
-        (1..=8).collect()
-    } else {
-        vec![1, 2, 4, 8]
-    };
-    let mut rows = Vec::new();
-    let mut pooled_8: Vec<f64> = Vec::new();
-    let mut unpooled_8: Vec<f64> = Vec::new();
-    for &k in &subflow_counts {
-        let pooled = run_permutation(&topo_cfg, k, true, 5);
-        let unpooled = run_permutation(&topo_cfg, k, false, 5);
-        if k == *subflow_counts.last().unwrap() {
-            pooled_8 = pooled.clone();
-            unpooled_8 = unpooled.clone();
-        }
-        rows.push(vec![
-            format!("{k}"),
-            format!("{:.1}%", pooled.iter().sum::<f64>() / optimal_total * 100.0),
-            format!(
-                "{:.1}%",
-                unpooled.iter().sum::<f64>() / optimal_total * 100.0
-            ),
-        ]);
-    }
-    print_table(
-        &["subflows", "resource pooling", "no resource pooling"],
-        &rows,
-    );
-
-    println!(
-        "\nFigure 8b: per-pair throughput (% of optimal), ranked, with {} subflows\n",
-        subflow_counts.last().unwrap()
-    );
-    let mut ranked_pooled: Vec<f64> = pooled_8
-        .iter()
-        .map(|r| r / topo_cfg.host_link_bps * 100.0)
-        .collect();
-    let mut ranked_unpooled: Vec<f64> = unpooled_8
-        .iter()
-        .map(|r| r / topo_cfg.host_link_bps * 100.0)
-        .collect();
-    ranked_pooled.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    ranked_unpooled.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    let rows: Vec<Vec<String>> = ranked_pooled
-        .iter()
-        .zip(&ranked_unpooled)
-        .enumerate()
-        .map(|(rank, (p, u))| {
-            vec![
-                format!("{}", rank + 1),
-                format!("{p:.1}%"),
-                format!("{u:.1}%"),
-            ]
-        })
-        .collect();
-    print_table(&["rank", "resource pooling", "no resource pooling"], &rows);
-    println!(
-        "\nExpected shape (paper): with 8 subflows, resource pooling reaches close to 100% of the\n\
-         optimal total throughput and the per-pair throughputs are nearly equal; without pooling\n\
-         the total is lower and the spread across pairs much wider."
-    );
+    numfabric_bench::figures::fig8(&ScenarioOptions::from_env());
 }

@@ -1,99 +1,9 @@
-//! Regenerate **Figure 9**: bandwidth-function allocation on a single
-//! bottleneck whose capacity is swept from 5 to 35 Gbps.
-//!
-//! Two flows use the bandwidth functions of Figure 2 (flow 1 has strict
-//! priority for its first 10 Gbps, flow 2 then grows at twice the slope up to
-//! 10 Gbps). For every capacity the measured NUMFabric allocation is compared
-//! to the BwE water-filling allocation.
+//! Regenerate **Figure 9** — thin wrapper over
+//! [`numfabric_bench::figures::fig9`] (also available as
+//! `numfabric-run fig9`).
 
-use numfabric_bench::report::print_table;
-use numfabric_core::protocol::install_numfabric;
-use numfabric_core::{NumFabricAgent, NumFabricConfig};
-use numfabric_num::bandwidth_function::{single_link_allocation, BandwidthFunction};
-use numfabric_num::utility::BandwidthFunctionUtility;
-use numfabric_sim::queue::StfqQueue;
-use numfabric_sim::topology::{NodeKind, Topology};
-use numfabric_sim::{Network, SimDuration, SimTime};
-
-/// Two senders, one switch, one receiver; the switch→receiver link is the
-/// bottleneck whose capacity is swept.
-fn build_topology(bottleneck_gbps: f64) -> (Topology, Vec<usize>) {
-    let mut topo = Topology::new();
-    let src1 = topo.add_node(NodeKind::Host, "src1");
-    let src2 = topo.add_node(NodeKind::Host, "src2");
-    let sw = topo.add_node(NodeKind::Leaf, "sw");
-    let dst = topo.add_node(NodeKind::Host, "dst");
-    let delay = SimDuration::from_micros(2);
-    topo.add_duplex_link(src1, sw, 50e9, delay);
-    topo.add_duplex_link(src2, sw, 50e9, delay);
-    topo.add_duplex_link(sw, dst, bottleneck_gbps * 1e9, delay);
-    (topo, vec![src1, src2, sw, dst])
-}
+use numfabric_workloads::registry::ScenarioOptions;
 
 fn main() {
-    let capacities: Vec<f64> = vec![5.0, 10.0, 15.0, 17.0, 20.0, 25.0, 30.0, 35.0];
-    let config = NumFabricConfig::default();
-    println!("Figure 9: two flows with the Figure-2 bandwidth functions on one bottleneck\n");
-
-    let mut rows = Vec::new();
-    for &cap in &capacities {
-        let (topo, nodes) = build_topology(cap);
-        let (src1, src2, sw, dst) = (nodes[0], nodes[1], nodes[2], nodes[3]);
-        let mut net = Network::new(topo.clone(), |_| Box::new(StfqQueue::with_default_buffer()));
-        install_numfabric(&mut net, &config);
-
-        let bwf1 = BandwidthFunction::paper_flow1();
-        let bwf2 = BandwidthFunction::paper_flow2();
-        let f1 = net.add_flow_on_route(
-            src1,
-            dst,
-            topo.route_via(&[src1, sw, dst]),
-            None,
-            SimTime::ZERO,
-            None,
-            Box::new(NumFabricAgent::new(
-                config.clone(),
-                BandwidthFunctionUtility::new(bwf1.clone()),
-            )),
-        );
-        let f2 = net.add_flow_on_route(
-            src2,
-            dst,
-            topo.route_via(&[src2, sw, dst]),
-            None,
-            SimTime::ZERO,
-            None,
-            Box::new(NumFabricAgent::new(
-                config.clone(),
-                BandwidthFunctionUtility::new(bwf2.clone()),
-            )),
-        );
-        net.run_until(SimTime::from_millis(10));
-
-        let measured1 = net.flow_rate_estimate(f1) / 1e9;
-        let measured2 = net.flow_rate_estimate(f2) / 1e9;
-        let (expected, _) = single_link_allocation(&[bwf1, bwf2], cap);
-        rows.push(vec![
-            format!("{cap:.0} Gbps"),
-            format!("{:.2}", expected[0]),
-            format!("{measured1:.2}"),
-            format!("{:.2}", expected[1]),
-            format!("{measured2:.2}"),
-        ]);
-    }
-    print_table(
-        &[
-            "link capacity",
-            "flow1 expected",
-            "flow1 measured",
-            "flow2 expected",
-            "flow2 measured",
-        ],
-        &rows,
-    );
-    println!(
-        "\nExpected shape (paper): the measured allocation tracks the bandwidth-function\n\
-         water-filling allocation across all capacities (flow 1 takes everything up to 10 Gbps,\n\
-         flow 2 then catches up at twice the slope until it saturates at 10 Gbps)."
-    );
+    numfabric_bench::figures::fig9(&ScenarioOptions::from_env());
 }

@@ -1,60 +1,9 @@
-//! Regenerate **Table 2**: the default parameter settings of every scheme.
+//! Regenerate **Table 2** — thin wrapper over
+//! [`numfabric_bench::figures::table2`] (also available as
+//! `numfabric-run table2`).
 
-use numfabric_baselines::{DgdConfig, RcpStarConfig};
-use numfabric_bench::report::print_table;
-use numfabric_core::NumFabricConfig;
+use numfabric_workloads::registry::ScenarioOptions;
 
 fn main() {
-    println!("Table 2: default parameter settings in simulations\n");
-
-    let nf = NumFabricConfig::paper_default();
-    let dgd = DgdConfig::default();
-    let rcp = RcpStarConfig::default();
-
-    println!("NUMFabric [Table 2 of the paper]");
-    print_table(
-        &["parameter", "value"],
-        &[
-            vec!["ewmaTime".into(), format!("{}", nf.ewma_time)],
-            vec!["dt".into(), format!("{}", nf.dt)],
-            vec![
-                "priceUpdateInterval".into(),
-                format!("{}", nf.price_update_interval),
-            ],
-            vec!["eta (Eq. 10)".into(), format!("{}", nf.eta)],
-            vec!["beta (Eq. 11)".into(), format!("{}", nf.beta)],
-            vec![
-                "initial burst".into(),
-                format!("{} packets", nf.initial_burst_packets),
-            ],
-        ],
-    );
-
-    println!("\nDGD [Eq. 14] (gains adapted to Gbps/byte units; see DESIGN.md)");
-    print_table(
-        &["parameter", "value"],
-        &[
-            vec![
-                "priceUpdateInterval".into(),
-                format!("{}", dgd.price_update_interval),
-            ],
-            vec!["a".into(), format!("{:e} per Gbps", dgd.a_per_gbps)],
-            vec!["b".into(), format!("{:e} per byte", dgd.b_per_byte)],
-            vec!["unacked cap".into(), format!("{} BDP", dgd.unacked_cap_bdp)],
-        ],
-    );
-
-    println!("\nRCP* [Eq. 15]");
-    print_table(
-        &["parameter", "value"],
-        &[
-            vec![
-                "rateUpdateInterval".into(),
-                format!("{}", rcp.rate_update_interval),
-            ],
-            vec!["a".into(), format!("{}", rcp.a)],
-            vec!["b".into(), format!("{}", rcp.b)],
-            vec!["alpha".into(), format!("{}", rcp.alpha)],
-        ],
-    );
+    numfabric_bench::figures::table2(&ScenarioOptions::from_env());
 }

@@ -2,8 +2,10 @@
 //!
 //! The benchmark harness that regenerates every table and figure of the
 //! NUMFabric paper's evaluation (§6). The library half contains the shared
-//! drivers; one binary per figure lives in `src/bin/` (run them with
-//! `cargo run --release -p numfabric-bench --bin figNN`), and Criterion
+//! drivers; every scenario is registered by name in [`figures::registry`]
+//! and dispatched by the single `numfabric-run` binary
+//! (`cargo run --release -p numfabric-bench --bin numfabric-run -- --list`).
+//! The per-figure `figNN` binaries are kept as thin wrappers. Criterion
 //! micro-benchmarks live in `benches/`.
 //!
 //! * [`protocols`] — build any of the compared schemes (NUMFabric, DGD,
@@ -12,20 +14,24 @@
 //!   (Figures 4a, 4b/c and 6).
 //! * [`dynamic`] — Poisson-arrival workloads with Oracle and empty-network
 //!   references (Figures 5 and 7).
+//! * [`figures`] — every figure/table as a registry-dispatchable function.
 //! * [`report`] — percentiles, CDFs, Fig. 5 bins and table printing.
 //!
-//! Every binary accepts `--full` to run at the paper's scale (128 hosts,
-//! 1000 paths, 100 events, …); the default is a reduced-scale run with the
-//! same structure that finishes in minutes on a laptop.
+//! Scenarios that list `--full` in their usage run at the paper's scale
+//! with it (128 hosts, 1000 paths, 100 events, …); the default is a
+//! reduced-scale run with the same structure that finishes in minutes on a
+//! laptop.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod dynamic;
+pub mod figures;
 pub mod protocols;
 pub mod report;
 pub mod semi_dynamic;
 
 pub use dynamic::{generate_arrivals, run_dynamic, DynamicFlowResult, DynamicRun, Objective};
+pub use figures::registry;
 pub use protocols::Protocol;
 pub use semi_dynamic::{rate_timeseries, run_semi_dynamic, SemiDynamicResult, SemiDynamicRun};

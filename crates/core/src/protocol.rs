@@ -231,7 +231,7 @@ impl FlowAgent for NumFabricAgent {
             ctx.base_rtt(),
             MTU_BYTES as u64,
         ));
-        self.path_len_hint = ctx.spec().route.len() as u32;
+        self.path_len_hint = ctx.route().len() as u32;
         self.recompute_weight();
 
         // Initial burst (§4.1): enough packets to produce inter-packet time

@@ -125,19 +125,15 @@ mod tests {
     use super::*;
     use numfabric_sim::packet::DEFAULT_PAYLOAD_BYTES;
     use numfabric_sim::topology::Route;
-    use std::sync::Arc;
+    use numfabric_sim::RouteTable;
 
     fn controller() -> XwiPriceController {
         XwiPriceController::new(&NumFabricConfig::default(), 10e9)
     }
 
     fn data_packet(residual: f64) -> Packet {
-        let mut p = Packet::data(
-            0,
-            0,
-            DEFAULT_PAYLOAD_BYTES,
-            Arc::new(Route { links: vec![0] }),
-        );
+        let route = RouteTable::new().intern(Route { links: vec![0] });
+        let mut p = Packet::data(0, 0, DEFAULT_PAYLOAD_BYTES, route);
         p.header.normalized_residual = residual;
         p
     }
@@ -238,7 +234,7 @@ mod tests {
     #[test]
     fn control_packets_do_not_affect_the_minimum_residual() {
         let mut ctrl = controller();
-        let mut ack = Packet::ack(0, Arc::new(Route { links: vec![0] }));
+        let mut ack = Packet::ack(0, RouteTable::new().intern(Route { links: vec![0] }));
         ack.header.normalized_residual = -100.0;
         ctrl.on_enqueue(&mut ack, SimTime::ZERO);
         run_interval(&mut ctrl, 25, 0.4);

@@ -16,7 +16,7 @@
 //! property-test subjects — the xWI fixed point must solve the NUM problem —
 //! and (c) by the benchmark harness for iteration-count comparisons.
 
-use crate::maxmin::weighted_max_min;
+use crate::maxmin::{weighted_max_min_into, MaxMinWorkspace};
 use crate::oracle::OracleSolution;
 use crate::topology::FluidNetwork;
 use crate::{clamp_rate, MAX_RATE};
@@ -34,15 +34,43 @@ pub struct FluidState {
 
 /// A fluid-model NUM algorithm that can be stepped one synchronous iteration
 /// at a time.
+///
+/// Implementors provide the allocation-free [`Self::step_in_place`] plus
+/// borrowing accessors; the snapshot-returning [`Self::step`] / [`Self::state`]
+/// conveniences are derived from them, so hot loops (convergence counting,
+/// benchmarks) can iterate without per-step clones while observers still get
+/// owned [`FluidState`]s.
 pub trait FluidAlgorithm {
-    /// Advance one iteration and return the new state.
-    fn step(&mut self) -> FluidState;
+    /// Advance one iteration, updating the internal rate and price vectors
+    /// without allocating.
+    fn step_in_place(&mut self);
 
-    /// The current state without stepping.
-    fn state(&self) -> FluidState;
+    /// The current flow rates.
+    fn rates(&self) -> &[f64];
+
+    /// The current link prices (per-link fair-share rates for RCP*).
+    fn prices(&self) -> &[f64];
+
+    /// The iteration counter (0 = initial state).
+    fn iteration(&self) -> usize;
 
     /// A short name for reports.
     fn name(&self) -> &'static str;
+
+    /// Advance one iteration and return a snapshot of the new state.
+    fn step(&mut self) -> FluidState {
+        self.step_in_place();
+        self.state()
+    }
+
+    /// A snapshot of the current state without stepping.
+    fn state(&self) -> FluidState {
+        FluidState {
+            iteration: self.iteration(),
+            rates: self.rates().to_vec(),
+            prices: self.prices().to_vec(),
+        }
+    }
 
     /// Run until the rates are within `rel_tol` of `target` for every flow
     /// (relative to the target, with an absolute floor), or until `max_iters`
@@ -55,9 +83,9 @@ pub trait FluidAlgorithm {
         max_iters: usize,
     ) -> Option<usize> {
         for it in 1..=max_iters {
-            let state = self.step();
-            let ok = state
-                .rates
+            self.step_in_place();
+            let ok = self
+                .rates()
                 .iter()
                 .zip(target.iter())
                 .all(|(&x, &t)| (x - t).abs() <= rel_tol * t.max(1e-9));
@@ -98,6 +126,11 @@ pub struct XwiFluid {
     prices: Vec<f64>,
     rates: Vec<f64>,
     iteration: usize,
+    // Reusable buffers: step_in_place allocates nothing after construction.
+    weights: Vec<f64>,
+    prices_next: Vec<f64>,
+    loads: Vec<f64>,
+    maxmin: MaxMinWorkspace,
 }
 
 impl XwiFluid {
@@ -106,12 +139,17 @@ impl XwiFluid {
         assert!(initial_price >= 0.0, "prices are non-negative");
         let m = net.num_links();
         let n = net.num_flows();
+        let maxmin = MaxMinWorkspace::for_network(&net);
         Self {
             net,
             params,
             prices: vec![initial_price; m],
             rates: vec![0.0; n],
             iteration: 0,
+            weights: Vec::with_capacity(n),
+            prices_next: vec![0.0; m],
+            loads: vec![0.0; m],
+            maxmin,
         }
     }
 
@@ -139,13 +177,15 @@ impl XwiFluid {
             self.net.num_links(),
             "replace_flows keeps the link set"
         );
-        self.rates = vec![0.0; net.num_flows()];
+        self.rates.clear();
+        self.rates.resize(net.num_flows(), 0.0);
+        self.maxmin = MaxMinWorkspace::for_network(&net);
         self.net = net;
     }
 }
 
 impl FluidAlgorithm for XwiFluid {
-    fn step(&mut self) -> FluidState {
+    fn step_in_place(&mut self) {
         let net = &self.net;
         let n = net.num_flows();
         let m = net.num_links();
@@ -157,33 +197,36 @@ impl FluidAlgorithm for XwiFluid {
                 let new = (*p - self.params.eta * *p).max(0.0);
                 *p = self.params.beta * *p + (1.0 - self.params.beta) * new;
             }
-            return self.state();
+            return;
         }
 
         // Eq. 7: weights from path prices.
-        let weights: Vec<f64> = (0..n)
-            .map(|i| {
-                let p = net.path_price(&self.prices, i);
-                let w = net.flows()[i].utility.inverse_marginal(p.max(0.0));
-                // Swift weights must be positive and finite.
-                clamp_rate(w).min(MAX_RATE)
-            })
-            .collect();
+        let prices = &self.prices;
+        self.weights.clear();
+        self.weights.extend((0..n).map(|i| {
+            let p = net.path_price(prices, i);
+            let w = net.flows()[i].utility.inverse_marginal(p.max(0.0));
+            // Swift weights must be positive and finite.
+            clamp_rate(w).min(MAX_RATE)
+        }));
 
         // Eq. 8: Swift's weighted max-min allocation.
-        let rates = weighted_max_min(net, &weights);
+        weighted_max_min_into(net, &self.weights, &mut self.maxmin, &mut self.rates);
 
         // Eqs. 9–11: price update per link.
-        let loads = net.link_loads(&rates);
-        let caps = net.capacities();
-        let flows_per_link = net.flows_per_link();
-        let mut new_prices = self.prices.clone();
+        net.link_loads_into(&self.rates, &mut self.loads);
+        let caps = self.maxmin.capacities();
+        let flows_per_link = self.maxmin.flows_per_link();
+        let rates = &self.rates;
+        self.prices_next.clear();
+        self.prices_next.resize(m, 0.0);
         for l in 0..m {
             let flows = &flows_per_link[l];
             if flows.is_empty() {
                 // No flows: decay to zero.
                 let res = (self.prices[l] - self.params.eta * self.prices[l]).max(0.0);
-                new_prices[l] = self.params.beta * self.prices[l] + (1.0 - self.params.beta) * res;
+                self.prices_next[l] =
+                    self.params.beta * self.prices[l] + (1.0 - self.params.beta) * res;
                 continue;
             }
             // Minimum normalized residual over the flows crossing this link.
@@ -196,21 +239,24 @@ impl FluidAlgorithm for XwiFluid {
                 })
                 .fold(f64::INFINITY, f64::min);
             let p_res = self.prices[l] + min_res;
-            let utilization = (loads[l] / caps[l]).min(1.0);
+            let utilization = (self.loads[l] / caps[l]).min(1.0);
             let p_new = (p_res - self.params.eta * (1.0 - utilization) * self.prices[l]).max(0.0);
-            new_prices[l] = self.params.beta * self.prices[l] + (1.0 - self.params.beta) * p_new;
+            self.prices_next[l] =
+                self.params.beta * self.prices[l] + (1.0 - self.params.beta) * p_new;
         }
-        self.prices = new_prices;
-        self.rates = rates;
-        self.state()
+        std::mem::swap(&mut self.prices, &mut self.prices_next);
     }
 
-    fn state(&self) -> FluidState {
-        FluidState {
-            iteration: self.iteration,
-            rates: self.rates.clone(),
-            prices: self.prices.clone(),
-        }
+    fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    fn prices(&self) -> &[f64] {
+        &self.prices
+    }
+
+    fn iteration(&self) -> usize {
+        self.iteration
     }
 
     fn name(&self) -> &'static str {
@@ -241,6 +287,8 @@ pub struct DgdFluid {
     prices: Vec<f64>,
     rates: Vec<f64>,
     iteration: usize,
+    /// Reusable link-load buffer (step_in_place allocates nothing).
+    loads: Vec<f64>,
 }
 
 impl DgdFluid {
@@ -255,6 +303,7 @@ impl DgdFluid {
             prices: vec![initial_price; m],
             rates: vec![0.0; n],
             iteration: 0,
+            loads: vec![0.0; m],
         }
     }
 
@@ -266,13 +315,14 @@ impl DgdFluid {
     /// Replace the flow population, keeping prices (flow churn event).
     pub fn replace_flows(&mut self, net: FluidNetwork) {
         assert_eq!(net.num_links(), self.net.num_links());
-        self.rates = vec![0.0; net.num_flows()];
+        self.rates.clear();
+        self.rates.resize(net.num_flows(), 0.0);
         self.net = net;
     }
 }
 
 impl FluidAlgorithm for DgdFluid {
-    fn step(&mut self) -> FluidState {
+    fn step_in_place(&mut self) {
         let net = &self.net;
         let n = net.num_flows();
         self.iteration += 1;
@@ -281,37 +331,40 @@ impl FluidAlgorithm for DgdFluid {
         // when prices are wrong — that is precisely its weakness; we cap the
         // per-flow rate at the largest link capacity on its path to model the
         // 2×BDP cap the paper's implementation uses.
-        let rates: Vec<f64> = (0..n)
-            .map(|i| {
-                let p = net.path_price(&self.prices, i);
-                let cap = net.flows()[i]
-                    .path
-                    .iter()
-                    .map(|&l| net.links()[l].capacity)
-                    .fold(f64::INFINITY, f64::min);
-                net.flows()[i]
-                    .utility
-                    .inverse_marginal(p.max(0.0))
-                    .min(2.0 * cap)
-            })
-            .collect();
+        let prices = &self.prices;
+        self.rates.clear();
+        self.rates.extend((0..n).map(|i| {
+            let p = net.path_price(prices, i);
+            let cap = net.flows()[i]
+                .path
+                .iter()
+                .map(|&l| net.links()[l].capacity)
+                .fold(f64::INFINITY, f64::min);
+            net.flows()[i]
+                .utility
+                .inverse_marginal(p.max(0.0))
+                .min(2.0 * cap)
+        }));
 
         // Eq. 4: gradient step on each link price.
-        let loads = net.link_loads(&rates);
-        let caps = net.capacities();
+        net.link_loads_into(&self.rates, &mut self.loads);
         for l in 0..net.num_links() {
-            self.prices[l] = (self.prices[l] + self.params.gamma * (loads[l] - caps[l])).max(0.0);
+            self.prices[l] = (self.prices[l]
+                + self.params.gamma * (self.loads[l] - net.links()[l].capacity))
+                .max(0.0);
         }
-        self.rates = rates;
-        self.state()
     }
 
-    fn state(&self) -> FluidState {
-        FluidState {
-            iteration: self.iteration,
-            rates: self.rates.clone(),
-            prices: self.prices.clone(),
-        }
+    fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    fn prices(&self) -> &[f64] {
+        &self.prices
+    }
+
+    fn iteration(&self) -> usize {
+        self.iteration
     }
 
     fn name(&self) -> &'static str {
@@ -346,6 +399,8 @@ pub struct RcpStarFluid {
     shares: Vec<f64>,
     rates: Vec<f64>,
     iteration: usize,
+    /// Reusable link-load buffer (step_in_place allocates nothing).
+    loads: Vec<f64>,
 }
 
 impl RcpStarFluid {
@@ -360,12 +415,14 @@ impl RcpStarFluid {
             .map(|(l, link)| link.capacity / flows_per_link[l].len().max(1) as f64)
             .collect();
         let n = net.num_flows();
+        let m = net.num_links();
         Self {
             net,
             params,
             shares,
             rates: vec![0.0; n],
             iteration: 0,
+            loads: vec![0.0; m],
         }
     }
 
@@ -377,51 +434,54 @@ impl RcpStarFluid {
     /// Replace the flow population, keeping advertised rates.
     pub fn replace_flows(&mut self, net: FluidNetwork) {
         assert_eq!(net.num_links(), self.net.num_links());
-        self.rates = vec![0.0; net.num_flows()];
+        self.rates.clear();
+        self.rates.resize(net.num_flows(), 0.0);
         self.net = net;
     }
 }
 
 impl FluidAlgorithm for RcpStarFluid {
-    fn step(&mut self) -> FluidState {
+    fn step_in_place(&mut self) {
         let net = &self.net;
         let n = net.num_flows();
         self.iteration += 1;
 
         // Eq. 16: flow rates from the advertised per-link shares.
         let alpha = self.params.alpha;
-        let rates: Vec<f64> = (0..n)
-            .map(|i| {
-                let sum: f64 = net.flows()[i]
-                    .path
-                    .iter()
-                    .map(|&l| self.shares[l].max(1e-12).powf(-alpha))
-                    .sum();
-                if sum <= 0.0 {
-                    MAX_RATE
-                } else {
-                    clamp_rate(sum.powf(-1.0 / alpha))
-                }
-            })
-            .collect();
+        let shares = &self.shares;
+        self.rates.clear();
+        self.rates.extend((0..n).map(|i| {
+            let sum: f64 = net.flows()[i]
+                .path
+                .iter()
+                .map(|&l| shares[l].max(1e-12).powf(-alpha))
+                .sum();
+            if sum <= 0.0 {
+                MAX_RATE
+            } else {
+                clamp_rate(sum.powf(-1.0 / alpha))
+            }
+        }));
 
         // Eq. 15 (fluid): multiplicative update from spare capacity.
-        let loads = net.link_loads(&rates);
+        net.link_loads_into(&self.rates, &mut self.loads);
         for (l, link) in net.links().iter().enumerate() {
-            let spare = (link.capacity - loads[l]) / link.capacity;
+            let spare = (link.capacity - self.loads[l]) / link.capacity;
             let factor = 1.0 + self.params.a * spare;
             self.shares[l] = (self.shares[l] * factor.max(0.1)).clamp(1e-9, MAX_RATE);
         }
-        self.rates = rates;
-        self.state()
     }
 
-    fn state(&self) -> FluidState {
-        FluidState {
-            iteration: self.iteration,
-            rates: self.rates.clone(),
-            prices: self.shares.clone(),
-        }
+    fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    fn prices(&self) -> &[f64] {
+        &self.shares
+    }
+
+    fn iteration(&self) -> usize {
+        self.iteration
     }
 
     fn name(&self) -> &'static str {

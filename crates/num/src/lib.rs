@@ -41,7 +41,7 @@ pub mod utility;
 
 pub use bandwidth_function::BandwidthFunction;
 pub use kkt::KktResiduals;
-pub use maxmin::weighted_max_min;
+pub use maxmin::{weighted_max_min, weighted_max_min_into, MaxMinWorkspace};
 pub use oracle::{Oracle, OracleSolution};
 pub use topology::{FlowId, FluidFlow, FluidLink, FluidNetwork, LinkId, MultipathGroups};
 pub use utility::{

@@ -12,8 +12,43 @@
 //! which the packet-level Swift transport is validated, and (c) to compute
 //! ideal allocations for the resource-pooling experiments.
 
-use crate::topology::FluidNetwork;
+use crate::topology::{FlowId, FluidNetwork};
 use crate::EPS;
+
+/// Reusable state for [`weighted_max_min_into`]: the per-link flow lists and
+/// capacities of a fixed network plus the solver's scratch vectors, so
+/// repeated solves (e.g. one per fluid-model iteration) allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct MaxMinWorkspace {
+    flows_per_link: Vec<Vec<FlowId>>,
+    capacities: Vec<f64>,
+    frozen: Vec<bool>,
+    consumed: Vec<f64>,
+    live_weight: Vec<f64>,
+}
+
+impl MaxMinWorkspace {
+    /// Precompute the per-link structure of `net`.
+    pub fn for_network(net: &FluidNetwork) -> Self {
+        Self {
+            flows_per_link: net.flows_per_link(),
+            capacities: net.capacities(),
+            frozen: Vec::new(),
+            consumed: Vec::new(),
+            live_weight: Vec::new(),
+        }
+    }
+
+    /// The flows crossing each link (index = link id).
+    pub fn flows_per_link(&self) -> &[Vec<FlowId>] {
+        &self.flows_per_link
+    }
+
+    /// The link capacities (index = link id).
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+}
 
 /// Compute the weighted max-min allocation for `weights` on `net`.
 ///
@@ -27,6 +62,27 @@ use crate::EPS;
 /// Panics if `weights.len() != net.num_flows()` or any weight is not finite
 /// or not strictly positive.
 pub fn weighted_max_min(net: &FluidNetwork, weights: &[f64]) -> Vec<f64> {
+    let mut workspace = MaxMinWorkspace::for_network(net);
+    let mut rates = Vec::new();
+    weighted_max_min_into(net, weights, &mut workspace, &mut rates);
+    rates
+}
+
+/// Allocation-free variant of [`weighted_max_min`]: writes the rates into
+/// `rates` (resized as needed) using buffers in `workspace`, which must have
+/// been built with [`MaxMinWorkspace::for_network`] for this `net`.
+///
+/// Produces bit-identical results to [`weighted_max_min`] — the operation
+/// order is unchanged, only the buffer reuse differs.
+///
+/// # Panics
+/// As [`weighted_max_min`].
+pub fn weighted_max_min_into(
+    net: &FluidNetwork,
+    weights: &[f64],
+    workspace: &mut MaxMinWorkspace,
+    rates: &mut Vec<f64>,
+) {
     assert_eq!(weights.len(), net.num_flows(), "one weight per flow");
     for (i, &w) in weights.iter().enumerate() {
         assert!(
@@ -36,21 +92,27 @@ pub fn weighted_max_min(net: &FluidNetwork, weights: &[f64]) -> Vec<f64> {
     }
     let n = net.num_flows();
     let m = net.num_links();
+    rates.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
+    rates.resize(n, 0.0);
 
-    let flows_per_link = net.flows_per_link();
-    let capacities = net.capacities();
-
-    let mut frozen = vec![false; n];
-    let mut rates = vec![0.0_f64; n];
+    let MaxMinWorkspace {
+        flows_per_link,
+        capacities,
+        frozen,
+        consumed,
+        live_weight,
+    } = workspace;
+    frozen.clear();
+    frozen.resize(n, false);
     // Capacity already consumed on each link by frozen flows.
-    let mut consumed = vec![0.0_f64; m];
+    consumed.clear();
+    consumed.resize(m, 0.0);
     // Sum of weights of unfrozen flows on each link.
-    let mut live_weight: Vec<f64> = (0..m)
-        .map(|l| flows_per_link[l].iter().map(|&i| weights[i]).sum())
-        .collect();
+    live_weight.clear();
+    live_weight.extend((0..m).map(|l| flows_per_link[l].iter().map(|&i| weights[i]).sum::<f64>()));
 
     // Common water level: every unfrozen flow has rate w_i * level.
     let mut level = 0.0_f64;
@@ -124,7 +186,6 @@ pub fn weighted_max_min(net: &FluidNetwork, weights: &[f64]) -> Vec<f64> {
             break;
         }
     }
-    rates
 }
 
 /// The max-min fair allocation (all weights equal to 1).

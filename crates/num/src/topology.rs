@@ -170,14 +170,25 @@ impl FluidNetwork {
     /// # Panics
     /// Panics if `rates.len() != num_flows()`.
     pub fn link_loads(&self, rates: &[f64]) -> Vec<f64> {
+        let mut loads = Vec::new();
+        self.link_loads_into(rates, &mut loads);
+        loads
+    }
+
+    /// Allocation-free variant of [`Self::link_loads`]: writes the loads into
+    /// `loads`, resizing it to `num_links()`.
+    ///
+    /// # Panics
+    /// Panics if `rates.len() != num_flows()`.
+    pub fn link_loads_into(&self, rates: &[f64], loads: &mut Vec<f64>) {
         assert_eq!(rates.len(), self.flows.len(), "one rate per flow");
-        let mut loads = vec![0.0; self.links.len()];
+        loads.clear();
+        loads.resize(self.links.len(), 0.0);
         for (i, f) in self.flows.iter().enumerate() {
             for &l in &f.path {
                 loads[l] += rates[i];
             }
         }
-        loads
     }
 
     /// Whether the rate vector respects every link capacity up to a relative

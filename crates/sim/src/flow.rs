@@ -1,8 +1,8 @@
 //! Flow descriptions and per-flow bookkeeping.
 
+use crate::routes::RouteId;
 use crate::time::{SimDuration, SimTime};
-use crate::topology::{NodeId, Route};
-use std::sync::Arc;
+use crate::topology::NodeId;
 
 /// Where a flow is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,10 +30,11 @@ pub struct FlowSpec {
     pub size_bytes: Option<u64>,
     /// When the flow starts.
     pub start_time: SimTime,
-    /// Forward (data) route.
-    pub route: Arc<Route>,
-    /// Reverse (ACK) route.
-    pub reverse_route: Arc<Route>,
+    /// Forward (data) route, interned in the owning network's route table
+    /// (resolve with [`crate::network::Network::route`]).
+    pub route: RouteId,
+    /// Reverse (ACK) route, interned alongside the forward route.
+    pub reverse_route: RouteId,
     /// Base round-trip time along the route with empty queues (`d0` in the
     /// Swift window computation).
     pub base_rtt: SimDuration,

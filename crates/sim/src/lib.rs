@@ -58,6 +58,7 @@ pub mod network;
 pub mod packet;
 pub mod queue;
 pub mod reference;
+pub mod routes;
 pub mod time;
 pub mod topology;
 pub mod tracer;
@@ -67,6 +68,7 @@ pub use flow::{FlowPhase, FlowSpec, FlowStats};
 pub use network::{AgentCtx, LinkStats, Network, NetworkConfig};
 pub use packet::{FlowId, Packet, PacketHeader, PacketKind};
 pub use queue::{DropTailFifo, EcnFifo, PfabricQueue, QueueDiscipline, StfqQueue};
+pub use routes::{RouteId, RouteTable};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LeafSpineConfig, LinkId, NodeId, Route, Topology};
 pub use tracer::{EwmaRateTracer, RateSeries};

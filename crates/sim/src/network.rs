@@ -18,11 +18,11 @@ use crate::event::{Event, EventQueue};
 use crate::flow::{FlowPhase, FlowSpec, FlowStats};
 use crate::packet::{FlowId, Packet, PacketHeader, PacketKind, SeqNo, HEADER_BYTES, MTU_BYTES};
 use crate::queue::QueueDiscipline;
+use crate::routes::{RouteId, RouteTable};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, NodeId, Route, Topology};
 use crate::tracer::EwmaRateTracer;
 use crate::transport::{FlowAgent, LinkController};
-use std::sync::Arc;
 
 /// Snapshot of one link's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -76,6 +76,7 @@ pub struct Network {
     topo: Topology,
     links: Vec<LinkRuntime>,
     flows: Vec<FlowRuntime>,
+    routes: RouteTable,
     events: EventQueue,
     clock: SimTime,
     config: NetworkConfig,
@@ -111,6 +112,7 @@ impl Network {
             topo,
             links,
             flows: Vec::new(),
+            routes: RouteTable::new(),
             events: EventQueue::new(),
             clock: SimTime::ZERO,
             config,
@@ -120,6 +122,17 @@ impl Network {
     /// The topology this network was built from.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Resolve an interned route id (from a [`FlowSpec`] or [`Packet`]) to
+    /// the route itself.
+    pub fn route(&self, id: RouteId) -> &Route {
+        self.routes.get(id)
+    }
+
+    /// The network's route arena (interned, deduplicated flow routes).
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
     }
 
     /// Current simulation time.
@@ -188,13 +201,15 @@ impl Network {
         let base_rtt = self
             .topo
             .base_rtt(&route, MTU_BYTES as u64, HEADER_BYTES as u64);
+        let route = self.routes.intern(route);
+        let reverse_route = self.routes.intern(reverse);
         let spec = FlowSpec {
             src,
             dst,
             size_bytes,
             start_time: start_time.max(self.clock),
-            route: Arc::new(route),
-            reverse_route: Arc::new(reverse),
+            route,
+            reverse_route,
             base_rtt,
             group,
         };
@@ -344,7 +359,7 @@ impl Network {
     fn handle_flow_stop(&mut self, flow: FlowId) {
         if self.flows[flow].phase == FlowPhase::Active {
             self.flows[flow].phase = FlowPhase::Stopped;
-            for &l in &self.flows[flow].spec.route.links.clone() {
+            for &l in self.routes.links(self.flows[flow].spec.route) {
                 self.links[l].queue.release_flow(flow);
             }
         }
@@ -367,10 +382,7 @@ impl Network {
 
     fn handle_arrival(&mut self, _link: LinkId, mut packet: Packet) {
         packet.advance_hop();
-        if !packet.at_destination() {
-            let next = packet
-                .next_link()
-                .expect("non-terminal packet must have a next link");
+        if let Some(next) = packet.next_link(&self.routes) {
             self.enqueue_on_link(next, packet);
             return;
         }
@@ -411,8 +423,8 @@ impl Network {
             if fr.stats.bytes_delivered >= size {
                 fr.phase = FlowPhase::Completed;
                 fr.stats.completed_at = Some(self.clock);
-                let route = fr.spec.route.clone();
-                for &l in &route.links {
+                let route = fr.spec.route;
+                for &l in self.routes.links(route) {
                     self.links[l].queue.release_flow(flow);
                 }
             }
@@ -525,18 +537,22 @@ impl AgentCtx<'_> {
             .map(|s| s.saturating_sub(fr.stats.bytes_sent))
     }
 
+    /// The flow's forward route.
+    pub fn route(&self) -> &Route {
+        self.net.routes.get(self.net.flows[self.flow].spec.route)
+    }
+
     /// Capacity of the flow's first-hop (host NIC) link, in bits/s.
     pub fn first_hop_capacity_bps(&self) -> f64 {
-        let first = self.net.flows[self.flow].spec.route.links[0];
+        let first = self.net.routes.links(self.net.flows[self.flow].spec.route)[0];
         self.net.links[first].capacity_bps
     }
 
     /// The smallest link capacity along the flow's path, in bits/s.
     pub fn bottleneck_capacity_bps(&self) -> f64 {
-        self.net.flows[self.flow]
-            .spec
-            .route
-            .links
+        self.net
+            .routes
+            .links(self.net.flows[self.flow].spec.route)
             .iter()
             .map(|&l| self.net.links[l].capacity_bps)
             .fold(f64::INFINITY, f64::min)
@@ -555,7 +571,7 @@ impl AgentCtx<'_> {
         payload_bytes: u32,
         modify: impl FnOnce(&mut PacketHeader),
     ) -> u32 {
-        let route = self.net.flows[self.flow].spec.route.clone();
+        let route = self.net.flows[self.flow].spec.route;
         let mut packet = Packet::data(self.flow, seq, payload_bytes, route);
         packet.header.sent_time = self.net.clock;
         modify(&mut packet.header);
@@ -565,28 +581,28 @@ impl AgentCtx<'_> {
             stats.bytes_sent += payload_bytes as u64;
             stats.packets_sent += 1;
         }
-        let first = packet.route.links[0];
+        let first = self.net.routes.links(route)[0];
         self.net.enqueue_on_link(first, packet);
         wire
     }
 
     /// Send a SYN packet along the forward route.
     pub fn send_syn(&mut self, modify: impl FnOnce(&mut PacketHeader)) {
-        let route = self.net.flows[self.flow].spec.route.clone();
+        let route = self.net.flows[self.flow].spec.route;
         let mut packet = Packet::syn(self.flow, route);
         packet.header.sent_time = self.net.clock;
         modify(&mut packet.header);
-        let first = packet.route.links[0];
+        let first = self.net.routes.links(route)[0];
         self.net.enqueue_on_link(first, packet);
     }
 
     /// Send an ACK along the reverse route (receiver side).
     pub fn send_ack(&mut self, modify: impl FnOnce(&mut PacketHeader)) {
-        let route = self.net.flows[self.flow].spec.reverse_route.clone();
+        let route = self.net.flows[self.flow].spec.reverse_route;
         let mut packet = Packet::ack(self.flow, route);
         packet.header.sent_time = self.net.clock;
         modify(&mut packet.header);
-        let first = packet.route.links[0];
+        let first = self.net.routes.links(route)[0];
         self.net.enqueue_on_link(first, packet);
     }
 
@@ -763,7 +779,7 @@ mod tests {
         );
         net.run_until(SimTime::from_millis(20));
         assert_eq!(net.flow_phase(flow), FlowPhase::Completed);
-        let first_link = net.flow_spec(flow).route.links[0];
+        let first_link = net.route(net.flow_spec(flow).route).links[0];
         let stats = net.link_stats(first_link);
         assert!(stats.packets_transmitted >= 100);
         assert!(stats.bytes_transmitted >= 150_000);

@@ -9,9 +9,8 @@
 //! header, [`PacketHeader`] is the union of all of these; each protocol only
 //! reads and writes the fields it defines.
 
+use crate::routes::{RouteId, RouteTable};
 use crate::time::{SimDuration, SimTime};
-use crate::topology::Route;
-use std::sync::Arc;
 
 /// Identifier of a flow within a [`crate::network::Network`].
 pub type FlowId = usize;
@@ -132,15 +131,16 @@ pub struct Packet {
     pub kind: PacketKind,
     /// Transport header fields.
     pub header: PacketHeader,
-    /// The route this packet follows (shared, precomputed at flow setup).
-    pub route: Arc<Route>,
+    /// The route this packet follows, interned in the network's
+    /// [`RouteTable`] at flow setup (copyable — forwarding never clones).
+    pub route: RouteId,
     /// Index of the next link on `route` the packet has yet to traverse.
     pub hop: usize,
 }
 
 impl Packet {
     /// Create a data packet.
-    pub fn data(flow: FlowId, seq: SeqNo, payload_bytes: u32, route: Arc<Route>) -> Self {
+    pub fn data(flow: FlowId, seq: SeqNo, payload_bytes: u32, route: RouteId) -> Self {
         Self {
             flow,
             seq,
@@ -154,7 +154,7 @@ impl Packet {
     }
 
     /// Create a pure ACK packet.
-    pub fn ack(flow: FlowId, route: Arc<Route>) -> Self {
+    pub fn ack(flow: FlowId, route: RouteId) -> Self {
         Self {
             flow,
             seq: 0,
@@ -168,7 +168,7 @@ impl Packet {
     }
 
     /// Create a SYN packet.
-    pub fn syn(flow: FlowId, route: Arc<Route>) -> Self {
+    pub fn syn(flow: FlowId, route: RouteId) -> Self {
         Self {
             flow,
             seq: 0,
@@ -189,13 +189,15 @@ impl Packet {
 
     /// The next link this packet must traverse, if it has not reached its
     /// destination yet.
-    pub fn next_link(&self) -> Option<crate::topology::LinkId> {
-        self.route.links.get(self.hop).copied()
+    #[inline]
+    pub fn next_link(&self, routes: &RouteTable) -> Option<crate::topology::LinkId> {
+        routes.links(self.route).get(self.hop).copied()
     }
 
     /// Whether the packet has traversed its entire route.
-    pub fn at_destination(&self) -> bool {
-        self.hop >= self.route.links.len()
+    #[inline]
+    pub fn at_destination(&self, routes: &RouteTable) -> bool {
+        self.hop >= routes.links(self.route).len()
     }
 
     /// Advance to the next hop (called by the network when the packet finishes
@@ -210,13 +212,16 @@ mod tests {
     use super::*;
     use crate::topology::Route;
 
-    fn route(links: Vec<usize>) -> Arc<Route> {
-        Arc::new(Route { links })
+    fn route(links: Vec<usize>) -> (RouteTable, RouteId) {
+        let mut table = RouteTable::new();
+        let id = table.intern(Route { links });
+        (table, id)
     }
 
     #[test]
     fn data_packet_sizes_include_header() {
-        let p = Packet::data(3, 1460, DEFAULT_PAYLOAD_BYTES, route(vec![0, 1]));
+        let (_table, rid) = route(vec![0, 1]);
+        let p = Packet::data(3, 1460, DEFAULT_PAYLOAD_BYTES, rid);
         assert_eq!(p.wire_bytes, MTU_BYTES);
         assert_eq!(p.payload_bytes, 1460);
         assert!(p.is_data());
@@ -225,8 +230,9 @@ mod tests {
 
     #[test]
     fn control_packets_are_header_only() {
-        let a = Packet::ack(1, route(vec![0]));
-        let s = Packet::syn(1, route(vec![0]));
+        let (_table, rid) = route(vec![0]);
+        let a = Packet::ack(1, rid);
+        let s = Packet::syn(1, rid);
         assert_eq!(a.wire_bytes, HEADER_BYTES);
         assert_eq!(s.wire_bytes, HEADER_BYTES);
         assert!(!a.is_data());
@@ -236,16 +242,17 @@ mod tests {
 
     #[test]
     fn hop_advancement_walks_the_route() {
-        let mut p = Packet::data(0, 0, 1000, route(vec![5, 7, 9]));
-        assert_eq!(p.next_link(), Some(5));
-        assert!(!p.at_destination());
+        let (table, rid) = route(vec![5, 7, 9]);
+        let mut p = Packet::data(0, 0, 1000, rid);
+        assert_eq!(p.next_link(&table), Some(5));
+        assert!(!p.at_destination(&table));
         p.advance_hop();
-        assert_eq!(p.next_link(), Some(7));
+        assert_eq!(p.next_link(&table), Some(7));
         p.advance_hop();
-        assert_eq!(p.next_link(), Some(9));
+        assert_eq!(p.next_link(&table), Some(9));
         p.advance_hop();
-        assert_eq!(p.next_link(), None);
-        assert!(p.at_destination());
+        assert_eq!(p.next_link(&table), None);
+        assert!(p.at_destination(&table));
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Route interning: an arena of deduplicated routes addressed by a copyable
+//! [`RouteId`].
+//!
+//! Forwarding is the hottest path of the simulator — every packet at every
+//! hop needs its route. Storing the route inline (or behind an `Arc`) in
+//! each packet means per-packet refcount traffic and, worse, per-call clones
+//! wherever the borrow checker forces the route out of `self`. Instead the
+//! [`crate::network::Network`] interns every route once at flow-registration
+//! time and passes a plain `u32` handle around; packets, flow specs and the
+//! forwarding loop all operate on `RouteId` + hop index and resolve links
+//! through the table with a bounds-checked slice lookup.
+//!
+//! Interning also deduplicates: in the paper's scenarios thousands of flows
+//! share a handful of leaf-spine paths, so the arena stays tiny even for
+//! very large workloads.
+
+use crate::topology::{LinkId, Route};
+use std::collections::HashMap;
+
+/// A copyable handle to a route interned in a [`RouteTable`].
+///
+/// Only meaningful together with the table that produced it; the network
+/// resolves ids through [`crate::network::Network::route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouteId(u32);
+
+impl RouteId {
+    /// The arena index of this route.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An arena of interned, deduplicated routes.
+#[derive(Debug, Default)]
+pub struct RouteTable {
+    routes: Vec<Route>,
+    interned: HashMap<Vec<LinkId>, RouteId>,
+}
+
+impl RouteTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `route`, returning the id of the existing entry if an identical
+    /// route was interned before.
+    pub fn intern(&mut self, route: Route) -> RouteId {
+        if let Some(&id) = self.interned.get(&route.links) {
+            return id;
+        }
+        let id = RouteId(u32::try_from(self.routes.len()).expect("more than u32::MAX routes"));
+        self.interned.insert(route.links.clone(), id);
+        self.routes.push(route);
+        id
+    }
+
+    /// The route behind an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this table.
+    pub fn get(&self, id: RouteId) -> &Route {
+        &self.routes[id.index()]
+    }
+
+    /// The link sequence of a route (the hot-path accessor).
+    #[inline]
+    pub fn links(&self, id: RouteId) -> &[LinkId] {
+        &self.routes[id.index()].links
+    }
+
+    /// Number of distinct routes interned.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates_identical_routes() {
+        let mut table = RouteTable::new();
+        let a = table.intern(Route {
+            links: vec![1, 2, 3],
+        });
+        let b = table.intern(Route { links: vec![4] });
+        let c = table.intern(Route {
+            links: vec![1, 2, 3],
+        });
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.links(a), &[1, 2, 3]);
+        assert_eq!(table.get(b).links, vec![4]);
+    }
+
+    #[test]
+    fn ids_are_stable_and_dense() {
+        let mut table = RouteTable::new();
+        assert!(table.is_empty());
+        for i in 0..10usize {
+            let id = table.intern(Route { links: vec![i] });
+            assert_eq!(id.index(), i);
+        }
+        assert_eq!(table.len(), 10);
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`ideal`] — the Oracle reference for dynamic workloads: a fluid event
 //!   simulation that re-solves the NUM problem at every arrival/departure,
 //!   and the empty-network FCT bound used to normalize Fig. 7.
+//! * [`registry`] — a registry of named, runnable scenarios; the
+//!   `numfabric-run` CLI in `numfabric-bench` lists and dispatches every
+//!   figure scenario through it.
 //!
 //! Everything is deterministic given the seeds embedded in the
 //! configuration structs, so every protocol under comparison sees an
@@ -29,6 +32,7 @@ pub mod arrivals;
 pub mod convergence;
 pub mod distributions;
 pub mod ideal;
+pub mod registry;
 pub mod scenarios;
 
 pub use arrivals::{poisson_arrivals, FlowArrival, PoissonWorkloadConfig};
@@ -40,6 +44,7 @@ pub use distributions::{
     BoundedPareto, EmpiricalCdf, FixedSize, FlowSizeDistribution, UniformSize,
 };
 pub use ideal::{empty_network_fct, IdealCompletion, IdealFluidSimulator};
+pub use registry::{ScenarioOptions, ScenarioRegistry, ScenarioSpec, UnknownScenario};
 pub use scenarios::{
     permutation_pairs, random_pairs, EventKind, NetworkEvent, PathSpec, SemiDynamicConfig,
     SemiDynamicScenario,

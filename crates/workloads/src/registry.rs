@@ -1,0 +1,223 @@
+//! A registry of named, runnable scenarios.
+//!
+//! Every figure of the paper's evaluation (and any future workload) is
+//! registered under a short name with a one-line summary and a run function;
+//! a single CLI (`numfabric-run` in `numfabric-bench`) lists and dispatches
+//! them. Adding a workload is one [`ScenarioSpec`] entry instead of a new
+//! binary.
+//!
+//! The registry machinery lives here (the workload layer) so that any crate
+//! above `numfabric-workloads` in the dependency DAG can populate it; the
+//! paper's figure scenarios themselves are registered by `numfabric-bench`,
+//! which owns the protocol drivers.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Parsed command-line style options handed to a scenario's run function.
+///
+/// Options are a flat list of tokens; flags are `--name`, valued options are
+/// `--name value`. Scenarios with more than one scale accept `--full`
+/// (paper scale) by convention and list it in their usage string.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioOptions {
+    args: Vec<String>,
+}
+
+impl ScenarioOptions {
+    /// Options from an explicit token list.
+    pub fn new(args: Vec<String>) -> Self {
+        Self { args }
+    }
+
+    /// Options from the process arguments (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::new(std::env::args().skip(1).collect())
+    }
+
+    /// Whether the bare flag `name` (e.g. `--full`) is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The token following `name`, if any (e.g. `--load 0.6`).
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Parse the value of `name`, falling back to `default` when the option
+    /// is absent or unparsable.
+    pub fn parsed_or<T: FromStr>(&self, name: &str, default: T) -> T {
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The conventional `--full` flag: run at the paper's scale.
+    pub fn full(&self) -> bool {
+        self.flag("--full")
+    }
+}
+
+/// The run function of a scenario.
+pub type ScenarioFn = fn(&ScenarioOptions);
+
+/// One registered scenario.
+#[derive(Clone)]
+pub struct ScenarioSpec {
+    /// Registry name (what the CLI dispatches on), e.g. `fig4a`.
+    pub name: &'static str,
+    /// One-line summary shown by `--list`.
+    pub summary: &'static str,
+    /// The options the scenario understands, for `--list` (e.g.
+    /// `[--events N] [--full]`).
+    pub usage: &'static str,
+    /// The run function.
+    pub run: ScenarioFn,
+}
+
+/// Error returned when dispatching an unknown scenario name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScenario {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// All registered names, for the error message.
+    pub known: Vec<&'static str>,
+}
+
+impl fmt::Display for UnknownScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown scenario `{}`; known scenarios: {}",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownScenario {}
+
+/// A set of named scenarios, dispatched by name.
+#[derive(Default)]
+pub struct ScenarioRegistry {
+    entries: Vec<ScenarioSpec>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a scenario.
+    ///
+    /// # Panics
+    /// Panics if the name is already taken (two scenarios must not shadow
+    /// each other).
+    pub fn register(&mut self, spec: ScenarioSpec) {
+        assert!(
+            self.get(spec.name).is_none(),
+            "scenario `{}` registered twice",
+            spec.name
+        );
+        self.entries.push(spec);
+    }
+
+    /// The registered scenarios, in registration order.
+    pub fn entries(&self) -> &[ScenarioSpec] {
+        &self.entries
+    }
+
+    /// Look up a scenario by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioSpec> {
+        self.entries.iter().find(|s| s.name == name)
+    }
+
+    /// Run the scenario registered under `name`.
+    pub fn run(&self, name: &str, options: &ScenarioOptions) -> Result<(), UnknownScenario> {
+        match self.get(name) {
+            Some(spec) => {
+                (spec.run)(options);
+                Ok(())
+            }
+            None => Err(UnknownScenario {
+                name: name.to_string(),
+                known: self.entries.iter().map(|s| s.name).collect(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop(_: &ScenarioOptions) {}
+
+    fn two_entry_registry() -> ScenarioRegistry {
+        let mut registry = ScenarioRegistry::new();
+        registry.register(ScenarioSpec {
+            name: "a",
+            summary: "first",
+            usage: "",
+            run: noop,
+        });
+        registry.register(ScenarioSpec {
+            name: "b",
+            summary: "second",
+            usage: "[--full]",
+            run: noop,
+        });
+        registry
+    }
+
+    #[test]
+    fn registers_looks_up_and_runs() {
+        let registry = two_entry_registry();
+        assert_eq!(registry.entries().len(), 2);
+        assert_eq!(registry.get("a").unwrap().summary, "first");
+        assert!(registry.get("c").is_none());
+        assert!(registry.run("b", &ScenarioOptions::default()).is_ok());
+        let err = registry
+            .run("nope", &ScenarioOptions::default())
+            .unwrap_err();
+        assert_eq!(err.known, vec!["a", "b"]);
+        assert!(err.to_string().contains("unknown scenario `nope`"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_names_are_rejected() {
+        let mut registry = two_entry_registry();
+        registry.register(ScenarioSpec {
+            name: "a",
+            summary: "shadow",
+            usage: "",
+            run: noop,
+        });
+    }
+
+    #[test]
+    fn options_parse_flags_and_values() {
+        let opts = ScenarioOptions::new(
+            ["--full", "--load", "0.6", "--events", "12", "--bad"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert!(opts.full());
+        assert!(opts.flag("--bad"));
+        assert!(!opts.flag("--missing"));
+        assert_eq!(opts.value("--load"), Some("0.6"));
+        assert_eq!(opts.parsed_or("--load", 0.0), 0.6);
+        assert_eq!(opts.parsed_or("--events", 5usize), 12);
+        assert_eq!(opts.parsed_or("--missing", 7u32), 7);
+        // `--bad` has no following value token.
+        assert_eq!(opts.value("--bad"), None);
+    }
+}

@@ -5,11 +5,14 @@
 //! `numfabric::sim`). Every scaling PR is measured against this baseline:
 //! parallelism or batching changes must preserve it or explicitly revise it.
 
+use numfabric::baselines::{pfabric_network, PfabricAgent, PfabricConfig};
 use numfabric::core::{numfabric_network, NumFabricAgent, NumFabricConfig};
 use numfabric::num::utility::LogUtility;
 use numfabric::sim::topology::{LeafSpineConfig, Topology};
-use numfabric::sim::{FlowId, Network, SimDuration, SimTime};
+use numfabric::sim::{FlowId, FlowPhase, Network, SimDuration, SimTime};
+use numfabric::workloads::scenarios::{EventKind, SemiDynamicConfig, SemiDynamicScenario};
 use numfabric::workloads::{poisson_arrivals, random_pairs, FixedSize, PoissonWorkloadConfig};
+use std::collections::HashMap;
 
 /// One sampled point of a flow-rate trace. `f64` compared bit-for-bit via
 /// `to_bits`, so even sub-ULP divergence fails the test.
@@ -100,4 +103,124 @@ fn different_seeds_produce_different_traces() {
     let (trace_a, _) = run_scenario(1);
     let (trace_b, _) = run_scenario(2);
     assert_ne!(trace_a, trace_b, "seed does not influence the scenario");
+}
+
+/// A dynamic flow-churn scenario exercising the interned-route hot path
+/// (flows started, stopped and completed — every stop/completion walks its
+/// interned route to release per-flow queue state) under NUMFabric, sampled
+/// on a fixed grid.
+fn run_churn_scenario(seed: u64) -> Vec<TracePoint> {
+    let topo = Topology::leaf_spine(&LeafSpineConfig::small(16, 2, 2));
+    let config = NumFabricConfig::paper_default();
+    let mut net = numfabric_network(topo.clone(), &config);
+    let scenario = SemiDynamicScenario::generate(&topo, &SemiDynamicConfig::scaled(40, 5, 6, seed));
+
+    let mut active: HashMap<usize, FlowId> = HashMap::new();
+    let mut ids: Vec<FlowId> = Vec::new();
+    for &p in &scenario.initial_active {
+        let spec = scenario.paths[p];
+        let id = net.add_flow(
+            spec.src,
+            spec.dst,
+            None,
+            SimTime::ZERO,
+            spec.spine_choice,
+            None,
+            Box::new(NumFabricAgent::new(config.clone(), LogUtility::new())),
+        );
+        active.insert(p, id);
+        ids.push(id);
+    }
+
+    let mut trace = Vec::new();
+    for event in &scenario.events {
+        match event.kind {
+            EventKind::Start => {
+                for &p in &event.paths {
+                    let spec = scenario.paths[p];
+                    let id = net.add_flow(
+                        spec.src,
+                        spec.dst,
+                        None,
+                        net.now(),
+                        spec.spine_choice,
+                        None,
+                        Box::new(NumFabricAgent::new(config.clone(), LogUtility::new())),
+                    );
+                    active.insert(p, id);
+                    ids.push(id);
+                }
+            }
+            EventKind::Stop => {
+                for &p in &event.paths {
+                    if let Some(id) = active.remove(&p) {
+                        net.stop_flow(id);
+                    }
+                }
+            }
+        }
+        sample_rates(&mut net, &ids, &mut trace);
+    }
+    trace
+}
+
+#[test]
+fn replaying_a_dynamic_churn_scenario_is_bit_identical() {
+    let a = run_churn_scenario(77);
+    let b = run_churn_scenario(77);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x, y, "churn traces diverged");
+    }
+}
+
+/// Replay a seeded workload through pFabric's tombstone priority queue with
+/// buffers shallow enough that the worst-drop (evict) path fires constantly;
+/// drop decisions feed back into retransmission timing, so any
+/// nondeterminism in the victim choice would diverge the byte counters.
+fn run_pfabric_scenario(seed: u64) -> Vec<(u64, u64, u64, bool)> {
+    let topo = Topology::leaf_spine(&LeafSpineConfig::small(16, 2, 2));
+    let config = PfabricConfig::default();
+    let mut net = pfabric_network(topo.clone(), &config);
+    let mut ids: Vec<FlowId> = Vec::new();
+    for a in poisson_arrivals(
+        topo.hosts(),
+        &FixedSize(60_000),
+        &PoissonWorkloadConfig::new(0.5, SimDuration::from_millis(1), seed),
+    ) {
+        ids.push(net.add_flow(
+            a.src,
+            a.dst,
+            Some(a.size_bytes),
+            a.start,
+            a.spine_choice,
+            None,
+            Box::new(PfabricAgent::new(config.clone())),
+        ));
+    }
+    net.run_until(SimTime::from_millis(6));
+    ids.iter()
+        .map(|&f| {
+            let st = net.flow_stats(f);
+            (
+                st.bytes_delivered,
+                st.packets_dropped,
+                st.packets_sent,
+                net.flow_phase(f) == FlowPhase::Completed,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn pfabric_worst_drop_replay_is_bit_identical() {
+    let a = run_pfabric_scenario(404);
+    let b = run_pfabric_scenario(404);
+    assert_eq!(a, b, "pFabric drop decisions diverged between replays");
+    // The scenario must actually exercise the eviction path.
+    let drops: u64 = a.iter().map(|&(_, d, _, _)| d).sum();
+    assert!(
+        drops > 0,
+        "scenario produced no drops; tombstone path untested"
+    );
 }
