@@ -1,0 +1,432 @@
+//! The generalized-fabric scenario family: incast, all-to-all shuffle and
+//! stride permutation, runnable on any `--topology` (full-bisection
+//! leaf-spine, oversubscribed leaf-spine, k-ary fat-tree) under any
+//! protocol.
+//!
+//! The drivers come in two flavors: [`run_transfers`] injects finite flows
+//! and reports completion statistics (incast, shuffle), and
+//! [`run_steady_state`] runs long-lived flows and compares measured rates to
+//! the fluid NUM oracle (stride) — the cross-check that pins the packet
+//! simulation against the fluid solution on non-leaf-spine fabrics.
+
+use crate::protocols::Protocol;
+use crate::report::{mean, percentile, print_table};
+use numfabric_num::utility::LogUtility;
+use numfabric_sim::topology::Topology;
+use numfabric_sim::{SimDuration, SimTime};
+use numfabric_workloads::convergence::oracle_rates_bps;
+use numfabric_workloads::registry::ScenarioOptions;
+use numfabric_workloads::scenarios::{incast_pairs, shuffle_pairs, stride_pairs, PathSpec};
+use numfabric_workloads::TopologySpec;
+use std::sync::Arc;
+
+/// Completion statistics of a finite-transfer run.
+#[derive(Debug, Clone)]
+pub struct TransferSummary {
+    /// Number of flows injected.
+    pub flows: usize,
+    /// Flows that completed before the deadline.
+    pub completed: usize,
+    /// Per-flow completion times (only completed flows), seconds.
+    pub fcts: Vec<f64>,
+    /// Total payload bytes of the completed flows.
+    pub completed_bytes: u64,
+    /// Simulation time when the last completed flow finished.
+    pub makespan: Option<SimDuration>,
+}
+
+impl TransferSummary {
+    /// Aggregate goodput of the completed transfers in bits per second
+    /// (payload bytes over the makespan).
+    pub fn aggregate_goodput_bps(&self) -> f64 {
+        match self.makespan {
+            Some(t) if !t.is_zero() => self.completed_bytes as f64 * 8.0 / t.as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+
+    /// Whether every injected flow completed.
+    pub fn all_completed(&self) -> bool {
+        self.completed == self.flows
+    }
+}
+
+/// Inject one finite flow of `size_bytes` per pair at `t = 0` and run until
+/// `deadline`. All flows use proportional fairness, matching the dynamic
+/// workload drivers.
+pub fn run_transfers(
+    protocol: &Protocol,
+    topo: Topology,
+    pairs: &[PathSpec],
+    size_bytes: u64,
+    deadline: SimDuration,
+) -> TransferSummary {
+    let utility = Arc::new(LogUtility::new());
+    let mut net = protocol.build_network(topo);
+    let ids: Vec<_> = pairs
+        .iter()
+        .map(|p| {
+            net.add_flow(
+                p.src,
+                p.dst,
+                Some(size_bytes),
+                SimTime::ZERO,
+                p.spine_choice,
+                None,
+                protocol.make_agent(utility.clone()),
+            )
+        })
+        .collect();
+    net.run_until(SimTime::ZERO + deadline);
+
+    let mut fcts = Vec::new();
+    let mut completed_bytes = 0u64;
+    let mut makespan: Option<SimDuration> = None;
+    for &id in &ids {
+        if let Some(fct) = net.flow_stats(id).fct() {
+            fcts.push(fct.as_secs_f64());
+            completed_bytes += size_bytes;
+            makespan = Some(makespan.map_or(fct, |m| m.max(fct)));
+        }
+    }
+    TransferSummary {
+        flows: ids.len(),
+        completed: fcts.len(),
+        fcts,
+        completed_bytes,
+        makespan,
+    }
+}
+
+/// Measured vs oracle steady-state rates of long-lived flows.
+#[derive(Debug, Clone)]
+pub struct SteadyStateSummary {
+    /// Destination-side EWMA rate estimate per flow, bits per second.
+    pub rates_bps: Vec<f64>,
+    /// Fluid NUM oracle rate per flow, bits per second.
+    pub oracle_bps: Vec<f64>,
+}
+
+impl SteadyStateSummary {
+    /// Fraction of flows whose measured rate is within `tol` (relative) of
+    /// the oracle allocation.
+    pub fn fraction_within(&self, tol: f64) -> f64 {
+        let ok = self
+            .rates_bps
+            .iter()
+            .zip(&self.oracle_bps)
+            .filter(|(&r, &o)| (r - o).abs() <= tol * o.max(1.0))
+            .count();
+        ok as f64 / self.rates_bps.len().max(1) as f64
+    }
+
+    /// Total measured throughput over total oracle throughput.
+    pub fn throughput_ratio(&self) -> f64 {
+        let measured: f64 = self.rates_bps.iter().sum();
+        let oracle: f64 = self.oracle_bps.iter().sum();
+        measured / oracle.max(1.0)
+    }
+}
+
+/// Start one long-lived flow per pair, run for `run_for`, and report the
+/// measured rates next to the fluid oracle's allocation for the identical
+/// flow population (same routes, proportional fairness).
+pub fn run_steady_state(
+    protocol: &Protocol,
+    topo: Topology,
+    pairs: &[PathSpec],
+    run_for: SimDuration,
+) -> SteadyStateSummary {
+    let utility = Arc::new(LogUtility::new());
+    let mut net = protocol.build_network(topo.clone());
+    let ids: Vec<_> = pairs
+        .iter()
+        .map(|p| {
+            net.add_flow(
+                p.src,
+                p.dst,
+                None,
+                SimTime::ZERO,
+                p.spine_choice,
+                None,
+                protocol.make_agent(utility.clone()),
+            )
+        })
+        .collect();
+    net.run_until(SimTime::ZERO + run_for);
+    let rates_bps: Vec<f64> = ids.iter().map(|&id| net.flow_rate_estimate(id)).collect();
+
+    let fluid_flows: Vec<_> = pairs
+        .iter()
+        .map(|p| {
+            (
+                topo.host_route(p.src, p.dst, p.spine_choice),
+                utility.clone() as numfabric_num::utility::UtilityRef,
+            )
+        })
+        .collect();
+    let oracle_bps = oracle_rates_bps(&topo, &fluid_flows);
+    SteadyStateSummary {
+        rates_bps,
+        oracle_bps,
+    }
+}
+
+/// Parse `--topology` (default `leaf-spine`). Malformed specs go through
+/// `ScenarioOptions::parsed_or`'s report-and-exit-2 path.
+fn spec_from_options(opts: &ScenarioOptions) -> TopologySpec {
+    opts.parsed_or("--topology", TopologySpec::LeafSpine)
+}
+
+/// Report a semantically invalid option combination and exit non-zero —
+/// the same contract as `ScenarioOptions::parsed_or` for unparsable values.
+fn cli_error(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+/// A deadline generous enough for `total_bytes` through one `bottleneck_bps`
+/// link, with convergence slack.
+fn transfer_deadline(total_bytes: u64, bottleneck_bps: f64) -> SimDuration {
+    let drain = total_bytes as f64 * 8.0 / bottleneck_bps;
+    SimDuration::from_secs_f64(4.0 * drain) + SimDuration::from_millis(10)
+}
+
+/// The worst leaf downlink:uplink capacity ratio of the fabric (1.0 when no
+/// leaf is oversubscribed, or when there is no fabric tier at all). Deadline
+/// heuristics multiply by this: on an R:1 oversubscribed fabric, cross-rack
+/// transfers drain up to R times slower than the NIC bound suggests.
+fn worst_oversubscription(topo: &Topology) -> f64 {
+    use numfabric_sim::topology::NodeKind;
+    let mut worst: f64 = 1.0;
+    for &leaf in topo.leaves() {
+        let (mut down, mut up) = (0.0, 0.0);
+        for l in topo.links().iter().filter(|l| l.from == leaf) {
+            match topo.nodes()[l.to].kind {
+                NodeKind::Host => down += l.capacity_bps,
+                kind if kind.is_switch() => up += l.capacity_bps,
+                _ => {}
+            }
+        }
+        if up > 0.0 {
+            worst = worst.max(down / up);
+        }
+    }
+    worst
+}
+
+fn print_transfer_summary(label: &str, summary: &TransferSummary) {
+    print_table(
+        &[
+            "scenario",
+            "flows",
+            "completed",
+            "median FCT",
+            "p99 FCT",
+            "makespan",
+            "goodput",
+        ],
+        &[vec![
+            label.to_string(),
+            format!("{}", summary.flows),
+            format!("{}", summary.completed),
+            percentile(&summary.fcts, 0.5)
+                .map(|f| format!("{:.2} ms", f * 1e3))
+                .unwrap_or_else(|| "-".into()),
+            percentile(&summary.fcts, 0.99)
+                .map(|f| format!("{:.2} ms", f * 1e3))
+                .unwrap_or_else(|| "-".into()),
+            summary
+                .makespan
+                .map(|m| format!("{:.2} ms", m.as_secs_f64() * 1e3))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.2} Gbps", summary.aggregate_goodput_bps() / 1e9),
+        ]],
+    );
+}
+
+/// The incast scenario: `--fanin` senders transfer `--size` bytes each to a
+/// single receiver; the receiver's access link is the bottleneck.
+pub fn incast(opts: &ScenarioOptions) {
+    let spec = spec_from_options(opts);
+    let fan_in: usize = opts.parsed_or("--fanin", 8);
+    let size: u64 = opts.parsed_or("--size", 500_000);
+    let seed: u64 = opts.parsed_or("--seed", 1);
+    let protocol = Protocol::from_options(opts);
+    let topo = spec.build(opts.full());
+    if fan_in == 0 || fan_in >= topo.hosts().len() {
+        cli_error(format!(
+            "--fanin {fan_in} needs 1..{} senders on this {}-host fabric",
+            topo.hosts().len() - 1,
+            topo.hosts().len()
+        ));
+    }
+    let pairs = incast_pairs(&topo, fan_in, seed);
+    let host_bps = topo.links()[0].capacity_bps;
+    println!(
+        "Incast: {} on {}\n{fan_in} senders -> host {} , {} kB each (seed {seed})\n",
+        protocol.name(),
+        spec.describe(&topo),
+        pairs[0].dst,
+        size / 1000
+    );
+    let deadline = transfer_deadline(fan_in as u64 * size, host_bps);
+    let summary = run_transfers(&protocol, topo, &pairs, size, deadline);
+    print_transfer_summary("incast", &summary);
+    println!(
+        "\nExpected shape: the receiver's access link is the bottleneck, so aggregate goodput\n\
+         approaches its line rate ({:.0} Gbps) and FCTs stack up roughly linearly with fan-in.",
+        host_bps / 1e9
+    );
+}
+
+/// The all-to-all shuffle scenario: every ordered pair among `--hosts`
+/// participants transfers `--size` bytes.
+pub fn shuffle(opts: &ScenarioOptions) {
+    let spec = spec_from_options(opts);
+    let size: u64 = opts.parsed_or("--size", 100_000);
+    let seed: u64 = opts.parsed_or("--seed", 1);
+    let protocol = Protocol::from_options(opts);
+    let topo = spec.build(opts.full());
+    let default_participants = topo.hosts().len().min(8);
+    let participants: usize = opts.parsed_or("--hosts", default_participants);
+    if !(2..=topo.hosts().len()).contains(&participants) {
+        cli_error(format!(
+            "--hosts {participants} needs 2..={} participants on this fabric",
+            topo.hosts().len()
+        ));
+    }
+    let pairs = shuffle_pairs(&topo, Some(participants), seed);
+    let host_bps = topo.links()[0].capacity_bps;
+    println!(
+        "Shuffle: {} on {}\n{participants} hosts all-to-all = {} flows, {} kB each (seed {seed})\n",
+        protocol.name(),
+        spec.describe(&topo),
+        pairs.len(),
+        size / 1000
+    );
+    // Each participant must receive (n-1) transfers through its NIC — or,
+    // on an oversubscribed fabric, through a leaf uplink up to R times
+    // slower for cross-rack traffic.
+    let slowdown = worst_oversubscription(&topo);
+    let deadline = transfer_deadline((participants as u64 - 1) * size, host_bps / slowdown);
+    let summary = run_transfers(&protocol, topo, &pairs, size, deadline);
+    print_transfer_summary("shuffle", &summary);
+    println!(
+        "\nExpected shape: on full-bisection fabrics the NICs bound the shuffle; oversubscribed\n\
+         fabrics shift the bottleneck into the spine uplinks and stretch the makespan by ~the\n\
+         oversubscription ratio for cross-rack traffic."
+    );
+}
+
+/// The stride-permutation scenario: host `i` sends to host `(i + stride) mod
+/// n` as a long-lived flow; measured steady-state rates are compared to the
+/// fluid NUM oracle.
+pub fn stride(opts: &ScenarioOptions) {
+    let spec = spec_from_options(opts);
+    let seed: u64 = opts.parsed_or("--seed", 1);
+    let millis: u64 = opts.parsed_or("--millis", 8);
+    let protocol = Protocol::from_options(opts);
+    let topo = spec.build(opts.full());
+    let default_stride = topo.hosts().len() / 2;
+    let stride_by: usize = opts.parsed_or("--stride", default_stride);
+    if stride_by.is_multiple_of(topo.hosts().len()) {
+        cli_error(format!(
+            "--stride {stride_by} is a multiple of the host count {} (flows would be self-loops)",
+            topo.hosts().len()
+        ));
+    }
+    let pairs = stride_pairs(&topo, stride_by, seed);
+    println!(
+        "Stride: {} on {}\nhost i -> host (i+{stride_by}) mod {}, {} long-lived flows, {millis} ms (seed {seed})\n",
+        protocol.name(),
+        spec.describe(&topo),
+        topo.hosts().len(),
+        pairs.len(),
+    );
+    let summary = run_steady_state(&protocol, topo, &pairs, SimDuration::from_millis(millis));
+    let rates_gbps: Vec<f64> = summary.rates_bps.iter().map(|r| r / 1e9).collect();
+    print_table(
+        &[
+            "flows",
+            "mean rate",
+            "min rate",
+            "max rate",
+            "within 10% of oracle",
+            "throughput vs oracle",
+        ],
+        &[vec![
+            format!("{}", summary.rates_bps.len()),
+            format!("{:.2} Gbps", mean(&rates_gbps).unwrap_or(f64::NAN)),
+            format!(
+                "{:.2} Gbps",
+                rates_gbps.iter().cloned().fold(f64::INFINITY, f64::min)
+            ),
+            format!("{:.2} Gbps", rates_gbps.iter().cloned().fold(0.0, f64::max)),
+            format!("{:.0}%", summary.fraction_within(0.10) * 100.0),
+            format!("{:.2}", summary.throughput_ratio()),
+        ]],
+    );
+    println!(
+        "\nExpected shape: NUMFabric tracks the oracle allocation on every fabric; on\n\
+         oversubscribed leaf-spine the per-flow rates drop to ~1/ratio of the NIC speed, and on\n\
+         fat-trees ECMP collisions split the affected core links evenly."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numfabric_core::NumFabricConfig;
+    use numfabric_sim::topology::{FatTreeConfig, LeafSpineConfig};
+
+    #[test]
+    fn incast_transfers_complete_and_saturate_the_receiver() {
+        let topo = Topology::leaf_spine(&LeafSpineConfig::small(16, 2, 2));
+        let pairs = incast_pairs(&topo, 4, 7);
+        let protocol = Protocol::NumFabric(NumFabricConfig::default());
+        let deadline = transfer_deadline(4 * 200_000, 10e9);
+        let summary = run_transfers(&protocol, topo, &pairs, 200_000, deadline);
+        assert!(summary.all_completed(), "{summary:?}");
+        // 4 x 200 kB through one 10 Gbps NIC: goodput within a factor of the
+        // line rate once overheads and convergence are accounted for.
+        let goodput = summary.aggregate_goodput_bps();
+        assert!(goodput > 4e9, "goodput = {goodput}");
+        assert!(goodput < 10e9, "goodput = {goodput}");
+    }
+
+    #[test]
+    fn steady_state_summary_statistics() {
+        let summary = SteadyStateSummary {
+            rates_bps: vec![10e9, 5e9, 1e9],
+            oracle_bps: vec![10e9, 5.2e9, 2e9],
+        };
+        assert!((summary.fraction_within(0.10) - 2.0 / 3.0).abs() < 1e-9);
+        let ratio = summary.throughput_ratio();
+        assert!((ratio - 16.0 / 17.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_summary_goodput_arithmetic() {
+        let summary = TransferSummary {
+            flows: 2,
+            completed: 2,
+            fcts: vec![0.001, 0.002],
+            completed_bytes: 250_000,
+            makespan: Some(SimDuration::from_millis(2)),
+        };
+        assert!((summary.aggregate_goodput_bps() - 1e9).abs() < 1.0);
+        assert!(summary.all_completed());
+    }
+
+    #[test]
+    fn stride_on_a_fat_tree_runs_and_reports_rates() {
+        let topo = Topology::fat_tree(&FatTreeConfig::new(4));
+        let pairs = stride_pairs(&topo, 8, 3);
+        let protocol = Protocol::NumFabric(NumFabricConfig::default());
+        let summary = run_steady_state(&protocol, topo, &pairs, SimDuration::from_millis(4));
+        assert_eq!(summary.rates_bps.len(), 16);
+        assert_eq!(summary.oracle_bps.len(), 16);
+        assert!(summary.rates_bps.iter().all(|&r| r > 0.0));
+    }
+}

@@ -90,6 +90,24 @@ pub fn registry() -> ScenarioRegistry {
         run: table2,
     });
     registry.register(ScenarioSpec {
+        name: "incast",
+        summary: "N-to-1 incast transfers on any fabric (receiver NIC bottleneck)",
+        usage: "[--topology fat-tree:k=4|leaf-spine|oversub:4:1] [--protocol ...] [--fanin N] [--size BYTES] [--seed S] [--full]",
+        run: crate::fabric::incast,
+    });
+    registry.register(ScenarioSpec {
+        name: "shuffle",
+        summary: "All-to-all shuffle transfers among N hosts on any fabric",
+        usage: "[--topology fat-tree:k=4|leaf-spine|oversub:4:1] [--protocol ...] [--hosts N] [--size BYTES] [--seed S] [--full]",
+        run: crate::fabric::shuffle,
+    });
+    registry.register(ScenarioSpec {
+        name: "stride",
+        summary: "Stride permutation: steady-state rates vs the fluid oracle on any fabric",
+        usage: "[--topology fat-tree:k=4|leaf-spine|oversub:4:1] [--protocol ...] [--stride N] [--millis MS] [--seed S] [--full]",
+        run: crate::fabric::stride,
+    });
+    registry.register(ScenarioSpec {
         name: "semi-dynamic",
         summary: "Generic semi-dynamic convergence run for one protocol",
         usage: "[--protocol numfabric|dgd|rcp|dctcp|pfabric] [--events N] [--seed S] [--full]",
@@ -106,13 +124,7 @@ pub fn registry() -> ScenarioRegistry {
 
 /// Map a `--protocol` option value to a scheme with default parameters.
 fn protocol_from_options(opts: &ScenarioOptions) -> Protocol {
-    match opts.value("--protocol").unwrap_or("numfabric") {
-        "dgd" => Protocol::Dgd(DgdConfig::default()),
-        "rcp" | "rcp*" | "rcpstar" => Protocol::RcpStar(RcpStarConfig::default()),
-        "dctcp" => Protocol::Dctcp(DctcpConfig::default()),
-        "pfabric" => Protocol::Pfabric(PfabricConfig::default()),
-        _ => Protocol::NumFabric(NumFabricConfig::default()),
-    }
+    Protocol::from_options(opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -1029,6 +1041,9 @@ mod tests {
             "fig9",
             "fig10",
             "table2",
+            "incast",
+            "shuffle",
+            "stride",
             "semi-dynamic",
             "dynamic",
         ] {

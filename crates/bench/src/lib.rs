@@ -14,6 +14,8 @@
 //!   (Figures 4a, 4b/c and 6).
 //! * [`dynamic`] — Poisson-arrival workloads with Oracle and empty-network
 //!   references (Figures 5 and 7).
+//! * [`fabric`] — the generalized-fabric scenario family (incast, shuffle,
+//!   stride) runnable on leaf-spine, oversubscribed and fat-tree fabrics.
 //! * [`figures`] — every figure/table as a registry-dispatchable function.
 //! * [`report`] — percentiles, CDFs, Fig. 5 bins and table printing.
 //!
@@ -26,12 +28,14 @@
 #![deny(unsafe_code)]
 
 pub mod dynamic;
+pub mod fabric;
 pub mod figures;
 pub mod protocols;
 pub mod report;
 pub mod semi_dynamic;
 
 pub use dynamic::{generate_arrivals, run_dynamic, DynamicFlowResult, DynamicRun, Objective};
+pub use fabric::{run_steady_state, run_transfers, SteadyStateSummary, TransferSummary};
 pub use figures::registry;
 pub use protocols::Protocol;
 pub use semi_dynamic::{rate_timeseries, run_semi_dynamic, SemiDynamicResult, SemiDynamicRun};

@@ -12,6 +12,7 @@ use numfabric_num::utility::UtilityRef;
 use numfabric_sim::network::Network;
 use numfabric_sim::topology::Topology;
 use numfabric_sim::transport::FlowAgent;
+use numfabric_workloads::registry::ScenarioOptions;
 
 /// A transport scheme under test.
 #[derive(Debug, Clone)]
@@ -67,6 +68,34 @@ impl Protocol {
         }
     }
 
+    /// Resolve a scheme name (as accepted by `--protocol`) to a protocol
+    /// with default parameters; `None` for unrecognized names.
+    pub fn from_name(name: &str) -> Option<Protocol> {
+        match name {
+            "numfabric" => Some(Protocol::NumFabric(NumFabricConfig::default())),
+            "dgd" => Some(Protocol::Dgd(DgdConfig::default())),
+            "rcp" | "rcp*" | "rcpstar" => Some(Protocol::RcpStar(RcpStarConfig::default())),
+            "dctcp" => Some(Protocol::Dctcp(DctcpConfig::default())),
+            "pfabric" => Some(Protocol::Pfabric(PfabricConfig::default())),
+            _ => None,
+        }
+    }
+
+    /// Map the `--protocol` option to a scheme with default parameters
+    /// (`numfabric` when absent). An unrecognized name is a hard error —
+    /// reported and exiting non-zero, like any other malformed option value —
+    /// so a typo never silently benchmarks the wrong scheme.
+    pub fn from_options(opts: &ScenarioOptions) -> Protocol {
+        let name = opts.value("--protocol").unwrap_or("numfabric");
+        Protocol::from_name(name).unwrap_or_else(|| {
+            eprintln!(
+                "error: invalid value `{name}` for option `--protocol`: \
+                 expected numfabric|dgd|rcp|dctcp|pfabric"
+            );
+            std::process::exit(2);
+        })
+    }
+
     /// The three schemes compared in the convergence experiments (Fig. 4a,
     /// Fig. 5, Fig. 6), with their default configurations.
     pub fn convergence_contenders() -> Vec<Protocol> {
@@ -116,6 +145,20 @@ mod tests {
                 protocol.name()
             );
         }
+    }
+
+    #[test]
+    fn from_name_resolves_known_schemes_and_rejects_typos() {
+        assert_eq!(
+            Protocol::from_name("numfabric").unwrap().name(),
+            "NUMFabric"
+        );
+        assert_eq!(Protocol::from_name("dgd").unwrap().name(), "DGD");
+        assert_eq!(Protocol::from_name("rcp*").unwrap().name(), "RCP*");
+        assert_eq!(Protocol::from_name("dctcp").unwrap().name(), "DCTCP");
+        assert_eq!(Protocol::from_name("pfabric").unwrap().name(), "pFabric");
+        assert!(Protocol::from_name("dctpc").is_none());
+        assert!(Protocol::from_name("").is_none());
     }
 
     #[test]

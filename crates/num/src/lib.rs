@@ -43,7 +43,9 @@ pub use bandwidth_function::BandwidthFunction;
 pub use kkt::KktResiduals;
 pub use maxmin::{weighted_max_min, weighted_max_min_into, MaxMinWorkspace};
 pub use oracle::{Oracle, OracleSolution};
-pub use topology::{FlowId, FluidFlow, FluidLink, FluidNetwork, LinkId, MultipathGroups};
+pub use topology::{
+    FlowId, FluidFlow, FluidLink, FluidNetwork, FluidNetworkBuilder, LinkId, MultipathGroups,
+};
 pub use utility::{
     AlphaFair, BandwidthFunctionUtility, FctUtility, LogUtility, MultipathAggregate, Utility,
 };

@@ -216,6 +216,65 @@ impl FluidNetwork {
     }
 }
 
+/// Incrementally derives a [`FluidNetwork`] from flows routed over an
+/// arbitrary external topology.
+///
+/// Packet-simulator link ids (or any other external link identifiers) are
+/// interned into dense fluid [`LinkId`]s on first use, so the resulting
+/// instance contains exactly the links some flow traverses — no assumption
+/// about the fabric's layout (leaf-spine, fat-tree, oversubscribed, custom)
+/// is made. This is the single mapping used by the convergence oracle and
+/// the ideal fluid simulator in `numfabric-workloads`.
+#[derive(Debug, Default)]
+pub struct FluidNetworkBuilder {
+    net: FluidNetwork,
+    link_map: std::collections::HashMap<usize, LinkId>,
+}
+
+impl FluidNetworkBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern an external link, adding a fluid link with `capacity` the
+    /// first time it is seen. Subsequent calls with the same `external` id
+    /// return the existing fluid link (the capacity argument is ignored
+    /// then — external ids are assumed stable).
+    pub fn intern_link(&mut self, external: usize, capacity: f64) -> LinkId {
+        *self
+            .link_map
+            .entry(external)
+            .or_insert_with(|| self.net.add_link(capacity))
+    }
+
+    /// Add a flow whose path is given as `(external_link_id, capacity)`
+    /// pairs; links are interned as needed. Returns the flow's id (flows are
+    /// in insertion order, matching the caller's flow list).
+    pub fn add_flow_on(
+        &mut self,
+        path: impl IntoIterator<Item = (usize, f64)>,
+        utility: UtilityRef,
+    ) -> FlowId {
+        let path: Vec<LinkId> = path
+            .into_iter()
+            .map(|(external, capacity)| self.intern_link(external, capacity))
+            .collect();
+        self.net
+            .add_flow(FluidFlow::with_utility_ref(path, utility))
+    }
+
+    /// Number of distinct external links interned so far.
+    pub fn num_links(&self) -> usize {
+        self.link_map.len()
+    }
+
+    /// Finish building and return the fluid network.
+    pub fn finish(self) -> FluidNetwork {
+        self.net
+    }
+}
+
 /// Grouping of subflows into multipath aggregates (resource pooling).
 ///
 /// Flows whose [`FluidFlow::group`] is `Some(g)` belong to aggregate `g`;
@@ -354,6 +413,29 @@ mod tests {
     #[should_panic]
     fn rejects_nonpositive_capacity() {
         FluidLink::new(0.0);
+    }
+
+    #[test]
+    fn builder_interns_external_links_once() {
+        let mut b = FluidNetworkBuilder::new();
+        let u: UtilityRef = Arc::new(LogUtility::new());
+        // Two flows sharing external link 17 (capacity 10), one private link.
+        let f0 = b.add_flow_on([(17, 10.0), (40, 5.0)], u.clone());
+        let f1 = b.add_flow_on([(17, 10.0)], u.clone());
+        assert_eq!((f0, f1), (0, 1));
+        assert_eq!(b.num_links(), 2);
+        let net = b.finish();
+        assert_eq!(net.num_links(), 2);
+        assert_eq!(net.num_flows(), 2);
+        // The shared link carries both flows.
+        let per_link = net.flows_per_link();
+        assert!(per_link.iter().any(|fs| fs == &vec![0, 1]));
+        // Capacity recorded from first sighting.
+        assert!(net
+            .links()
+            .iter()
+            .any(|l| (l.capacity - 10.0).abs() < 1e-12));
+        assert!(net.links().iter().any(|l| (l.capacity - 5.0).abs() < 1e-12));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //!
 //! * **Topologies** ([`topology`]) — arbitrary node/link graphs with a
 //!   leaf-spine builder matching the paper's fabrics (128 servers, 8 leaves,
-//!   4 or 16 spines, 10/40 Gbps links, ~16 µs RTT).
+//!   4 or 16 spines, 10/40 Gbps links, ~16 µs RTT), an oversubscribed
+//!   leaf-spine variant, k-ary fat-trees with edge/aggregation/core tiers,
+//!   and a generalized ECMP enumerator over multi-tier equal-cost path sets.
 //! * **Output-queued switches** ([`network`], [`queue`]) — one queue per
 //!   egress link, with pluggable disciplines: drop-tail FIFO, Start-Time Fair
 //!   Queueing (the WFQ approximation NUMFabric's Swift layer uses), an
@@ -70,6 +72,6 @@ pub use packet::{FlowId, Packet, PacketHeader, PacketKind};
 pub use queue::{DropTailFifo, EcnFifo, PfabricQueue, QueueDiscipline, StfqQueue};
 pub use routes::{RouteId, RouteTable};
 pub use time::{SimDuration, SimTime};
-pub use topology::{LeafSpineConfig, LinkId, NodeId, Route, Topology};
+pub use topology::{FatTreeConfig, LeafSpineConfig, LinkId, NodeId, NodeKind, Route, Topology};
 pub use tracer::{EwmaRateTracer, RateSeries};
 pub use transport::{FlowAgent, LinkController, NullController};

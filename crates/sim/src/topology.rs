@@ -4,12 +4,19 @@
 //! switches and 4 spine switches with 10 Gbps host links and 40 Gbps fabric
 //! links (full bisection bandwidth) for most experiments, and a 16-spine /
 //! 10 Gbps-everywhere variant for the resource-pooling experiment (§6.3).
-//! [`Topology::leaf_spine`] builds both.
+//! [`Topology::leaf_spine`] builds both. Beyond the paper's fabrics, the
+//! module provides [`Topology::fat_tree`] (k-ary fat-trees with edge /
+//! aggregation / core tiers) and [`LeafSpineConfig::oversubscribed`]
+//! (leaf-spine with a configurable host:fabric bandwidth ratio), so
+//! workloads can be evaluated on heterogeneous bottleneck structures.
 //!
 //! Links are unidirectional; the builders create both directions of every
 //! physical cable. Routes are precomputed per flow (the simulator does not
 //! model hop-by-hop forwarding-table lookups), which matches how the paper
-//! pins each flow or subflow to a path chosen by ECMP hashing.
+//! pins each flow or subflow to a path chosen by ECMP hashing. ECMP itself
+//! is modeled by [`Topology::equal_cost_node_paths`]: every shortest path
+//! between two hosts, enumerated in a deterministic order, with
+//! [`Topology::host_route`] pinning a flow to one of them by choice index.
 
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -24,10 +31,34 @@ pub type LinkId = usize;
 pub enum NodeKind {
     /// A server / end-host.
     Host,
-    /// A top-of-rack (leaf) switch.
+    /// A top-of-rack (edge / leaf) switch.
     Leaf,
-    /// A spine (core) switch.
+    /// A pod-level aggregation switch (fat-tree middle tier).
+    Aggregation,
+    /// A spine switch (leaf-spine top tier).
     Spine,
+    /// A core switch (fat-tree top tier).
+    Core,
+}
+
+impl NodeKind {
+    /// The node's height in the fabric hierarchy: hosts are tier 0, each
+    /// switch layer above adds one. Leaf-spine tops out at tier 2 (spines),
+    /// fat-trees at tier 3 (cores). Valley-free (up-then-down) routing is
+    /// defined in terms of this tier.
+    pub fn tier(self) -> u8 {
+        match self {
+            NodeKind::Host => 0,
+            NodeKind::Leaf => 1,
+            NodeKind::Aggregation | NodeKind::Spine => 2,
+            NodeKind::Core => 3,
+        }
+    }
+
+    /// Whether the node is a switch (any non-host kind).
+    pub fn is_switch(self) -> bool {
+        self != NodeKind::Host
+    }
 }
 
 /// Static description of a node.
@@ -79,7 +110,9 @@ pub struct Topology {
     /// Host nodes in creation order (convenience index).
     hosts: Vec<NodeId>,
     leaves: Vec<NodeId>,
+    aggregations: Vec<NodeId>,
     spines: Vec<NodeId>,
+    cores: Vec<NodeId>,
 }
 
 /// Parameters for [`Topology::leaf_spine`].
@@ -138,6 +171,73 @@ impl LeafSpineConfig {
             link_delay: SimDuration::from_micros(2),
         }
     }
+
+    /// An oversubscribed leaf-spine fabric: the aggregate uplink bandwidth of
+    /// each leaf is `1/ratio` of its aggregate downlink (host-facing)
+    /// bandwidth. `ratio = 1.0` reproduces full bisection; `ratio = 4.0` is
+    /// the classic 4:1 oversubscription where 8 hosts × 10 Gbps behind a leaf
+    /// share 20 Gbps of fabric capacity.
+    ///
+    /// # Panics
+    /// Panics if `ratio < 1.0` or any count is zero / does not divide evenly.
+    pub fn oversubscribed(hosts: usize, leaves: usize, spines: usize, ratio: f64) -> Self {
+        assert!(
+            ratio >= 1.0 && ratio.is_finite(),
+            "oversubscription ratio must be >= 1"
+        );
+        assert!(hosts > 0 && leaves > 0 && spines > 0, "empty fabric");
+        assert_eq!(hosts % leaves, 0, "hosts must divide evenly across leaves");
+        let host_link_bps = 10e9;
+        let per_leaf = (hosts / leaves) as f64;
+        let fabric_link_bps = per_leaf * host_link_bps / (ratio * spines as f64);
+        Self {
+            hosts,
+            leaves,
+            spines,
+            host_link_bps,
+            fabric_link_bps,
+            link_delay: SimDuration::from_micros(2),
+        }
+    }
+
+    /// The leaf downlink : uplink bandwidth ratio this configuration yields
+    /// (1.0 = full bisection, larger = oversubscribed).
+    pub fn oversubscription_ratio(&self) -> f64 {
+        let per_leaf = (self.hosts / self.leaves) as f64;
+        per_leaf * self.host_link_bps / (self.spines as f64 * self.fabric_link_bps)
+    }
+}
+
+/// Parameters for [`Topology::fat_tree`]: a canonical k-ary fat-tree
+/// (Al-Fares et al.). `k` pods each hold `k/2` edge and `k/2` aggregation
+/// switches; `(k/2)²` core switches connect the pods; every edge switch
+/// serves `k/2` hosts, for `k³/4` hosts total (k=4 → 16 hosts, k=8 → 128).
+/// All links share one speed, so the fabric has full bisection bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FatTreeConfig {
+    /// The arity `k` (must be even and ≥ 2).
+    pub k: usize,
+    /// Speed of every link in bits per second.
+    pub link_bps: f64,
+    /// Per-link propagation delay.
+    pub link_delay: SimDuration,
+}
+
+impl FatTreeConfig {
+    /// A k-ary fat-tree with 10 Gbps links and 2 µs per-link delay (the
+    /// paper's link parameters on the fat-tree shape).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            link_bps: 10e9,
+            link_delay: SimDuration::from_micros(2),
+        }
+    }
+
+    /// Number of hosts this configuration yields (`k³/4`).
+    pub fn num_hosts(&self) -> usize {
+        self.k * self.k * self.k / 4
+    }
 }
 
 impl Topology {
@@ -156,7 +256,9 @@ impl Topology {
         match kind {
             NodeKind::Host => self.hosts.push(id),
             NodeKind::Leaf => self.leaves.push(id),
+            NodeKind::Aggregation => self.aggregations.push(id),
             NodeKind::Spine => self.spines.push(id),
+            NodeKind::Core => self.cores.push(id),
         }
         id
     }
@@ -223,9 +325,19 @@ impl Topology {
         &self.leaves
     }
 
+    /// Aggregation switch node ids (fat-tree topologies).
+    pub fn aggregations(&self) -> &[NodeId] {
+        &self.aggregations
+    }
+
     /// Spine switch node ids.
     pub fn spines(&self) -> &[NodeId] {
         &self.spines
+    }
+
+    /// Core switch node ids (fat-tree topologies).
+    pub fn cores(&self) -> &[NodeId] {
+        &self.cores
     }
 
     /// Number of links.
@@ -288,6 +400,66 @@ impl Topology {
         topo
     }
 
+    /// Build a canonical k-ary fat-tree (see [`FatTreeConfig`]).
+    ///
+    /// Hosts are created first (so `hosts()[i]` is host `i` globally), then
+    /// the edge switches of every pod (as [`NodeKind::Leaf`]), the
+    /// aggregation switches, and finally the cores. Host `h` lives in pod
+    /// `h / (k²/4)` under edge switch `(h % (k²/4)) / (k/2)`; aggregation
+    /// switch `a` of each pod uplinks to cores `a·k/2 .. (a+1)·k/2`.
+    ///
+    /// # Panics
+    /// Panics if `k` is odd or smaller than 2.
+    pub fn fat_tree(cfg: &FatTreeConfig) -> Self {
+        let k = cfg.k;
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity must be even and >= 2"
+        );
+        let half = k / 2;
+        let mut topo = Topology::new();
+        let hosts: Vec<NodeId> = (0..cfg.num_hosts())
+            .map(|i| topo.add_node(NodeKind::Host, format!("host-{i}")))
+            .collect();
+        let edges: Vec<Vec<NodeId>> = (0..k)
+            .map(|p| {
+                (0..half)
+                    .map(|e| topo.add_node(NodeKind::Leaf, format!("edge-{p}-{e}")))
+                    .collect()
+            })
+            .collect();
+        let aggs: Vec<Vec<NodeId>> = (0..k)
+            .map(|p| {
+                (0..half)
+                    .map(|a| topo.add_node(NodeKind::Aggregation, format!("agg-{p}-{a}")))
+                    .collect()
+            })
+            .collect();
+        let cores: Vec<NodeId> = (0..half * half)
+            .map(|c| topo.add_node(NodeKind::Core, format!("core-{c}")))
+            .collect();
+
+        let hosts_per_pod = half * half;
+        for (h, &host) in hosts.iter().enumerate() {
+            let pod = h / hosts_per_pod;
+            let edge = (h % hosts_per_pod) / half;
+            topo.add_duplex_link(host, edges[pod][edge], cfg.link_bps, cfg.link_delay);
+        }
+        for p in 0..k {
+            for &edge in &edges[p] {
+                for &agg in &aggs[p] {
+                    topo.add_duplex_link(edge, agg, cfg.link_bps, cfg.link_delay);
+                }
+            }
+            for (a, &agg) in aggs[p].iter().enumerate() {
+                for &core in &cores[a * half..(a + 1) * half] {
+                    topo.add_duplex_link(agg, core, cfg.link_bps, cfg.link_delay);
+                }
+            }
+        }
+        topo
+    }
+
     /// The leaf switch a host is attached to (leaf-spine topologies only).
     pub fn leaf_of(&self, host: NodeId) -> Option<NodeId> {
         assert_eq!(
@@ -302,37 +474,120 @@ impl Topology {
             .filter(|&n| self.nodes[n].kind == NodeKind::Leaf)
     }
 
-    /// The route from `src` host to `dst` host through spine number
-    /// `spine_choice % spines` (for hosts under different leaves), or directly
-    /// through their shared leaf. Used for ECMP-style per-flow path pinning.
+    /// All equal-cost (shortest) paths from `src` to `dst`, as node
+    /// sequences, in a deterministic order: paths are enumerated
+    /// depth-first with next hops visited in ascending node-id order, so the
+    /// result is lexicographically sorted. On a leaf-spine fabric this yields
+    /// one path per spine (in spine order) for inter-rack pairs; on a
+    /// fat-tree, `(k/2)²` paths for inter-pod pairs and `k/2` for
+    /// intra-pod/inter-edge pairs. In the hierarchical fabrics built by
+    /// [`Topology::leaf_spine`] and [`Topology::fat_tree`] every shortest
+    /// path is automatically valley-free (tiers rise monotonically to a
+    /// single peak, then fall).
+    ///
+    /// # Panics
+    /// Panics if `src == dst` or no path exists.
+    pub fn equal_cost_node_paths(&self, src: NodeId, dst: NodeId) -> Vec<Vec<NodeId>> {
+        assert_ne!(src, dst, "a path needs distinct endpoints");
+        let n = self.nodes.len();
+        let mut out_adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut in_adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for l in &self.links {
+            out_adj[l.from].push(l.to);
+            in_adj[l.to].push(l.from);
+        }
+        for a in &mut out_adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+
+        let bfs = |start: NodeId, adj: &[Vec<NodeId>]| -> Vec<u32> {
+            let mut dist = vec![u32::MAX; n];
+            dist[start] = 0;
+            let mut frontier = std::collections::VecDeque::from([start]);
+            while let Some(u) = frontier.pop_front() {
+                for &v in &adj[u] {
+                    if dist[v] == u32::MAX {
+                        dist[v] = dist[u] + 1;
+                        frontier.push_back(v);
+                    }
+                }
+            }
+            dist
+        };
+        let dist_from_src = bfs(src, &out_adj);
+        let dist_to_dst = bfs(dst, &in_adj);
+        let total = dist_from_src[dst];
+        assert_ne!(total, u32::MAX, "no path from {src} to {dst}");
+
+        // Depth-first enumeration over the shortest-path DAG: from `u`, a hop
+        // to `v` stays on some shortest path iff it advances the distance
+        // from the source and the remaining distance to the destination
+        // matches exactly. Iterative DFS with per-level neighbor cursors;
+        // neighbors are visited in ascending node-id order, so the paths come
+        // out lexicographically sorted.
+        let on_dag = |u: NodeId, v: NodeId| {
+            dist_from_src[v] == dist_from_src[u] + 1
+                && dist_to_dst[v] != u32::MAX
+                && dist_from_src[v] + dist_to_dst[v] == total
+        };
+        let mut paths = Vec::new();
+        let mut path = vec![src];
+        let mut cursors = vec![0usize];
+        while let Some(&u) = path.last() {
+            if u == dst {
+                paths.push(path.clone());
+                path.pop();
+                cursors.pop();
+                continue;
+            }
+            let cursor = cursors.last_mut().expect("one cursor per path node");
+            match out_adj[u][*cursor..].iter().position(|&v| on_dag(u, v)) {
+                Some(offset) => {
+                    let v = out_adj[u][*cursor + offset];
+                    *cursor += offset + 1;
+                    path.push(v);
+                    cursors.push(0);
+                }
+                None => {
+                    path.pop();
+                    cursors.pop();
+                }
+            }
+        }
+        paths
+    }
+
+    /// The route from `src` host to `dst` host pinned to equal-cost path
+    /// number `choice % num_paths` (ECMP hash stand-in). On a leaf-spine
+    /// fabric this is exactly the legacy behavior: inter-rack flows pick
+    /// spine `choice % spines`, intra-rack flows route through the shared
+    /// leaf regardless of `choice`.
     ///
     /// # Panics
     /// Panics if `src` or `dst` is not a host, or `src == dst`.
-    pub fn host_route(&self, src: NodeId, dst: NodeId, spine_choice: usize) -> Route {
-        assert_ne!(src, dst, "a flow needs distinct endpoints");
-        let src_leaf = self.leaf_of(src).expect("src not attached to a leaf");
-        let dst_leaf = self.leaf_of(dst).expect("dst not attached to a leaf");
-        if src_leaf == dst_leaf {
-            self.route_via(&[src, src_leaf, dst])
-        } else {
-            let spine = self.spines[spine_choice % self.spines.len()];
-            self.route_via(&[src, src_leaf, spine, dst_leaf, dst])
-        }
+    pub fn host_route(&self, src: NodeId, dst: NodeId, choice: usize) -> Route {
+        let paths = self.host_node_paths(src, dst);
+        self.route_via(&paths[choice % paths.len()])
     }
 
-    /// All distinct routes from `src` to `dst` (one per spine for inter-rack
-    /// pairs, a single route for intra-rack pairs). Subflows of a multipath
-    /// flow are spread across these.
+    /// All distinct equal-cost routes from `src` to `dst` (one per spine for
+    /// inter-rack leaf-spine pairs, `(k/2)²` for inter-pod fat-tree pairs, a
+    /// single route for same-switch pairs). Subflows of a multipath flow are
+    /// spread across these.
     pub fn host_routes(&self, src: NodeId, dst: NodeId) -> Vec<Route> {
-        let src_leaf = self.leaf_of(src).expect("src not attached to a leaf");
-        let dst_leaf = self.leaf_of(dst).expect("dst not attached to a leaf");
-        if src_leaf == dst_leaf {
-            vec![self.route_via(&[src, src_leaf, dst])]
-        } else {
-            (0..self.spines.len())
-                .map(|s| self.host_route(src, dst, s))
-                .collect()
-        }
+        self.host_node_paths(src, dst)
+            .iter()
+            .map(|p| self.route_via(p))
+            .collect()
+    }
+
+    /// Equal-cost node paths between two *hosts* (panics on non-host
+    /// endpoints, preserving the original `host_route` contract).
+    fn host_node_paths(&self, src: NodeId, dst: NodeId) -> Vec<Vec<NodeId>> {
+        assert_eq!(self.nodes[src].kind, NodeKind::Host, "{src} is not a host");
+        assert_eq!(self.nodes[dst].kind, NodeKind::Host, "{dst} is not a host");
+        self.equal_cost_node_paths(src, dst)
     }
 
     /// The reverse of `route` (the path ACKs take), assuming every link has a
@@ -469,6 +724,119 @@ mod tests {
     #[should_panic]
     fn uneven_hosts_per_leaf_rejected() {
         Topology::leaf_spine(&LeafSpineConfig::small(7, 2, 2));
+    }
+
+    #[test]
+    fn fat_tree_k4_has_canonical_shape() {
+        let topo = Topology::fat_tree(&FatTreeConfig::new(4));
+        assert_eq!(topo.hosts().len(), 16);
+        assert_eq!(topo.leaves().len(), 8); // edge switches
+        assert_eq!(topo.aggregations().len(), 8);
+        assert_eq!(topo.cores().len(), 4);
+        // Cables: 16 host-edge + 4 pods * 4 edge-agg + 4 pods * 4 agg-core.
+        assert_eq!(topo.num_links(), 2 * (16 + 16 + 16));
+        // Every node's kind maps to the expected tier.
+        assert_eq!(NodeKind::Host.tier(), 0);
+        assert_eq!(NodeKind::Leaf.tier(), 1);
+        assert_eq!(NodeKind::Aggregation.tier(), 2);
+        assert_eq!(NodeKind::Core.tier(), 3);
+        assert!(NodeKind::Core.is_switch() && !NodeKind::Host.is_switch());
+    }
+
+    #[test]
+    fn fat_tree_k8_has_128_hosts() {
+        let cfg = FatTreeConfig::new(8);
+        assert_eq!(cfg.num_hosts(), 128);
+        let topo = Topology::fat_tree(&cfg);
+        assert_eq!(topo.hosts().len(), 128);
+        assert_eq!(topo.leaves().len(), 32);
+        assert_eq!(topo.aggregations().len(), 32);
+        assert_eq!(topo.cores().len(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fat_tree_rejects_odd_arity() {
+        Topology::fat_tree(&FatTreeConfig::new(3));
+    }
+
+    #[test]
+    fn fat_tree_ecmp_path_counts() {
+        let topo = Topology::fat_tree(&FatTreeConfig::new(4));
+        let hosts = topo.hosts();
+        // Hosts 0 and 1 share an edge switch: one 2-hop path.
+        assert_eq!(topo.host_routes(hosts[0], hosts[1]).len(), 1);
+        assert_eq!(topo.host_route(hosts[0], hosts[1], 5).len(), 2);
+        // Hosts 0 and 2 share a pod but not an edge: k/2 = 2 four-hop paths.
+        let intra_pod = topo.host_routes(hosts[0], hosts[2]);
+        assert_eq!(intra_pod.len(), 2);
+        assert!(intra_pod.iter().all(|r| r.len() == 4));
+        // Hosts 0 and 15 are in different pods: (k/2)² = 4 six-hop paths.
+        let inter_pod = topo.host_routes(hosts[0], hosts[15]);
+        assert_eq!(inter_pod.len(), 4);
+        assert!(inter_pod.iter().all(|r| r.len() == 6));
+        // All inter-pod paths are distinct and choice wraps modulo.
+        for i in 0..inter_pod.len() {
+            for j in i + 1..inter_pod.len() {
+                assert_ne!(inter_pod[i], inter_pod[j]);
+            }
+            assert_eq!(topo.host_route(hosts[0], hosts[15], i), inter_pod[i]);
+            assert_eq!(topo.host_route(hosts[0], hosts[15], i + 4), inter_pod[i]);
+        }
+    }
+
+    #[test]
+    fn leaf_spine_routes_match_legacy_construction() {
+        // The generalized ECMP enumerator must reproduce the original
+        // leaf-spine routes exactly (same links, same spine order), because
+        // seeded scenarios pin flows by `spine_choice`.
+        let topo = Topology::leaf_spine(&LeafSpineConfig::small(16, 4, 3));
+        let hosts = topo.hosts().to_vec();
+        for &src in &hosts {
+            for &dst in &hosts {
+                if src == dst {
+                    continue;
+                }
+                let src_leaf = topo.leaf_of(src).unwrap();
+                let dst_leaf = topo.leaf_of(dst).unwrap();
+                for choice in 0..6 {
+                    let got = topo.host_route(src, dst, choice);
+                    let want = if src_leaf == dst_leaf {
+                        topo.route_via(&[src, src_leaf, dst])
+                    } else {
+                        let spine = topo.spines()[choice % topo.spines().len()];
+                        topo.route_via(&[src, src_leaf, spine, dst_leaf, dst])
+                    };
+                    assert_eq!(got, want, "src={src} dst={dst} choice={choice}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscribed_leaf_spine_scales_fabric_links_down() {
+        let cfg = LeafSpineConfig::oversubscribed(32, 4, 2, 4.0);
+        // 8 hosts/leaf * 10G down, 20G up => 10G per spine link.
+        assert_eq!(cfg.fabric_link_bps, 10e9);
+        assert!((cfg.oversubscription_ratio() - 4.0).abs() < 1e-9);
+        let full = LeafSpineConfig::oversubscribed(32, 4, 2, 1.0);
+        assert_eq!(full.fabric_link_bps, 40e9);
+        assert!((LeafSpineConfig::paper_default().oversubscription_ratio() - 1.0).abs() < 1e-9);
+        let topo = Topology::leaf_spine(&cfg);
+        let leaf0 = topo.leaves()[0];
+        let up: f64 = topo
+            .links()
+            .iter()
+            .filter(|l| l.from == leaf0 && topo.nodes()[l.to].kind == NodeKind::Spine)
+            .map(|l| l.capacity_bps)
+            .sum();
+        assert_eq!(up, 20e9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversubscription_below_one_rejected() {
+        LeafSpineConfig::oversubscribed(32, 4, 2, 0.5);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   criterion holds.
 
 use numfabric_num::utility::UtilityRef;
-use numfabric_num::{FluidFlow, FluidNetwork, Oracle};
+use numfabric_num::{FluidNetwork, FluidNetworkBuilder, Oracle};
 use numfabric_sim::network::Network;
 use numfabric_sim::topology::{Route, Topology};
 use numfabric_sim::tracer::PAPER_EWMA_TAU;
@@ -23,22 +23,22 @@ use numfabric_sim::{FlowId, SimDuration, SimTime};
 ///
 /// Link capacities are converted to Gbps (the unit all utility functions in
 /// this repository operate in). Only links actually traversed by at least one
-/// flow are included, keeping the oracle solve small; the mapping is internal
-/// and the returned instance's flows are in the same order as `flows`.
+/// flow are included, keeping the oracle solve small; the mapping is interned
+/// by [`FluidNetworkBuilder`] (so it works over any topology — leaf-spine,
+/// fat-tree, oversubscribed or custom) and the returned instance's flows are
+/// in the same order as `flows`.
 pub fn fluid_instance(topo: &Topology, flows: &[(Route, UtilityRef)]) -> FluidNetwork {
-    let mut net = FluidNetwork::new();
-    let mut link_map: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut builder = FluidNetworkBuilder::new();
     for (route, utility) in flows {
-        let mut path = Vec::with_capacity(route.links.len());
-        for &l in &route.links {
-            let fluid_id = *link_map
-                .entry(l)
-                .or_insert_with(|| net.add_link(topo.links()[l].capacity_bps / 1e9));
-            path.push(fluid_id);
-        }
-        net.add_flow(FluidFlow::with_utility_ref(path, utility.clone()));
+        builder.add_flow_on(
+            route
+                .links
+                .iter()
+                .map(|&l| (l, topo.links()[l].capacity_bps / 1e9)),
+            utility.clone(),
+        );
     }
-    net
+    builder.finish()
 }
 
 /// Solve the NUM instance for `flows` and return the optimal rate of each, in

@@ -1,0 +1,198 @@
+//! Fabric selection for scenario CLIs: parse a `--topology` option value
+//! into a [`TopologySpec`] and build the corresponding [`Topology`].
+//!
+//! Accepted spellings:
+//!
+//! * `leaf-spine` — the paper's full-bisection leaf-spine (reduced: 32
+//!   hosts / 4 leaves / 2 spines; `--full`: the 128-host paper fabric);
+//! * `oversub:R:1` (or `oversub:R`) — leaf-spine with an `R:1`
+//!   host:fabric bandwidth ratio on the same shapes;
+//! * `fat-tree:k=K` (or `fat-tree:K`) — a k-ary fat-tree with `k³/4`
+//!   hosts (k=4 → 16, k=8 → 128) and uniform 10 Gbps links.
+
+use numfabric_sim::topology::{FatTreeConfig, LeafSpineConfig, Topology};
+use std::fmt;
+use std::str::FromStr;
+
+/// A named fabric family plus its parameters, as given on the command line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologySpec {
+    /// Full-bisection leaf-spine (the paper's fabric).
+    LeafSpine,
+    /// Leaf-spine with an `ratio:1` host:fabric bandwidth ratio.
+    Oversubscribed {
+        /// The oversubscription ratio (≥ 1).
+        ratio: f64,
+    },
+    /// A k-ary fat-tree with edge/aggregation/core tiers.
+    FatTree {
+        /// The fat-tree arity (even, ≥ 2).
+        k: usize,
+    },
+}
+
+/// Error produced when a `--topology` value does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidTopology(String);
+
+impl fmt::Display for InvalidTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid topology `{}`; expected `leaf-spine`, `oversub:<R>:1` or `fat-tree:k=<K>`",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for InvalidTopology {}
+
+impl FromStr for TopologySpec {
+    type Err = InvalidTopology;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || InvalidTopology(s.to_string());
+        if s == "leaf-spine" {
+            return Ok(TopologySpec::LeafSpine);
+        }
+        if let Some(rest) = s.strip_prefix("oversub:") {
+            let ratio_str = rest.strip_suffix(":1").unwrap_or(rest);
+            let ratio: f64 = ratio_str.parse().map_err(|_| err())?;
+            if !(ratio.is_finite() && ratio >= 1.0) {
+                return Err(err());
+            }
+            return Ok(TopologySpec::Oversubscribed { ratio });
+        }
+        if let Some(rest) = s.strip_prefix("fat-tree:") {
+            let k_str = rest.strip_prefix("k=").unwrap_or(rest);
+            let k: usize = k_str.parse().map_err(|_| err())?;
+            if k < 2 || !k.is_multiple_of(2) {
+                return Err(err());
+            }
+            return Ok(TopologySpec::FatTree { k });
+        }
+        Err(err())
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologySpec::LeafSpine => write!(f, "leaf-spine"),
+            TopologySpec::Oversubscribed { ratio } => write!(f, "oversub:{ratio}:1"),
+            TopologySpec::FatTree { k } => write!(f, "fat-tree:k={k}"),
+        }
+    }
+}
+
+impl TopologySpec {
+    /// Build the topology. For the leaf-spine families `full` selects the
+    /// paper's 128-host shape instead of the reduced 32-host one; fat-trees
+    /// are sized by `k` alone.
+    pub fn build(&self, full: bool) -> Topology {
+        match *self {
+            TopologySpec::LeafSpine => Topology::leaf_spine(&if full {
+                LeafSpineConfig::paper_default()
+            } else {
+                LeafSpineConfig::small(32, 4, 2)
+            }),
+            TopologySpec::Oversubscribed { ratio } => Topology::leaf_spine(&if full {
+                LeafSpineConfig::oversubscribed(128, 8, 4, ratio)
+            } else {
+                LeafSpineConfig::oversubscribed(32, 4, 2, ratio)
+            }),
+            TopologySpec::FatTree { k } => Topology::fat_tree(&FatTreeConfig::new(k)),
+        }
+    }
+
+    /// One-line description of the built fabric (host/switch/link counts).
+    pub fn describe(&self, topo: &Topology) -> String {
+        format!(
+            "{} ({} hosts, {} leaves, {} aggs, {} spines, {} cores, {} links)",
+            self,
+            topo.hosts().len(),
+            topo.leaves().len(),
+            topo.aggregations().len(),
+            topo.spines().len(),
+            topo.cores().len(),
+            topo.num_links(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_documented_spelling() {
+        assert_eq!(
+            "leaf-spine".parse::<TopologySpec>().unwrap(),
+            TopologySpec::LeafSpine
+        );
+        assert_eq!(
+            "oversub:4:1".parse::<TopologySpec>().unwrap(),
+            TopologySpec::Oversubscribed { ratio: 4.0 }
+        );
+        assert_eq!(
+            "oversub:2.5".parse::<TopologySpec>().unwrap(),
+            TopologySpec::Oversubscribed { ratio: 2.5 }
+        );
+        assert_eq!(
+            "fat-tree:k=4".parse::<TopologySpec>().unwrap(),
+            TopologySpec::FatTree { k: 4 }
+        );
+        assert_eq!(
+            "fat-tree:8".parse::<TopologySpec>().unwrap(),
+            TopologySpec::FatTree { k: 8 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "mesh",
+            "fat-tree:k=3",
+            "fat-tree:k=0",
+            "fat-tree:k=banana",
+            "oversub:0.5:1",
+            "oversub:nan",
+            "oversub:",
+            "",
+        ] {
+            let err = bad.parse::<TopologySpec>().unwrap_err();
+            assert!(err.to_string().contains("invalid topology"), "{bad}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for spec in [
+            TopologySpec::LeafSpine,
+            TopologySpec::Oversubscribed { ratio: 4.0 },
+            TopologySpec::FatTree { k: 8 },
+        ] {
+            assert_eq!(spec.to_string().parse::<TopologySpec>().unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn builds_the_advertised_shapes() {
+        let ft = TopologySpec::FatTree { k: 4 }.build(false);
+        assert_eq!(ft.hosts().len(), 16);
+        assert_eq!(ft.cores().len(), 4);
+        let ls = TopologySpec::LeafSpine.build(false);
+        assert_eq!(ls.hosts().len(), 32);
+        let full = TopologySpec::LeafSpine.build(true);
+        assert_eq!(full.hosts().len(), 128);
+        let os = TopologySpec::Oversubscribed { ratio: 4.0 }.build(false);
+        // 8 hosts per leaf at 10G, 2 spines: 10G fabric links (4:1).
+        assert!(os
+            .links()
+            .iter()
+            .all(|l| (l.capacity_bps - 10e9).abs() < 1.0));
+        let spec = TopologySpec::FatTree { k: 4 };
+        let desc = spec.describe(&ft);
+        assert!(desc.contains("fat-tree:k=4") && desc.contains("16 hosts"));
+    }
+}

@@ -10,7 +10,7 @@
 
 use crate::arrivals::FlowArrival;
 use numfabric_num::utility::UtilityRef;
-use numfabric_num::{FluidFlow, FluidNetwork, Oracle};
+use numfabric_num::{FluidNetworkBuilder, Oracle};
 use numfabric_sim::topology::{Route, Topology};
 use numfabric_sim::{SimDuration, SimTime};
 
@@ -142,21 +142,18 @@ impl<'a> IdealFluidSimulator<'a> {
     }
 
     fn solve_rates(&self, active: &[ActiveFlow]) -> Vec<f64> {
-        let mut net = FluidNetwork::new();
-        let mut link_map: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
+        let mut builder = FluidNetworkBuilder::new();
         for f in active {
-            let mut path = Vec::with_capacity(f.route.links.len());
-            for &l in &f.route.links {
-                let id = *link_map
-                    .entry(l)
-                    .or_insert_with(|| net.add_link(self.topo.links()[l].capacity_bps / 1e9));
-                path.push(id);
-            }
-            net.add_flow(FluidFlow::with_utility_ref(path, f.utility.clone()));
+            builder.add_flow_on(
+                f.route
+                    .links
+                    .iter()
+                    .map(|&l| (l, self.topo.links()[l].capacity_bps / 1e9)),
+                f.utility.clone(),
+            );
         }
         self.oracle
-            .solve(&net)
+            .solve(&builder.finish())
             .rates
             .iter()
             .map(|r| r * 1e9)

@@ -9,7 +9,11 @@
 //! * [`arrivals`] — Poisson flow arrivals at a target load.
 //! * [`scenarios`] — the semi-dynamic convergence scenario (1000 random
 //!   paths, 100-flow start/stop events, 300–500 active flows), permutation
-//!   traffic for resource pooling, and random-pair helpers.
+//!   traffic for resource pooling, random-pair helpers, and the datacenter
+//!   fabric family: incast (N-to-1), all-to-all shuffle and stride
+//!   permutations.
+//! * [`fabric`] — `--topology` specs (`leaf-spine`, `oversub:R:1`,
+//!   `fat-tree:k=K`) parsed into buildable topologies.
 //! * [`convergence`] — the §6.1 convergence criterion (95 % of flows within
 //!   10 % of the oracle allocation, sustained for 5 ms, filter rise time
 //!   subtracted) and the mapping from packet-level flows to fluid NUM
@@ -31,6 +35,7 @@
 pub mod arrivals;
 pub mod convergence;
 pub mod distributions;
+pub mod fabric;
 pub mod ideal;
 pub mod registry;
 pub mod scenarios;
@@ -43,9 +48,12 @@ pub use convergence::{
 pub use distributions::{
     BoundedPareto, EmpiricalCdf, FixedSize, FlowSizeDistribution, UniformSize,
 };
+pub use fabric::{InvalidTopology, TopologySpec};
 pub use ideal::{empty_network_fct, IdealCompletion, IdealFluidSimulator};
-pub use registry::{ScenarioOptions, ScenarioRegistry, ScenarioSpec, UnknownScenario};
+pub use registry::{
+    InvalidOption, ScenarioOptions, ScenarioRegistry, ScenarioSpec, UnknownScenario,
+};
 pub use scenarios::{
-    permutation_pairs, random_pairs, EventKind, NetworkEvent, PathSpec, SemiDynamicConfig,
-    SemiDynamicScenario,
+    incast_pairs, permutation_pairs, random_pairs, shuffle_pairs, stride_pairs, EventKind,
+    NetworkEvent, PathSpec, SemiDynamicConfig, SemiDynamicScenario,
 };

@@ -49,12 +49,46 @@ impl ScenarioOptions {
             .map(String::as_str)
     }
 
+    /// Parse the value of `name`: `Ok(None)` when the option is absent,
+    /// `Ok(Some(v))` on success, and an [`InvalidOption`] when the option is
+    /// present but its value is missing or unparsable.
+    pub fn try_parsed<T: FromStr>(&self, name: &str) -> Result<Option<T>, InvalidOption>
+    where
+        T::Err: fmt::Display,
+    {
+        let Some(pos) = self.args.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        let Some(raw) = self.args.get(pos + 1) else {
+            return Err(InvalidOption {
+                name: name.to_string(),
+                value: String::new(),
+                reason: "missing value".to_string(),
+            });
+        };
+        raw.parse().map(Some).map_err(|e: T::Err| InvalidOption {
+            name: name.to_string(),
+            value: raw.clone(),
+            reason: e.to_string(),
+        })
+    }
+
     /// Parse the value of `name`, falling back to `default` when the option
-    /// is absent or unparsable.
-    pub fn parsed_or<T: FromStr>(&self, name: &str, default: T) -> T {
-        self.value(name)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    /// is absent. A malformed value (e.g. `--hosts banana`) is a hard error:
+    /// it is reported on stderr and the process exits non-zero — scenarios
+    /// must never silently run with a default the user tried to override.
+    pub fn parsed_or<T: FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: fmt::Display,
+    {
+        match self.try_parsed(name) {
+            Ok(Some(v)) => v,
+            Ok(None) => default,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// The conventional `--full` flag: run at the paper's scale.
@@ -62,6 +96,34 @@ impl ScenarioOptions {
         self.flag("--full")
     }
 }
+
+/// Error produced when an option is present but its value is missing or
+/// does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidOption {
+    /// The option's name (e.g. `--hosts`).
+    pub name: String,
+    /// The offending raw value (empty when the value token was missing).
+    pub value: String,
+    /// Why it failed to parse.
+    pub reason: String,
+}
+
+impl fmt::Display for InvalidOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.value.is_empty() {
+            write!(f, "option `{}`: {}", self.name, self.reason)
+        } else {
+            write!(
+                f,
+                "invalid value `{}` for option `{}`: {}",
+                self.value, self.name, self.reason
+            )
+        }
+    }
+}
+
+impl std::error::Error for InvalidOption {}
 
 /// The run function of a scenario.
 pub type ScenarioFn = fn(&ScenarioOptions);
@@ -219,5 +281,47 @@ mod tests {
         assert_eq!(opts.parsed_or("--missing", 7u32), 7);
         // `--bad` has no following value token.
         assert_eq!(opts.value("--bad"), None);
+    }
+
+    fn opts(args: &[&str]) -> ScenarioOptions {
+        ScenarioOptions::new(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn try_parsed_absent_option_is_ok_none() {
+        assert_eq!(opts(&["--full"]).try_parsed::<usize>("--hosts"), Ok(None));
+    }
+
+    #[test]
+    fn try_parsed_valid_value_parses() {
+        assert_eq!(
+            opts(&["--hosts", "32"]).try_parsed("--hosts"),
+            Ok(Some(32usize))
+        );
+        assert_eq!(
+            opts(&["--load", "0.6"]).try_parsed("--load"),
+            Ok(Some(0.6f64))
+        );
+    }
+
+    #[test]
+    fn try_parsed_malformed_value_is_an_error() {
+        // The exact regression of the silent-fallback bug: `--hosts banana`
+        // must NOT fall back to the default.
+        let err = opts(&["--hosts", "banana"])
+            .try_parsed::<usize>("--hosts")
+            .unwrap_err();
+        assert_eq!(err.name, "--hosts");
+        assert_eq!(err.value, "banana");
+        assert!(err.to_string().contains("invalid value `banana`"));
+    }
+
+    #[test]
+    fn try_parsed_trailing_flag_without_value_is_an_error() {
+        let err = opts(&["--hosts"])
+            .try_parsed::<usize>("--hosts")
+            .unwrap_err();
+        assert!(err.value.is_empty());
+        assert!(err.to_string().contains("missing value"));
     }
 }

@@ -8,6 +8,11 @@
 //!   traffic (§6.3): servers 1–64 each send to one server among 65–128.
 //! * [`random_pairs`] — uniformly random distinct host pairs (used to build
 //!   the semi-dynamic paths and ad-hoc experiments).
+//! * The datacenter fabric family: [`incast_pairs`] (N-to-1 fan-in),
+//!   [`shuffle_pairs`] (all-to-all) and [`stride_pairs`] (stride
+//!   permutation) — classic stress patterns that exercise incast
+//!   bottlenecks, full-fabric load and cross-pod ECMP spreading on the
+//!   generalized topologies (fat-tree, oversubscribed leaf-spine).
 
 use numfabric_sim::topology::Topology;
 use numfabric_sim::NodeId;
@@ -67,6 +72,90 @@ pub fn permutation_pairs(topo: &Topology, seed: u64) -> Vec<PathSpec> {
         .map(|(&src, dst)| PathSpec {
             src,
             dst,
+            spine_choice: rng.gen_range(0..64),
+        })
+        .collect()
+}
+
+/// N-to-1 incast: `fan_in` distinct senders (drawn without replacement from
+/// the other hosts) all send to one receiver, chosen by the seed. The
+/// receiver's access link is the bottleneck; spine/path choices are spread
+/// by ECMP so the fan-in converges from across the fabric.
+///
+/// # Panics
+/// Panics if the topology has fewer than `fan_in + 1` hosts or `fan_in == 0`.
+pub fn incast_pairs(topo: &Topology, fan_in: usize, seed: u64) -> Vec<PathSpec> {
+    let hosts = topo.hosts();
+    assert!(fan_in > 0, "incast needs at least one sender");
+    assert!(
+        hosts.len() > fan_in,
+        "need {} hosts for a {fan_in}-to-1 incast, have {}",
+        fan_in + 1,
+        hosts.len()
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let dst = *hosts.choose(&mut rng).expect("non-empty");
+    let mut senders: Vec<NodeId> = hosts.iter().copied().filter(|&h| h != dst).collect();
+    senders.shuffle(&mut rng);
+    senders.truncate(fan_in);
+    senders
+        .into_iter()
+        .map(|src| PathSpec {
+            src,
+            dst,
+            spine_choice: rng.gen_range(0..64),
+        })
+        .collect()
+}
+
+/// All-to-all shuffle: every ordered pair of distinct hosts among the first
+/// `participants` hosts (all hosts if `None`), in (src, dst) order —
+/// `n·(n−1)` flows. The seed only randomizes the ECMP path choices, not the
+/// pair set, so every protocol sees the identical shuffle.
+///
+/// # Panics
+/// Panics if fewer than two hosts participate.
+pub fn shuffle_pairs(topo: &Topology, participants: Option<usize>, seed: u64) -> Vec<PathSpec> {
+    let hosts = topo.hosts();
+    let n = participants.unwrap_or(hosts.len()).min(hosts.len());
+    assert!(n >= 2, "a shuffle needs at least two hosts");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(n * (n - 1));
+    for &src in &hosts[..n] {
+        for &dst in &hosts[..n] {
+            if src != dst {
+                pairs.push(PathSpec {
+                    src,
+                    dst,
+                    spine_choice: rng.gen_range(0..64),
+                });
+            }
+        }
+    }
+    pairs
+}
+
+/// Stride permutation: host `i` sends to host `(i + stride) mod n`. With a
+/// stride of at least the rack/pod size every flow crosses the fabric,
+/// making this the canonical pattern for measuring ECMP load balance and
+/// oversubscription effects. The seed randomizes only the path choices.
+///
+/// # Panics
+/// Panics if the stride is congruent to 0 modulo the host count (flows would
+/// be self-loops) or the topology has fewer than two hosts.
+pub fn stride_pairs(topo: &Topology, stride: usize, seed: u64) -> Vec<PathSpec> {
+    let hosts = topo.hosts();
+    let n = hosts.len();
+    assert!(n >= 2, "a stride permutation needs at least two hosts");
+    assert!(
+        !stride.is_multiple_of(n),
+        "stride {stride} is a multiple of the host count {n}"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| PathSpec {
+            src: hosts[i],
+            dst: hosts[(i + stride) % n],
             spine_choice: rng.gen_range(0..64),
         })
         .collect()
@@ -260,6 +349,54 @@ mod tests {
         let mut expected = hosts[16..].to_vec();
         expected.sort_unstable();
         assert_eq!(dsts, expected);
+    }
+
+    #[test]
+    fn incast_has_one_receiver_and_distinct_senders() {
+        let topo = Topology::fat_tree(&numfabric_sim::topology::FatTreeConfig::new(4));
+        let pairs = incast_pairs(&topo, 8, 11);
+        assert_eq!(pairs.len(), 8);
+        let dst = pairs[0].dst;
+        assert!(pairs.iter().all(|p| p.dst == dst && p.src != dst));
+        let srcs: std::collections::HashSet<_> = pairs.iter().map(|p| p.src).collect();
+        assert_eq!(srcs.len(), 8, "senders must be distinct");
+        // Reproducible per seed, different across seeds.
+        assert_eq!(pairs, incast_pairs(&topo, 8, 11));
+        assert_ne!(pairs, incast_pairs(&topo, 8, 12));
+    }
+
+    #[test]
+    fn shuffle_is_all_ordered_pairs() {
+        let topo = topo();
+        let pairs = shuffle_pairs(&topo, Some(6), 3);
+        assert_eq!(pairs.len(), 6 * 5);
+        assert!(pairs.iter().all(|p| p.src != p.dst));
+        let unique: std::collections::HashSet<_> = pairs.iter().map(|p| (p.src, p.dst)).collect();
+        assert_eq!(unique.len(), 30, "every ordered pair appears once");
+        // Unlimited participants cover every host.
+        let all = shuffle_pairs(&topo, None, 3);
+        assert_eq!(all.len(), 32 * 31);
+    }
+
+    #[test]
+    fn stride_is_a_permutation_without_fixed_points() {
+        let topo = topo();
+        let pairs = stride_pairs(&topo, 16, 9);
+        assert_eq!(pairs.len(), 32);
+        assert!(pairs.iter().all(|p| p.src != p.dst));
+        let mut dsts: Vec<_> = pairs.iter().map(|p| p.dst).collect();
+        dsts.sort_unstable();
+        let mut all = topo.hosts().to_vec();
+        all.sort_unstable();
+        assert_eq!(dsts, all, "destinations form a permutation of the hosts");
+        // Stride wraps around.
+        assert_eq!(pairs[20].dst, topo.hosts()[(20 + 16) % 32]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn stride_multiple_of_host_count_rejected() {
+        stride_pairs(&topo(), 64, 0);
     }
 
     #[test]

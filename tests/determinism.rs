@@ -8,9 +8,11 @@
 use numfabric::baselines::{pfabric_network, PfabricAgent, PfabricConfig};
 use numfabric::core::{numfabric_network, NumFabricAgent, NumFabricConfig};
 use numfabric::num::utility::LogUtility;
-use numfabric::sim::topology::{LeafSpineConfig, Topology};
+use numfabric::sim::topology::{FatTreeConfig, LeafSpineConfig, Topology};
 use numfabric::sim::{FlowId, FlowPhase, Network, SimDuration, SimTime};
-use numfabric::workloads::scenarios::{EventKind, SemiDynamicConfig, SemiDynamicScenario};
+use numfabric::workloads::scenarios::{
+    incast_pairs, shuffle_pairs, EventKind, PathSpec, SemiDynamicConfig, SemiDynamicScenario,
+};
 use numfabric::workloads::{poisson_arrivals, random_pairs, FixedSize, PoissonWorkloadConfig};
 use std::collections::HashMap;
 
@@ -172,6 +174,79 @@ fn replaying_a_dynamic_churn_scenario_is_bit_identical() {
     for (x, y) in a.iter().zip(b.iter()) {
         assert_eq!(x, y, "churn traces diverged");
     }
+}
+
+/// Inject one finite NUMFabric transfer of `size_bytes` per pair at `t = 0`,
+/// sample every flow's rate on the fixed grid, and collect the per-flow byte
+/// counters — the shared skeleton of the generalized-fabric replay pins.
+fn run_pairs_scenario(
+    topo: Topology,
+    pairs: &[PathSpec],
+    size_bytes: u64,
+) -> (Vec<TracePoint>, Vec<(u64, u64)>) {
+    let config = NumFabricConfig::paper_default();
+    let mut net = numfabric_network(topo, &config);
+    let ids: Vec<FlowId> = pairs
+        .iter()
+        .map(|p| {
+            net.add_flow(
+                p.src,
+                p.dst,
+                Some(size_bytes),
+                SimTime::ZERO,
+                p.spine_choice,
+                None,
+                Box::new(NumFabricAgent::new(config.clone(), LogUtility::new())),
+            )
+        })
+        .collect();
+    let mut trace = Vec::new();
+    sample_rates(&mut net, &ids, &mut trace);
+    let bytes = ids
+        .iter()
+        .map(|&f| {
+            let st = net.flow_stats(f);
+            (st.bytes_sent, st.bytes_acked)
+        })
+        .collect();
+    (trace, bytes)
+}
+
+/// Seeded incast on an oversubscribed leaf-spine: finite transfers from 8
+/// senders converge on one receiver NIC — the same bit-identical-replay
+/// contract as the churn scenario, now exercising the generalized-fabric
+/// workload family.
+fn run_incast_scenario(seed: u64) -> (Vec<TracePoint>, Vec<(u64, u64)>) {
+    let topo = Topology::leaf_spine(&LeafSpineConfig::oversubscribed(16, 2, 2, 4.0));
+    let pairs = incast_pairs(&topo, 8, seed);
+    run_pairs_scenario(topo, &pairs, 150_000)
+}
+
+#[test]
+fn replaying_an_incast_scenario_is_bit_identical() {
+    let (trace_a, bytes_a) = run_incast_scenario(31);
+    let (trace_b, bytes_b) = run_incast_scenario(31);
+    assert_eq!(trace_a, trace_b, "incast rate traces diverged");
+    assert_eq!(bytes_a, bytes_b, "incast byte counters diverged");
+    // The workload must actually have run (every sender moved bytes).
+    assert!(bytes_a.iter().all(|&(sent, _)| sent > 0));
+}
+
+/// Seeded all-to-all shuffle on a fat-tree: every ordered host pair among 6
+/// participants transfers across multi-tier ECMP paths.
+fn run_fat_tree_shuffle_scenario(seed: u64) -> (Vec<TracePoint>, Vec<(u64, u64)>) {
+    let topo = Topology::fat_tree(&FatTreeConfig::new(4));
+    let pairs = shuffle_pairs(&topo, Some(6), seed);
+    run_pairs_scenario(topo, &pairs, 60_000)
+}
+
+#[test]
+fn replaying_a_fat_tree_shuffle_scenario_is_bit_identical() {
+    let (trace_a, bytes_a) = run_fat_tree_shuffle_scenario(17);
+    let (trace_b, bytes_b) = run_fat_tree_shuffle_scenario(17);
+    assert_eq!(trace_a, trace_b, "fat-tree shuffle rate traces diverged");
+    assert_eq!(bytes_a, bytes_b, "fat-tree shuffle byte counters diverged");
+    assert_eq!(bytes_a.len(), 30, "6-host shuffle is 30 ordered pairs");
 }
 
 /// Replay a seeded workload through pFabric's tombstone priority queue with
