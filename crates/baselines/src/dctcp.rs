@@ -163,6 +163,9 @@ impl FlowAgent for DctcpAgent {
         self.send_available(ctx);
     }
 
+    // This DCTCP model is purely ACK-clocked (drops on the lossless test
+    // fabrics are recovered by the window stall resolving via later ACKs),
+    // so it arms no flow timers and nothing needs cancelling on completion.
     fn on_timer(&mut self, _tag: u64, _ctx: &mut AgentCtx<'_>) {}
 
     fn name(&self) -> &'static str {

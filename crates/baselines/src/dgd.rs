@@ -21,6 +21,7 @@ use numfabric_num::utility::{Utility, UtilityRef};
 use numfabric_sim::network::{AgentCtx, Network};
 use numfabric_sim::packet::{Packet, PacketKind, DEFAULT_PAYLOAD_BYTES, MTU_BYTES};
 use numfabric_sim::queue::DropTailFifo;
+use numfabric_sim::timer::TimerHandle;
 use numfabric_sim::topology::Topology;
 use numfabric_sim::transport::{FlowAgent, LinkController};
 use numfabric_sim::{SimDuration, SimTime};
@@ -133,7 +134,9 @@ pub struct DgdAgent {
     next_seq: u64,
     highest_ack: u64,
     unacked_cap_bytes: u64,
-    pacing_scheduled: bool,
+    /// The pending pacing timer, if one is scheduled. Completion cancels it
+    /// structurally via the network's timer service.
+    pacing_timer: Option<TimerHandle>,
 }
 
 impl DgdAgent {
@@ -152,7 +155,7 @@ impl DgdAgent {
             next_seq: 0,
             highest_ack: 0,
             unacked_cap_bytes: u64::MAX,
-            pacing_scheduled: false,
+            pacing_timer: None,
         }
     }
 
@@ -175,14 +178,14 @@ impl DgdAgent {
 
     fn send_one_and_reschedule(&mut self, ctx: &mut AgentCtx<'_>) {
         if self.rate_bps <= 0.0 {
-            self.pacing_scheduled = false;
+            self.pacing_timer = None;
             return;
         }
         let under_cap =
             self.unacked_bytes() + (DEFAULT_PAYLOAD_BYTES as u64) <= self.unacked_cap_bytes;
         let payload = match ctx.remaining_bytes() {
             Some(0) => {
-                self.pacing_scheduled = false;
+                self.pacing_timer = None;
                 return;
             }
             Some(rem) => rem.min(DEFAULT_PAYLOAD_BYTES as u64) as u32,
@@ -197,8 +200,7 @@ impl DgdAgent {
         // regardless of whether this one was capped, so sending resumes as
         // soon as ACKs free up the cap.
         let interval = SimDuration::transmission((payload + 40) as u64, self.rate_bps.max(1e6));
-        ctx.set_timer(interval, PACING_TIMER);
-        self.pacing_scheduled = true;
+        self.pacing_timer = Some(ctx.set_timer(interval, PACING_TIMER));
     }
 }
 
@@ -233,13 +235,14 @@ impl FlowAgent for DgdAgent {
             self.path_price = packet.header.reflected_path_price;
         }
         self.recompute_rate(ctx);
-        if !self.pacing_scheduled {
+        if self.pacing_timer.is_none() {
             self.send_one_and_reschedule(ctx);
         }
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut AgentCtx<'_>) {
         if tag == PACING_TIMER {
+            self.pacing_timer = None;
             self.send_one_and_reschedule(ctx);
         }
     }

@@ -17,6 +17,7 @@
 use numfabric_sim::network::{AgentCtx, Network};
 use numfabric_sim::packet::{Packet, PacketKind, DEFAULT_PAYLOAD_BYTES, MTU_BYTES};
 use numfabric_sim::queue::PfabricQueue;
+use numfabric_sim::timer::TimerHandle;
 use numfabric_sim::topology::Topology;
 use numfabric_sim::transport::FlowAgent;
 use numfabric_sim::{SimDuration, SimTime};
@@ -57,7 +58,9 @@ pub struct PfabricAgent {
     acked_payload: u64,
     next_seq: u64,
     flow_size: Option<u64>,
-    rto_armed: bool,
+    /// The pending RTX timer, if armed. Held as a handle so the timer has
+    /// identity; flow stop/completion cancels it structurally.
+    rto_timer: Option<TimerHandle>,
 }
 
 impl PfabricAgent {
@@ -69,7 +72,7 @@ impl PfabricAgent {
             acked_payload: 0,
             next_seq: 0,
             flow_size: None,
-            rto_armed: false,
+            rto_timer: None,
         }
     }
 
@@ -88,9 +91,8 @@ impl PfabricAgent {
     }
 
     fn arm_rto(&mut self, ctx: &mut AgentCtx<'_>) {
-        if !self.rto_armed && !self.outstanding.is_empty() {
-            ctx.set_timer(self.config.rto, RTO_TIMER);
-            self.rto_armed = true;
+        if self.rto_timer.is_none() && !self.outstanding.is_empty() {
+            self.rto_timer = Some(ctx.set_timer(self.config.rto, RTO_TIMER));
         }
     }
 
@@ -168,7 +170,7 @@ impl FlowAgent for PfabricAgent {
         if tag != RTO_TIMER {
             return;
         }
-        self.rto_armed = false;
+        self.rto_timer = None;
         self.retransmit_expired(ctx);
         self.send_new_data(ctx);
         self.arm_rto(ctx);
@@ -324,6 +326,45 @@ mod tests {
                 "flow {f} did not finish"
             );
         }
+    }
+
+    #[test]
+    fn stopping_a_flow_with_a_pending_rtx_timer_cancels_it() {
+        // Regression: stale FlowTimer events for stopped flows used to stay
+        // in the queue and fire into the (phase-guarded) dispatch path.
+        // With handle-based timers the stop cancels the armed RTO
+        // structurally.
+        let mut net = small_pfabric();
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        // A long-running flow always has unacknowledged data in flight, so
+        // its RTO timer is re-armed continuously.
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(PfabricAgent::new(PfabricConfig::default())),
+        );
+        net.run_until(SimTime::from_micros(200));
+        assert_eq!(
+            net.pending_timer_count(flow),
+            1,
+            "an active pFabric flow keeps exactly one RTO armed"
+        );
+        net.stop_flow(flow);
+        net.run_until(SimTime::from_micros(210));
+        assert_eq!(
+            net.pending_timer_count(flow),
+            0,
+            "stop must cancel the pending RTX timer"
+        );
+        let sent_at_stop = net.flow_stats(flow).packets_sent;
+        // Run well past several RTO periods: no retransmission fires.
+        net.run_until(SimTime::from_millis(2));
+        assert_eq!(net.flow_phase(flow), FlowPhase::Stopped);
+        assert_eq!(net.flow_stats(flow).packets_sent, sent_at_stop);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use numfabric_sim::network::{AgentCtx, Network};
 use numfabric_sim::packet::{Packet, PacketKind, DEFAULT_PAYLOAD_BYTES, MTU_BYTES};
 use numfabric_sim::queue::DropTailFifo;
+use numfabric_sim::timer::TimerHandle;
 use numfabric_sim::topology::Topology;
 use numfabric_sim::transport::{FlowAgent, LinkController};
 use numfabric_sim::{SimDuration, SimTime};
@@ -153,7 +154,9 @@ pub struct RcpStarAgent {
     next_seq: u64,
     highest_ack: u64,
     unacked_cap_bytes: u64,
-    pacing_scheduled: bool,
+    /// The pending pacing timer, if one is scheduled. Completion cancels it
+    /// structurally via the network's timer service.
+    pacing_timer: Option<TimerHandle>,
 }
 
 impl RcpStarAgent {
@@ -166,7 +169,7 @@ impl RcpStarAgent {
             next_seq: 0,
             highest_ack: 0,
             unacked_cap_bytes: u64::MAX,
-            pacing_scheduled: false,
+            pacing_timer: None,
         }
     }
 
@@ -192,7 +195,7 @@ impl RcpStarAgent {
     fn send_one_and_reschedule(&mut self, ctx: &mut AgentCtx<'_>) {
         let payload = match ctx.remaining_bytes() {
             Some(0) => {
-                self.pacing_scheduled = false;
+                self.pacing_timer = None;
                 return;
             }
             Some(rem) => rem.min(DEFAULT_PAYLOAD_BYTES as u64) as u32,
@@ -204,8 +207,7 @@ impl RcpStarAgent {
             self.next_seq += payload as u64;
         }
         let interval = SimDuration::transmission((payload + 40) as u64, self.rate_bps.max(1e6));
-        ctx.set_timer(interval, PACING_TIMER);
-        self.pacing_scheduled = true;
+        self.pacing_timer = Some(ctx.set_timer(interval, PACING_TIMER));
     }
 }
 
@@ -242,13 +244,14 @@ impl FlowAgent for RcpStarAgent {
             self.feedback = packet.header.reflected_rcp_feedback;
         }
         self.recompute_rate(ctx);
-        if !self.pacing_scheduled {
+        if self.pacing_timer.is_none() {
             self.send_one_and_reschedule(ctx);
         }
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut AgentCtx<'_>) {
         if tag == PACING_TIMER {
+            self.pacing_timer = None;
             self.send_one_and_reschedule(ctx);
         }
     }

@@ -10,7 +10,9 @@
 //! simulation against the fluid solution on non-leaf-spine fabrics.
 
 use crate::protocols::Protocol;
-use crate::report::{mean, percentile, print_table};
+use crate::report::{
+    mean, percentile, print_table, steady_state_report_json, transfer_report_json,
+};
 use numfabric_num::utility::LogUtility;
 use numfabric_sim::topology::Topology;
 use numfabric_sim::{SimDuration, SimTime};
@@ -246,12 +248,14 @@ fn print_transfer_summary(label: &str, summary: &TransferSummary) {
 }
 
 /// The incast scenario: `--fanin` senders transfer `--size` bytes each to a
-/// single receiver; the receiver's access link is the bottleneck.
+/// single receiver; the receiver's access link is the bottleneck. With
+/// `--json` the run prints one machine-readable report instead of tables.
 pub fn incast(opts: &ScenarioOptions) {
     let spec = spec_from_options(opts);
     let fan_in: usize = opts.parsed_or("--fanin", 8);
     let size: u64 = opts.parsed_or("--size", 500_000);
     let seed: u64 = opts.parsed_or("--seed", 1);
+    let json = opts.flag("--json");
     let protocol = Protocol::from_options(opts);
     let topo = spec.build(opts.full());
     if fan_in == 0 || fan_in >= topo.hosts().len() {
@@ -263,15 +267,25 @@ pub fn incast(opts: &ScenarioOptions) {
     }
     let pairs = incast_pairs(&topo, fan_in, seed);
     let host_bps = topo.links()[0].capacity_bps;
-    println!(
-        "Incast: {} on {}\n{fan_in} senders -> host {} , {} kB each (seed {seed})\n",
-        protocol.name(),
-        spec.describe(&topo),
-        pairs[0].dst,
-        size / 1000
-    );
+    let topology = spec.describe(&topo);
+    if !json {
+        println!(
+            "Incast: {} on {topology}\n{fan_in} senders -> host {} , {} kB each (seed {seed})\n",
+            protocol.name(),
+            pairs[0].dst,
+            size / 1000
+        );
+    }
     let deadline = transfer_deadline(fan_in as u64 * size, host_bps);
     let summary = run_transfers(&protocol, topo, &pairs, size, deadline);
+    if json {
+        println!(
+            "{}",
+            transfer_report_json("incast", &topology, protocol.name(), size, seed, &summary)
+                .render()
+        );
+        return;
+    }
     print_transfer_summary("incast", &summary);
     println!(
         "\nExpected shape: the receiver's access link is the bottleneck, so aggregate goodput\n\
@@ -281,11 +295,13 @@ pub fn incast(opts: &ScenarioOptions) {
 }
 
 /// The all-to-all shuffle scenario: every ordered pair among `--hosts`
-/// participants transfers `--size` bytes.
+/// participants transfers `--size` bytes. With `--json` the run prints one
+/// machine-readable report instead of tables.
 pub fn shuffle(opts: &ScenarioOptions) {
     let spec = spec_from_options(opts);
     let size: u64 = opts.parsed_or("--size", 100_000);
     let seed: u64 = opts.parsed_or("--seed", 1);
+    let json = opts.flag("--json");
     let protocol = Protocol::from_options(opts);
     let topo = spec.build(opts.full());
     let default_participants = topo.hosts().len().min(8);
@@ -298,19 +314,29 @@ pub fn shuffle(opts: &ScenarioOptions) {
     }
     let pairs = shuffle_pairs(&topo, Some(participants), seed);
     let host_bps = topo.links()[0].capacity_bps;
-    println!(
-        "Shuffle: {} on {}\n{participants} hosts all-to-all = {} flows, {} kB each (seed {seed})\n",
-        protocol.name(),
-        spec.describe(&topo),
-        pairs.len(),
-        size / 1000
-    );
+    let topology = spec.describe(&topo);
+    if !json {
+        println!(
+            "Shuffle: {} on {topology}\n{participants} hosts all-to-all = {} flows, {} kB each (seed {seed})\n",
+            protocol.name(),
+            pairs.len(),
+            size / 1000
+        );
+    }
     // Each participant must receive (n-1) transfers through its NIC — or,
     // on an oversubscribed fabric, through a leaf uplink up to R times
     // slower for cross-rack traffic.
     let slowdown = worst_oversubscription(&topo);
     let deadline = transfer_deadline((participants as u64 - 1) * size, host_bps / slowdown);
     let summary = run_transfers(&protocol, topo, &pairs, size, deadline);
+    if json {
+        println!(
+            "{}",
+            transfer_report_json("shuffle", &topology, protocol.name(), size, seed, &summary)
+                .render()
+        );
+        return;
+    }
     print_transfer_summary("shuffle", &summary);
     println!(
         "\nExpected shape: on full-bisection fabrics the NICs bound the shuffle; oversubscribed\n\
@@ -321,11 +347,13 @@ pub fn shuffle(opts: &ScenarioOptions) {
 
 /// The stride-permutation scenario: host `i` sends to host `(i + stride) mod
 /// n` as a long-lived flow; measured steady-state rates are compared to the
-/// fluid NUM oracle.
+/// fluid NUM oracle. With `--json` the run prints one machine-readable
+/// report instead of tables.
 pub fn stride(opts: &ScenarioOptions) {
     let spec = spec_from_options(opts);
     let seed: u64 = opts.parsed_or("--seed", 1);
     let millis: u64 = opts.parsed_or("--millis", 8);
+    let json = opts.flag("--json");
     let protocol = Protocol::from_options(opts);
     let topo = spec.build(opts.full());
     let default_stride = topo.hosts().len() / 2;
@@ -337,14 +365,24 @@ pub fn stride(opts: &ScenarioOptions) {
         ));
     }
     let pairs = stride_pairs(&topo, stride_by, seed);
-    println!(
-        "Stride: {} on {}\nhost i -> host (i+{stride_by}) mod {}, {} long-lived flows, {millis} ms (seed {seed})\n",
-        protocol.name(),
-        spec.describe(&topo),
-        topo.hosts().len(),
-        pairs.len(),
-    );
+    let topology = spec.describe(&topo);
+    if !json {
+        println!(
+            "Stride: {} on {topology}\nhost i -> host (i+{stride_by}) mod {}, {} long-lived flows, {millis} ms (seed {seed})\n",
+            protocol.name(),
+            topo.hosts().len(),
+            pairs.len(),
+        );
+    }
     let summary = run_steady_state(&protocol, topo, &pairs, SimDuration::from_millis(millis));
+    if json {
+        println!(
+            "{}",
+            steady_state_report_json("stride", &topology, protocol.name(), seed, millis, &summary)
+                .render()
+        );
+        return;
+    }
     let rates_gbps: Vec<f64> = summary.rates_bps.iter().map(|r| r / 1e9).collect();
     print_table(
         &[

@@ -92,19 +92,19 @@ pub fn registry() -> ScenarioRegistry {
     registry.register(ScenarioSpec {
         name: "incast",
         summary: "N-to-1 incast transfers on any fabric (receiver NIC bottleneck)",
-        usage: "[--topology fat-tree:k=4|leaf-spine|oversub:4:1] [--protocol ...] [--fanin N] [--size BYTES] [--seed S] [--full]",
+        usage: "[--topology fat-tree:k=4|leaf-spine|oversub:4:1] [--protocol ...] [--fanin N] [--size BYTES] [--seed S] [--json] [--full]",
         run: crate::fabric::incast,
     });
     registry.register(ScenarioSpec {
         name: "shuffle",
         summary: "All-to-all shuffle transfers among N hosts on any fabric",
-        usage: "[--topology fat-tree:k=4|leaf-spine|oversub:4:1] [--protocol ...] [--hosts N] [--size BYTES] [--seed S] [--full]",
+        usage: "[--topology fat-tree:k=4|leaf-spine|oversub:4:1] [--protocol ...] [--hosts N] [--size BYTES] [--seed S] [--json] [--full]",
         run: crate::fabric::shuffle,
     });
     registry.register(ScenarioSpec {
         name: "stride",
         summary: "Stride permutation: steady-state rates vs the fluid oracle on any fabric",
-        usage: "[--topology fat-tree:k=4|leaf-spine|oversub:4:1] [--protocol ...] [--stride N] [--millis MS] [--seed S] [--full]",
+        usage: "[--topology fat-tree:k=4|leaf-spine|oversub:4:1] [--protocol ...] [--stride N] [--millis MS] [--seed S] [--json] [--full]",
         run: crate::fabric::stride,
     });
     registry.register(ScenarioSpec {

@@ -1,7 +1,16 @@
 //! Small reporting helpers shared by the figure-regeneration binaries:
-//! percentiles, CDFs, size bins and aligned-column table printing.
+//! percentiles, CDFs, size bins, aligned-column table printing, and the
+//! structured JSON reports behind `numfabric-run ... --json`.
+//!
+//! The JSON layer is deliberately minimal and hand-rolled: the offline
+//! `serde` shim provides no real serialization (see `crates/compat`), and
+//! the reports are flat records of strings, numbers and number arrays — a
+//! [`Json`] value tree with a spec-compliant renderer covers everything the
+//! `BENCH_*.json` perf-trajectory consumers need.
 
+use crate::fabric::{SteadyStateSummary, TransferSummary};
 use numfabric_sim::SimDuration;
+use std::fmt::Write;
 
 /// The flow-size bins of Fig. 5, in bandwidth-delay products.
 pub const FIG5_BINS: [(f64, f64); 5] = [
@@ -89,6 +98,166 @@ pub fn fig5_bin(size_bdp: f64) -> Option<usize> {
         .position(|&(lo, hi)| size_bdp >= lo && size_bdp < hi)
 }
 
+/// A JSON value, rendered by [`Json::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also what non-finite numbers render as).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact; never formatted in float notation).
+    Int(u64),
+    /// A floating-point number; NaN/inf render as `null` per the JSON spec.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An array of floats.
+    pub fn nums(values: impl IntoIterator<Item = f64>) -> Json {
+        Json::Arr(values.into_iter().map(Json::Num).collect())
+    }
+
+    /// Render to a compact, spec-compliant JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // `{:?}` is the shortest round-trip representation and
+                    // always includes a `.` or exponent — valid JSON.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str((*k).to_string()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// The structured report of a finite-transfer scenario run (incast,
+/// shuffle): scenario identity, per-flow FCTs and the aggregate summary.
+pub fn transfer_report_json(
+    scenario: &str,
+    topology: &str,
+    protocol: &str,
+    size_bytes: u64,
+    seed: u64,
+    summary: &TransferSummary,
+) -> Json {
+    Json::Obj(vec![
+        ("scenario", Json::str(scenario)),
+        ("topology", Json::str(topology)),
+        ("protocol", Json::str(protocol)),
+        ("size_bytes", Json::Int(size_bytes)),
+        ("seed", Json::Int(seed)),
+        ("flows", Json::Int(summary.flows as u64)),
+        ("completed", Json::Int(summary.completed as u64)),
+        ("fct_seconds", Json::nums(summary.fcts.iter().copied())),
+        (
+            "median_fct_seconds",
+            percentile(&summary.fcts, 0.5).map_or(Json::Null, Json::Num),
+        ),
+        (
+            "p99_fct_seconds",
+            percentile(&summary.fcts, 0.99).map_or(Json::Null, Json::Num),
+        ),
+        (
+            "makespan_seconds",
+            summary
+                .makespan
+                .map_or(Json::Null, |m| Json::Num(m.as_secs_f64())),
+        ),
+        ("goodput_bps", Json::Num(summary.aggregate_goodput_bps())),
+    ])
+}
+
+/// The structured report of a steady-state scenario run (stride): measured
+/// per-flow rates next to the fluid NUM oracle's allocation.
+pub fn steady_state_report_json(
+    scenario: &str,
+    topology: &str,
+    protocol: &str,
+    seed: u64,
+    run_millis: u64,
+    summary: &SteadyStateSummary,
+) -> Json {
+    Json::Obj(vec![
+        ("scenario", Json::str(scenario)),
+        ("topology", Json::str(topology)),
+        ("protocol", Json::str(protocol)),
+        ("seed", Json::Int(seed)),
+        ("run_millis", Json::Int(run_millis)),
+        ("flows", Json::Int(summary.rates_bps.len() as u64)),
+        ("rates_bps", Json::nums(summary.rates_bps.iter().copied())),
+        ("oracle_bps", Json::nums(summary.oracle_bps.iter().copied())),
+        (
+            "fraction_within_10pct",
+            Json::Num(summary.fraction_within(0.10)),
+        ),
+        ("throughput_ratio", Json::Num(summary.throughput_ratio())),
+    ])
+}
+
 /// Print a table with a header row and aligned columns.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -155,6 +324,83 @@ mod tests {
         assert_eq!(fig5_bin(500.0), Some(3));
         assert_eq!(fig5_bin(5_000.0), Some(4));
         assert_eq!(fig5_bin(50_000.0), None);
+    }
+
+    #[test]
+    fn json_renders_scalars_arrays_and_escapes() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(42).render(), "42");
+        assert_eq!(Json::Num(0.5).render(), "0.5");
+        assert_eq!(Json::Num(1.0).render(), "1.0");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").render(),
+            r#""a\"b\\c\nd\u0001""#
+        );
+        assert_eq!(Json::nums([1.5, 2.0]).render(), "[1.5,2.0]");
+        let obj = Json::Obj(vec![("k", Json::Int(1)), ("s", Json::str("v"))]);
+        assert_eq!(obj.render(), r#"{"k":1,"s":"v"}"#);
+    }
+
+    #[test]
+    fn transfer_report_has_the_contract_fields() {
+        let summary = TransferSummary {
+            flows: 4,
+            completed: 3,
+            fcts: vec![0.001, 0.002, 0.004],
+            completed_bytes: 300_000,
+            makespan: Some(SimDuration::from_millis(4)),
+        };
+        let json =
+            transfer_report_json("incast", "fat-tree k=4", "numfabric", 100_000, 7, &summary)
+                .render();
+        for needle in [
+            r#""scenario":"incast""#,
+            r#""topology":"fat-tree k=4""#,
+            r#""protocol":"numfabric""#,
+            r#""flows":4"#,
+            r#""completed":3"#,
+            r#""fct_seconds":[0.001,0.002,0.004]"#,
+            r#""median_fct_seconds":0.002"#,
+            r#""makespan_seconds":0.004"#,
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn steady_state_report_has_the_contract_fields() {
+        let summary = crate::fabric::SteadyStateSummary {
+            rates_bps: vec![5e9, 4.8e9],
+            oracle_bps: vec![5e9, 5e9],
+        };
+        let json =
+            steady_state_report_json("stride", "leaf-spine", "dctcp", 3, 8, &summary).render();
+        for needle in [
+            r#""scenario":"stride""#,
+            r#""run_millis":8"#,
+            r#""rates_bps":[5000000000.0,4800000000.0]"#,
+            r#""fraction_within_10pct":1.0"#,
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn empty_transfer_report_uses_nulls_not_nans() {
+        let summary = TransferSummary {
+            flows: 2,
+            completed: 0,
+            fcts: Vec::new(),
+            completed_bytes: 0,
+            makespan: None,
+        };
+        let json = transfer_report_json("shuffle", "t", "p", 1, 1, &summary).render();
+        assert!(json.contains(r#""median_fct_seconds":null"#), "{json}");
+        assert!(json.contains(r#""makespan_seconds":null"#), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
     }
 
     #[test]

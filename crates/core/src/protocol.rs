@@ -303,6 +303,10 @@ impl FlowAgent for NumFabricAgent {
         self.send_available(ctx);
     }
 
+    // NUMFabric is ACK-clocked end to end: the window recomputation rides
+    // on every ACK, so the agent never arms a flow timer (and therefore has
+    // nothing for the timer service to cancel at stop/completion). The xWI
+    // price update runs switch-side on the periodic link timer instead.
     fn on_timer(&mut self, _tag: u64, _ctx: &mut AgentCtx<'_>) {}
 
     fn name(&self) -> &'static str {

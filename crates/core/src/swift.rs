@@ -16,7 +16,10 @@
 //! This module contains the two host-side pieces ([`SwiftRateEstimator`],
 //! [`SwiftWindow`]); the WFQ scheduler lives in the simulator crate and the
 //! full protocol agent that wires everything together lives in
-//! [`crate::protocol`].
+//! [`crate::protocol`]. Both pieces are driven purely by ACK arrivals —
+//! Swift needs no retransmission or pacing timers, which is why the
+//! NUMFabric agent leaves the simulator's flow-timer service
+//! (`numfabric_sim::timer`) untouched.
 
 use crate::config::NumFabricConfig;
 use numfabric_sim::{SimDuration, SimTime};

@@ -3,7 +3,10 @@
 //!
 //! Every egress port keeps a price. Data packets carry the sender-computed
 //! `normalizedResidual`; the port tracks the minimum residual seen since the
-//! last price update and, on a synchronized periodic timer, updates its price
+//! last price update and, on a synchronized periodic timer (a `LinkTimer`
+//! driven by the simulator's timing-wheel event core — the controller only
+//! returns the next delay from
+//! [`LinkController::on_timer`]), updates its price
 //!
 //! ```text
 //! u        = bytesServiced / (priceUpdateInterval · linkCapacity)

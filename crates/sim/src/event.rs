@@ -1,14 +1,66 @@
-//! The deterministic event queue at the heart of the simulator.
+//! The deterministic event core at the heart of the simulator.
 //!
 //! Events are ordered by timestamp; ties are broken by insertion order
 //! (FIFO), which makes every simulation run fully deterministic for a given
 //! seed and input — a property the convergence measurements rely on.
+//!
+//! # The timing wheel
+//!
+//! [`EventQueue`] is a hierarchical timing wheel (Varghese & Lauck), not a
+//! binary heap: the workload shape of a packet-level datacenter simulation —
+//! dense near-future timestamps (packet serialization every few hundred ns)
+//! with heavy schedule/pop churn — is exactly what calendar-queue schedulers
+//! were designed for. The layout:
+//!
+//! * **Levels.** [`LEVELS`] wheels of [`SLOTS`] (a power of two) buckets
+//!   each. A level-`l` slot spans `SLOTS^l` nanosecond ticks, so level 0
+//!   resolves single nanoseconds and the whole hierarchy covers
+//!   `SLOTS^LEVELS` ns (≈ 68 simulated seconds) ahead of the cursor.
+//!   Scheduling picks the level from the magnitude of the delay
+//!   (`floor(log2(delta) / log2(SLOTS))`) and the slot from the absolute
+//!   timestamp's bits — both O(1).
+//! * **Cascading.** When the cursor reaches a higher-level slot whose range
+//!   may hide the next event, the slot's events are redistributed one level
+//!   down (their remaining delay now fits the finer wheel). Each event
+//!   cascades at most `LEVELS − 1` times, so scheduling stays amortized
+//!   O(1).
+//! * **Overflow.** Timestamps beyond the wheel horizon wait in a
+//!   `(time, seq)`-ordered overflow heap; whenever the cursor advances they
+//!   cascade into the near wheels as soon as they come within the horizon.
+//! * **Early inserts.** [`EventQueue::peek_time`] may advance the internal
+//!   cursor past quiet stretches. Events later scheduled *behind* the cursor
+//!   (but never behind [`EventQueue::now`] — scheduling into the past still
+//!   panics) are kept in a small `(time, seq)`-ordered side heap that is
+//!   always drained first; this is what lets scenario drivers peek ahead,
+//!   stop, and then add flows at the current wall-clock time.
+//! * **Slab payloads.** [`Event`]s are large (a [`Packet`] rides inline).
+//!   They are written once into a free-listed slab at schedule time and read
+//!   once at pop time; everything that moves through wheel slots, cascades
+//!   and heaps is a 24-byte key `(time, seq, slab index)`, keeping the churn
+//!   path memcpy-light and cache-dense.
+//!
+//! # Determinism contract: bucket FIFO == seq FIFO
+//!
+//! Every scheduled event gets a monotonically increasing sequence number,
+//! and a same-timestamp **batch** is drained in one pass and sorted by that
+//! sequence number before dispatch. The observable pop order is therefore
+//! lexicographic `(time, seq)` — bit-identical to the binary-heap
+//! implementation this replaced ([`HeapEventQueue`], kept as the executable
+//! reference model for differential tests and benchmarks).
+//!
+//! # Cancellation
+//!
+//! [`EventQueue::schedule_cancellable`] returns an [`EventId`] that
+//! [`EventQueue::cancel`] turns into a tombstone in O(1); cancelled events
+//! are dropped when their bucket drains instead of traversing the dispatch
+//! path. The [`crate::timer::TimerService`] builds flow-timer bookkeeping on
+//! top of this, so stopping a flow structurally removes its pending timers.
 
 use crate::packet::{FlowId, Packet};
 use crate::time::SimTime;
 use crate::topology::LinkId;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 /// The kinds of events the simulator processes.
 #[derive(Debug)]
@@ -54,29 +106,46 @@ pub enum Event {
     },
 }
 
-struct ScheduledEvent {
-    time: SimTime,
-    seq: u64,
-    event: Event,
+/// Identity of a scheduled event: its insertion sequence number, which also
+/// serves as the FIFO tie-breaker for equal timestamps. Returned by the
+/// `schedule` methods and consumed by [`EventQueue::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number (for logs and diagnostics).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
 }
 
-impl PartialEq for ScheduledEvent {
+/// What moves through wheel slots, cascades and the side heaps: the
+/// ordering key plus the slab index of the payload.
+#[derive(Clone, Copy)]
+struct Key {
+    time: u64,
+    seq: u64,
+    idx: u32,
+    cancellable: bool,
+}
+
+impl PartialEq for Key {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl Eq for ScheduledEvent {}
+impl Eq for Key {}
 
-impl PartialOrd for ScheduledEvent {
+impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for ScheduledEvent {
+impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first,
-        // with FIFO tie-break on the sequence number.
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
         other
             .time
             .cmp(&self.time)
@@ -84,15 +153,627 @@ impl Ord for ScheduledEvent {
     }
 }
 
-/// A deterministic priority queue of simulation events.
-#[derive(Default)]
+/// log2 of the number of slots per wheel level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Bitmask extracting a slot index from a timestamp.
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+/// Number of wheel levels.
+const LEVELS: usize = 6;
+/// Ticks (nanoseconds) covered by the whole hierarchy ahead of the cursor.
+const HORIZON: u64 = 1 << (LEVEL_BITS * LEVELS as u32);
+
+/// A deterministic priority queue of simulation events, implemented as a
+/// hierarchical timing wheel (see the module docs for the layout and the
+/// determinism contract).
 pub struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
+    /// `levels[l][s]`: the event keys of slot `s` of wheel level `l`.
+    levels: Vec<Vec<Vec<Key>>>,
+    /// One occupancy bit per slot, per level (bit `s` set ⇔ slot non-empty).
+    occupancy: [u64; LEVELS],
+    /// `slot_min[l][s]`: minimum timestamp in that slot (`u64::MAX` when
+    /// empty). Maintained on push and slot drain, so the cursor's own slot
+    /// — whose lower bound is its actual minimum, not its range start —
+    /// never needs scanning.
+    slot_min: Vec<[u64; SLOTS]>,
+    /// Total keys across all wheel levels (excludes overflow/early/batch).
+    wheel_count: usize,
+    /// Event payloads, written at schedule time and taken at pop time.
+    slab: Vec<Option<Event>>,
+    /// Free slab indices.
+    free: Vec<u32>,
+    /// Events beyond the wheel horizon, ordered by `(time, seq)`.
+    overflow: BinaryHeap<Key>,
+    /// Events scheduled behind the cursor (but at/after `now`), ordered by
+    /// `(time, seq)`. Always drained before the wheel.
+    early: BinaryHeap<Key>,
+    /// The current same-timestamp batch, sorted by `seq`.
+    batch: VecDeque<Key>,
+    /// Timestamp shared by every entry in `batch`.
+    batch_time: u64,
+    /// Sequence numbers of cancellable events that are still pending (not
+    /// fired, not cancelled) — what makes [`Self::cancel`] O(1).
+    cancellable_pending: HashSet<u64>,
+    /// Sequence numbers of cancelled-but-not-yet-drained events.
+    cancelled: HashSet<u64>,
+    /// Scratch buffer reused by cascades (avoids per-cascade allocation).
+    scratch: Vec<Key>,
+    /// Wheel cursor: `now <= cursor <= `the earliest pending wheel event.
+    cursor: u64,
+    /// Timestamp of the last popped event (the public clock).
+    now: u64,
     next_seq: u64,
-    now: SimTime,
+    /// Pending (scheduled − popped − cancelled) events.
+    live: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            occupancy: [0; LEVELS],
+            slot_min: vec![[u64::MAX; SLOTS]; LEVELS],
+            wheel_count: 0,
+            slab: Vec::new(),
+            free: Vec::new(),
+            overflow: BinaryHeap::new(),
+            early: BinaryHeap::new(),
+            batch: VecDeque::new(),
+            batch_time: 0,
+            cancellable_pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            scratch: Vec::new(),
+            cursor: 0,
+            now: 0,
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// The current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now)
+    }
+
+    /// Schedule `event` at absolute time `at`. Returns the event's identity
+    /// (mostly useful for diagnostics; see [`Self::schedule_cancellable`]
+    /// for events that may be cancelled later).
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped event).
+    pub fn schedule(&mut self, at: SimTime, event: Event) -> EventId {
+        self.schedule_entry(at, event, false)
+    }
+
+    /// Schedule `event` at absolute time `at`, opting into O(1)
+    /// cancellation via [`Self::cancel`]. Cancellable events pay one hash
+    /// insertion; plain [`Self::schedule`] stays hash-free.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped event).
+    pub fn schedule_cancellable(&mut self, at: SimTime, event: Event) -> EventId {
+        self.schedule_entry(at, event, true)
+    }
+
+    fn schedule_entry(&mut self, at: SimTime, event: Event, cancellable: bool) -> EventId {
+        let t = at.as_nanos();
+        assert!(
+            t >= self.now,
+            "cannot schedule an event in the past: {at} < {}",
+            self.now()
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live += 1;
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx as usize] = Some(event);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slab.len()).expect("more than 2^32 pending events");
+                self.slab.push(Some(event));
+                idx
+            }
+        };
+        let key = Key {
+            time: t,
+            seq,
+            idx,
+            cancellable,
+        };
+        if cancellable {
+            self.cancellable_pending.insert(seq);
+        }
+        if !self.batch.is_empty() && t == self.batch_time {
+            // Joins the batch currently being drained; `seq` is the largest
+            // so far, so appending keeps the batch seq-sorted.
+            self.batch.push_back(key);
+        } else if t < self.cursor {
+            // Behind the wheel cursor (which may have advanced during a
+            // peek): the side heap serves these before the wheel.
+            self.early.push(key);
+        } else {
+            self.insert_into_wheel(key);
+        }
+        EventId(seq)
+    }
+
+    /// Cancel a pending event previously scheduled with
+    /// [`Self::schedule_cancellable`]. Returns `true` if the event was still
+    /// pending (it will never be popped), `false` if it already fired or was
+    /// already cancelled.
+    ///
+    /// Cancelling an id that came from plain [`Self::schedule`] returns
+    /// `false` and has no effect.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // `cancellable_pending` membership is exactly "cancellable, not yet
+        // fired, not yet cancelled", so this is one hash removal — O(1).
+        if !self.cancellable_pending.remove(&id.0) {
+            return false;
+        }
+        self.cancelled.insert(id.0);
+        self.live -= 1;
+        true
+    }
+
+    /// If `key` is a cancelled tombstone, release its payload and return
+    /// `true`.
+    fn reap_if_cancelled(&mut self, key: &Key) -> bool {
+        if key.cancellable && !self.cancelled.is_empty() && self.cancelled.remove(&key.seq) {
+            self.slab[key.idx as usize] = None;
+            self.free.push(key.idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pop the next event, advancing the simulation clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.pop_entry().map(|(t, _, e)| (t, e))
+    }
+
+    /// Pop the next event together with its [`EventId`] (used by the network
+    /// engine to tie fired timers back to their bookkeeping).
+    pub fn pop_entry(&mut self) -> Option<(SimTime, EventId, Event)> {
+        loop {
+            // The early heap always precedes the wheel (its times are behind
+            // the cursor) and never ties with the batch (equal times join
+            // the batch at schedule time).
+            let early_first = match (self.early.peek(), self.batch.front()) {
+                (Some(e), Some(b)) => e.time < b.time,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            let key = if early_first {
+                self.early.pop()
+            } else if self.batch.front().is_some() {
+                self.batch.pop_front()
+            } else {
+                if !self.refill_batch() {
+                    return None;
+                }
+                continue;
+            };
+            let key = key.expect("selected source is non-empty");
+            if self.reap_if_cancelled(&key) {
+                continue;
+            }
+            if key.cancellable {
+                // Fired: the id is no longer cancellable.
+                self.cancellable_pending.remove(&key.seq);
+            }
+            self.live -= 1;
+            self.now = key.time;
+            let event = self.slab[key.idx as usize]
+                .take()
+                .expect("pending key has a payload");
+            self.free.push(key.idx);
+            return Some((SimTime::from_nanos(key.time), EventId(key.seq), event));
+        }
+    }
+
+    /// The timestamp of the next pending event, if any.
+    ///
+    /// Takes `&mut self` because looking ahead may cascade higher wheel
+    /// levels into nearer ones; the observable pop order is unaffected.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            // Purge cancelled tombstones from both candidate fronts so the
+            // reported time is that of a live event.
+            if let Some(e) = self.early.peek() {
+                if e.cancellable && !self.cancelled.is_empty() && self.cancelled.contains(&e.seq) {
+                    let e = self.early.pop().expect("peeked entry exists");
+                    let reaped = self.reap_if_cancelled(&e);
+                    debug_assert!(reaped);
+                    continue;
+                }
+            }
+            if let Some(b) = self.batch.front() {
+                if b.cancellable && !self.cancelled.is_empty() && self.cancelled.contains(&b.seq) {
+                    let b = self.batch.pop_front().expect("front entry exists");
+                    let reaped = self.reap_if_cancelled(&b);
+                    debug_assert!(reaped);
+                    continue;
+                }
+            }
+            let early_first = match (self.early.peek(), self.batch.front()) {
+                (Some(e), Some(b)) => e.time < b.time,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if early_first {
+                return self.early.peek().map(|e| SimTime::from_nanos(e.time));
+            }
+            if let Some(b) = self.batch.front() {
+                return Some(SimTime::from_nanos(b.time));
+            }
+            if !self.refill_batch() {
+                return None;
+            }
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Check every internal invariant of the wheel (slot residency, bitmap
+    /// consistency, revolution bounds, slab/key agreement). Test-only
+    /// diagnostic; panics with a description on the first violation.
+    #[doc(hidden)]
+    pub fn debug_validate(&self) {
+        let mut counted = 0usize;
+        for level in 0..LEVELS {
+            let shift = LEVEL_BITS * level as u32;
+            for slot in 0..SLOTS {
+                let occupied = self.occupancy[level] & (1 << slot) != 0;
+                let keys = &self.levels[level][slot];
+                counted += keys.len();
+                assert_eq!(
+                    occupied,
+                    !keys.is_empty(),
+                    "level {level} slot {slot}: occupancy bit {occupied} but {} entries",
+                    keys.len()
+                );
+                assert_eq!(
+                    self.slot_min[level][slot],
+                    keys.iter().map(|k| k.time).min().unwrap_or(u64::MAX),
+                    "level {level} slot {slot}: stale slot_min"
+                );
+                for k in keys {
+                    assert!(
+                        k.time >= self.cursor,
+                        "level {level} slot {slot}: entry t={} seq={} behind cursor {}",
+                        k.time,
+                        k.seq,
+                        self.cursor
+                    );
+                    assert_eq!(
+                        ((k.time >> shift) & SLOT_MASK) as usize,
+                        slot,
+                        "entry t={} seq={} in wrong slot of level {level}",
+                        k.time,
+                        k.seq
+                    );
+                    let revolution = 1u64 << (shift + LEVEL_BITS);
+                    assert!(
+                        k.time - self.cursor < revolution,
+                        "level {level} slot {slot}: entry t={} seq={} beyond one revolution of cursor {}",
+                        k.time,
+                        k.seq,
+                        self.cursor
+                    );
+                    assert!(
+                        self.slab[k.idx as usize].is_some(),
+                        "key seq={} points at an empty slab slot",
+                        k.seq
+                    );
+                }
+            }
+        }
+        assert_eq!(counted, self.wheel_count, "wheel_count out of sync");
+        for k in &self.batch {
+            assert_eq!(k.time, self.batch_time, "batch entry off batch_time");
+        }
+        for k in self.early.iter() {
+            assert!(k.time >= self.now, "early entry behind now");
+        }
+        for k in self.overflow.iter() {
+            assert!(k.time >= self.cursor, "overflow entry behind cursor");
+        }
+    }
+
+    /// Render the full internal state (test-only diagnostic).
+    #[doc(hidden)]
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "cursor={} now={} live={} batch_time={}",
+            self.cursor, self.now, self.live, self.batch_time
+        );
+        let fmt = |ks: &[Key]| -> String {
+            ks.iter()
+                .map(|k| format!("(t={},seq={})", k.time, k.seq))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        for level in 0..LEVELS {
+            for slot in 0..SLOTS {
+                if !self.levels[level][slot].is_empty() {
+                    let _ = writeln!(
+                        s,
+                        "  L{level} slot {slot}: {}",
+                        fmt(&self.levels[level][slot])
+                    );
+                }
+            }
+        }
+        let heap_fmt = |it: std::collections::binary_heap::Iter<'_, Key>| -> String {
+            it.map(|k| format!("(t={},seq={})", k.time, k.seq))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let _ = writeln!(s, "  overflow: {}", heap_fmt(self.overflow.iter()));
+        let _ = writeln!(s, "  early: {}", heap_fmt(self.early.iter()));
+        let batch: Vec<Key> = self.batch.iter().copied().collect();
+        let _ = writeln!(s, "  batch: {}", fmt(&batch));
+        s
+    }
+
+    // ---- wheel internals --------------------------------------------------
+
+    fn insert_into_wheel(&mut self, key: Key) {
+        debug_assert!(
+            key.time >= self.cursor,
+            "entry t={} seq={} behind cursor {}",
+            key.time,
+            key.seq,
+            self.cursor
+        );
+        let delta = key.time - self.cursor;
+        if delta >= HORIZON {
+            self.overflow.push(key);
+            return;
+        }
+        let level = if delta == 0 {
+            0
+        } else {
+            ((63 - delta.leading_zeros()) / LEVEL_BITS) as usize
+        };
+        let slot = ((key.time >> (LEVEL_BITS * level as u32)) & SLOT_MASK) as usize;
+        let min = &mut self.slot_min[level][slot];
+        if key.time < *min {
+            *min = key.time;
+        }
+        self.levels[level][slot].push(key);
+        self.occupancy[level] |= 1 << slot;
+        self.wheel_count += 1;
+    }
+
+    /// Redistribute one slot of level `l` into finer levels. The cursor must
+    /// already be inside the slot's time range, which guarantees every
+    /// non-wrapped event strictly descends.
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.append(&mut self.levels[level][slot]);
+        self.occupancy[level] &= !(1 << slot);
+        self.slot_min[level][slot] = u64::MAX;
+        self.wheel_count -= scratch.len();
+        for key in scratch.drain(..) {
+            if self.reap_if_cancelled(&key) {
+                continue;
+            }
+            self.insert_into_wheel(key);
+        }
+        self.scratch = scratch;
+    }
+
+    /// The exact tick of the earliest occupied level-0 slot, if any. Within
+    /// the active 64-tick window each level-0 slot holds events of exactly
+    /// one timestamp.
+    fn level0_first_tick(&self) -> Option<u64> {
+        let occ = self.occupancy[0];
+        if occ == 0 {
+            return None;
+        }
+        let base = (self.cursor & SLOT_MASK) as u32;
+        let distance = occ.rotate_right(base).trailing_zeros() as u64;
+        Some(self.cursor + distance)
+    }
+
+    /// The `(lower bound, level, slot)` of the earliest-bounded occupied
+    /// slot among levels 1.., if any.
+    ///
+    /// For slots ahead of the cursor the bound is the slot's range start
+    /// (exact enough: every event inside is at or after it, and the
+    /// delta-within-one-revolution invariant rules out wrapped residents —
+    /// among those slots the first in cyclic order has the smallest start).
+    /// The cursor's *own* slot is the one place the invariant allows events
+    /// from the next wheel revolution, so its bound is its actual minimum
+    /// event time — which can exceed the range starts of slots later in the
+    /// cycle, so when the own slot is occupied both it and the next occupied
+    /// slot are candidates. (Using the range start for the own slot would
+    /// cascade a wrapped event back into the very same slot forever.)
+    fn higher_first_slot(&self) -> Option<(u64, usize, usize)> {
+        let mut best: Option<(u64, usize, usize)> = None;
+        let consider = |bound: u64, level: usize, slot: usize, best: &mut Option<_>| {
+            if best.is_none_or(|(b, _, _)| bound < b) {
+                *best = Some((bound, level, slot));
+            }
+        };
+        for level in 1..LEVELS {
+            let occ = self.occupancy[level];
+            if occ == 0 {
+                continue;
+            }
+            let shift = LEVEL_BITS * level as u32;
+            let base_slot = (self.cursor >> shift) & SLOT_MASK;
+            let mut rotated = occ.rotate_right(base_slot as u32);
+            if rotated & 1 != 0 {
+                let slot = base_slot as usize;
+                consider(self.slot_min[level][slot], level, slot, &mut best);
+                rotated &= !1;
+            }
+            if rotated != 0 {
+                let distance = rotated.trailing_zeros() as u64;
+                let slot = ((base_slot + distance) & SLOT_MASK) as usize;
+                let start = ((self.cursor >> shift) + distance) << shift;
+                consider(start, level, slot, &mut best);
+            }
+        }
+        best
+    }
+
+    /// Refill `batch` with the next same-timestamp group of events, sorted
+    /// by sequence number. Returns `false` when the queue is exhausted.
+    fn refill_batch(&mut self) -> bool {
+        debug_assert!(self.batch.is_empty());
+        let mut iterations = 0u64;
+        loop {
+            // Defensive livelock guard: every iteration either returns,
+            // empties a structure, or strictly lowers an event's level, so
+            // legitimate runs stay far below this bound.
+            iterations += 1;
+            assert!(
+                iterations <= 1_000_000,
+                "refill_batch livelock: cursor={} occupancy={:?} live={} overflow={} early={}",
+                self.cursor,
+                self.occupancy,
+                self.live,
+                self.overflow.len(),
+                self.early.len()
+            );
+            // Cascade due overflow entries into the wheels. If the wheels
+            // are empty the cursor can jump straight to the overflow front
+            // (nothing pends before it).
+            if self.wheel_count == 0 {
+                match self.overflow.peek() {
+                    Some(top) => self.cursor = self.cursor.max(top.time),
+                    None => return false,
+                }
+            }
+            while let Some(top) = self.overflow.peek() {
+                if top.time - self.cursor >= HORIZON {
+                    break;
+                }
+                let key = self.overflow.pop().expect("peeked entry exists");
+                if self.reap_if_cancelled(&key) {
+                    continue;
+                }
+                self.insert_into_wheel(key);
+            }
+
+            let tick0 = self.level0_first_tick();
+            // A higher-level slot whose bound sits at or before the best
+            // level-0 tick may hide an earlier event (or a tie): cascade it
+            // and re-evaluate.
+            if let Some((bound, level, slot)) = self.higher_first_slot() {
+                let reachable = bound.max(self.cursor);
+                if tick0.is_none_or(|t| reachable <= t) {
+                    self.cursor = reachable;
+                    self.cascade(level, slot);
+                    continue;
+                }
+            }
+            let Some(tick) = tick0 else {
+                // Only cancelled events remained; loop to re-check overflow.
+                continue;
+            };
+
+            let slot = (tick & SLOT_MASK) as usize;
+            self.occupancy[0] &= !(1 << slot);
+            self.slot_min[0][slot] = u64::MAX;
+            let mut bucket = std::mem::take(&mut self.scratch);
+            bucket.append(&mut self.levels[0][slot]);
+            self.wheel_count -= bucket.len();
+            for key in bucket.drain(..) {
+                debug_assert_eq!(key.time, tick);
+                if self.reap_if_cancelled(&key) {
+                    continue;
+                }
+                self.batch.push_back(key);
+            }
+            self.scratch = bucket;
+            self.cursor = tick;
+            if self.batch.is_empty() {
+                continue; // the whole bucket had been cancelled
+            }
+            // Bucket FIFO == seq FIFO: direct inserts and cascades may have
+            // interleaved, so restore the heap's (time, seq) order within
+            // the same-timestamp batch. Nearly always already sorted.
+            self.batch_time = tick;
+            self.batch.make_contiguous().sort_unstable_by_key(|k| k.seq);
+            return true;
+        }
+    }
+}
+
+struct HeapEntry {
+    time: u64,
+    seq: u64,
+    cancellable: bool,
+    event: Event,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The binary-heap event queue the timing wheel replaced, kept as the
+/// executable reference model: differential tests (`tests/event_core.rs`)
+/// and the `event_core` benchmark pin the wheel's observable behaviour —
+/// lexicographic `(time, seq)` pop order, cancellation semantics, clock
+/// advancement — against this implementation. Events are stored inline in
+/// the heap entries, exactly as the pre-wheel implementation did.
+#[derive(Default)]
+pub struct HeapEventQueue {
+    heap: BinaryHeap<HeapEntry>,
+    cancellable_pending: HashSet<u64>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: u64,
+    live: usize,
+}
+
+impl HeapEventQueue {
     /// An empty queue at time zero.
     pub fn new() -> Self {
         Self::default()
@@ -100,48 +781,108 @@ impl EventQueue {
 
     /// The current simulation time (the timestamp of the last popped event).
     pub fn now(&self) -> SimTime {
-        self.now
+        SimTime::from_nanos(self.now)
     }
 
     /// Schedule `event` at absolute time `at`.
     ///
     /// # Panics
     /// Panics if `at` is in the past (before the last popped event).
-    pub fn schedule(&mut self, at: SimTime, event: Event) {
+    pub fn schedule(&mut self, at: SimTime, event: Event) -> EventId {
+        self.schedule_entry(at, event, false)
+    }
+
+    /// Schedule a cancellable event at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped event).
+    pub fn schedule_cancellable(&mut self, at: SimTime, event: Event) -> EventId {
+        self.schedule_entry(at, event, true)
+    }
+
+    fn schedule_entry(&mut self, at: SimTime, event: Event, cancellable: bool) -> EventId {
         assert!(
-            at >= self.now,
+            at.as_nanos() >= self.now,
             "cannot schedule an event in the past: {at} < {}",
-            self.now
+            self.now()
         );
-        self.heap.push(ScheduledEvent {
-            time: at,
-            seq: self.next_seq,
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live += 1;
+        if cancellable {
+            self.cancellable_pending.insert(seq);
+        }
+        self.heap.push(HeapEntry {
+            time: at.as_nanos(),
+            seq,
+            cancellable,
             event,
         });
-        self.next_seq += 1;
+        EventId(seq)
     }
 
-    /// Pop the next event, advancing the simulation clock to its timestamp.
+    /// Cancel a pending cancellable event; same contract as
+    /// [`EventQueue::cancel`].
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.cancellable_pending.remove(&id.0) {
+            return false;
+        }
+        self.cancelled.insert(id.0);
+        self.live -= 1;
+        true
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| {
-            self.now = s.time;
-            (s.time, s.event)
-        })
+        self.pop_entry().map(|(t, _, e)| (t, e))
     }
 
-    /// The timestamp of the next pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+    /// Pop the next event together with its [`EventId`].
+    pub fn pop_entry(&mut self) -> Option<(SimTime, EventId, Event)> {
+        while let Some(entry) = self.heap.pop() {
+            if entry.cancellable && !self.cancelled.is_empty() && self.cancelled.remove(&entry.seq)
+            {
+                continue;
+            }
+            if entry.cancellable {
+                self.cancellable_pending.remove(&entry.seq);
+            }
+            self.live -= 1;
+            self.now = entry.time;
+            return Some((
+                SimTime::from_nanos(entry.time),
+                EventId(entry.seq),
+                entry.event,
+            ));
+        }
+        None
+    }
+
+    /// The timestamp of the next pending event, if any. (`&mut self` to
+    /// mirror [`EventQueue::peek_time`]; tombstones are purged here.)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if entry.cancellable
+                && !self.cancelled.is_empty()
+                && self.cancelled.contains(&entry.seq)
+            {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.seq);
+                continue;
+            }
+            return Some(SimTime::from_nanos(entry.time));
+        }
+        None
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// Whether there are no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
     }
 }
 
@@ -151,6 +892,15 @@ mod tests {
 
     fn start(flow: FlowId) -> Event {
         Event::FlowStart { flow }
+    }
+
+    fn popped_flows(q: &mut EventQueue) -> Vec<(u64, FlowId)> {
+        std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| match e {
+                Event::FlowStart { flow } => (t.as_nanos(), flow),
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect()
     }
 
     #[test]
@@ -180,6 +930,23 @@ mod tests {
     }
 
     #[test]
+    fn ties_across_wheel_levels_still_pop_in_seq_order() {
+        // Event 0 lands on wheel level 1 (delta 1000 ns) and stays there
+        // while the cursor advances past 936 ns via two level-0 pops. Event
+        // 3 then schedules at the same 1000 ns timestamp with delta < 64,
+        // going straight into the level-0 bucket — *before* event 0 cascades
+        // into it. The drain must still pop seq 0 first.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(1000), start(0));
+        q.schedule(SimTime::from_nanos(900), start(1));
+        q.schedule(SimTime::from_nanos(950), start(2));
+        assert_eq!(q.pop().map(|(t, _)| t.as_nanos()), Some(900));
+        assert_eq!(q.pop().map(|(t, _)| t.as_nanos()), Some(950));
+        q.schedule(SimTime::from_nanos(1000), start(3));
+        assert_eq!(popped_flows(&mut q), vec![(1000, 0), (1000, 3)]);
+    }
+
+    #[test]
     fn clock_advances_with_pops() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_micros(7), start(0));
@@ -198,5 +965,148 @@ mod tests {
         q.schedule(SimTime::from_micros(10), start(0));
         q.pop();
         q.schedule(SimTime::from_micros(5), start(1));
+    }
+
+    #[test]
+    fn peek_then_earlier_schedule_pops_in_order() {
+        // Peeking may advance the wheel cursor; an event scheduled behind
+        // the cursor afterwards (the add-flow-between-runs pattern) must
+        // still pop first.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), start(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+        q.schedule(SimTime::from_millis(1), start(1));
+        q.schedule(SimTime::from_millis(2), start(2));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        assert_eq!(
+            popped_flows(&mut q),
+            vec![(1_000_000, 1), (2_000_000, 2), (5_000_000, 0)]
+        );
+    }
+
+    #[test]
+    fn far_future_events_cascade_through_the_overflow_level() {
+        // 100 s and 200 s are far beyond the 2^36 ns (~68.7 s) wheel
+        // horizon; both must wait in the overflow level and cascade into the
+        // near wheels in (time, seq) order, interleaved with near events.
+        let mut q = EventQueue::new();
+        let far_a = SimTime::from_secs_f64(100.0);
+        let far_b = SimTime::from_secs_f64(200.0);
+        q.schedule(far_b, start(0));
+        q.schedule(far_a, start(1));
+        q.schedule(far_a, start(2)); // tie inside the overflow level
+        q.schedule(SimTime::from_micros(3), start(3));
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop().map(|(t, _)| t), Some(SimTime::from_micros(3)));
+        // After draining the near event the overflow front comes within the
+        // horizon and cascades in.
+        q.schedule(SimTime::from_secs_f64(99.0), start(4));
+        assert_eq!(
+            popped_flows(&mut q),
+            vec![
+                (99_000_000_000, 4),
+                (100_000_000_000, 1),
+                (100_000_000_000, 2),
+                (200_000_000_000, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn wrapped_residents_of_the_cursor_slot_do_not_mask_other_slots() {
+        // Regression for the hashed-wheel wrap bug: park the cursor at the
+        // very end of its own level-1 slot range, leave a next-revolution
+        // event in that slot, and schedule an earlier event that maps to a
+        // *different* slot. The earlier event must still pop first.
+        let mut q = EventQueue::new();
+        // Cursor to 2111 (the last tick of level-1 slot [2048, 2112)).
+        q.schedule(SimTime::from_nanos(2111), start(0));
+        q.pop();
+        // 6200 ∈ [2048, 2112) + 4096 → wraps into the cursor's own slot.
+        q.schedule(SimTime::from_nanos(6200), start(1));
+        // 4300 maps elsewhere and precedes 6200.
+        q.schedule(SimTime::from_nanos(4300), start(2));
+        assert_eq!(popped_flows(&mut q), vec![(4300, 2), (6200, 1)]);
+    }
+
+    #[test]
+    fn cancellation_removes_pending_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_cancellable(SimTime::from_micros(10), start(0));
+        let b = q.schedule_cancellable(SimTime::from_micros(10), start(1));
+        let c = q.schedule_cancellable(SimTime::from_micros(20), start(2));
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double-cancel must be a no-op");
+        assert_eq!(q.len(), 2);
+        assert_eq!(popped_flows(&mut q), vec![(10_000, 0), (20_000, 2)]);
+        assert!(!q.cancel(a), "fired events cannot be cancelled");
+        assert!(!q.cancel(c));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn plain_events_are_not_cancellable() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_micros(5), start(0));
+        assert!(!q.cancel(id));
+        assert_eq!(q.len(), 1);
+        assert_eq!(popped_flows(&mut q), vec![(5_000, 0)]);
+    }
+
+    #[test]
+    fn cancelling_the_whole_bucket_skips_to_the_next_time() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..4)
+            .map(|f| q.schedule_cancellable(SimTime::from_micros(10), start(f)))
+            .collect();
+        q.schedule(SimTime::from_micros(30), start(9));
+        for id in ids {
+            assert!(q.cancel(id));
+        }
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(30)));
+        assert_eq!(popped_flows(&mut q), vec![(30_000, 9)]);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            let at = SimTime::from_nanos(round * 1000);
+            q.schedule(at, start(0));
+            q.schedule(at, start(1));
+            q.pop();
+            q.pop();
+        }
+        assert!(q.is_empty());
+        q.debug_validate();
+    }
+
+    #[test]
+    fn heap_reference_matches_on_a_smoke_sequence() {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let times = [7u64, 3, 3, 900_000, 3, 64, 65, 4096, 1 << 37, 12];
+        for (i, &t) in times.iter().enumerate() {
+            let at = SimTime::from_nanos(t);
+            wheel.schedule(at, start(i));
+            heap.schedule(at, start(i));
+        }
+        loop {
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+            let (a, b) = (wheel.pop_entry(), heap.pop_entry());
+            match (a, b) {
+                (None, None) => break,
+                (Some((ta, ia, _)), Some((tb, ib, _))) => {
+                    assert_eq!((ta, ia), (tb, ib));
+                    assert_eq!(wheel.now(), heap.now());
+                }
+                (a, b) => panic!(
+                    "queues diverged: wheel popped {:?}, heap popped {:?}",
+                    a.map(|(t, i, _)| (t, i)),
+                    b.map(|(t, i, _)| (t, i))
+                ),
+            }
+        }
     }
 }

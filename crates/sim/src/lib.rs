@@ -24,10 +24,19 @@
 //!   with the paper's 80 µs time constant, per-flow FCT bookkeeping and
 //!   per-link counters.
 //!
+//! * **Event core** ([`event`], [`timer`]) — a hierarchical timing-wheel
+//!   scheduler (same-timestamp batches drained in one pass, overflow level
+//!   for far-future timestamps) and a handle-based [`timer::TimerService`]:
+//!   agents arm timers through [`network::AgentCtx::set_timer`] and stopping
+//!   or completing a flow structurally cancels whatever is still pending.
+//!
 //! Determinism: given the same inputs the simulation produces bit-identical
 //! results — events are ordered by (time, insertion order) and the engine
-//! itself uses no randomness. Workload generators (in `numfabric-workloads`)
-//! inject randomness only through explicitly seeded RNGs.
+//! itself uses no randomness; the timing wheel preserves the binary heap's
+//! `(time, seq)` pop order exactly (pinned by differential tests against
+//! [`event::HeapEventQueue`]). Workload generators (in
+//! `numfabric-workloads`) inject randomness only through explicitly seeded
+//! RNGs.
 //!
 //! ## Quick example
 //!
@@ -62,16 +71,19 @@ pub mod queue;
 pub mod reference;
 pub mod routes;
 pub mod time;
+pub mod timer;
 pub mod topology;
 pub mod tracer;
 pub mod transport;
 
+pub use event::{Event, EventId, EventQueue, HeapEventQueue};
 pub use flow::{FlowPhase, FlowSpec, FlowStats};
 pub use network::{AgentCtx, LinkStats, Network, NetworkConfig};
 pub use packet::{FlowId, Packet, PacketHeader, PacketKind};
 pub use queue::{DropTailFifo, EcnFifo, PfabricQueue, QueueDiscipline, StfqQueue};
 pub use routes::{RouteId, RouteTable};
 pub use time::{SimDuration, SimTime};
+pub use timer::{TimerHandle, TimerService};
 pub use topology::{FatTreeConfig, LeafSpineConfig, LinkId, NodeId, NodeKind, Route, Topology};
 pub use tracer::{EwmaRateTracer, RateSeries};
 pub use transport::{FlowAgent, LinkController, NullController};

@@ -12,14 +12,19 @@
 //!   and flow-completion-time bookkeeping.
 //!
 //! Every run is deterministic: events are processed in timestamp order with
-//! FIFO tie-breaking, and the engine itself uses no randomness.
+//! FIFO tie-breaking, and the engine itself uses no randomness. Flow timers
+//! are first-class: [`AgentCtx::set_timer`] returns a
+//! [`TimerHandle`] that [`AgentCtx::cancel_timer`] revokes, and stopping or
+//! completing a flow structurally cancels its outstanding timers (see
+//! [`crate::timer`]).
 
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventId, EventQueue};
 use crate::flow::{FlowPhase, FlowSpec, FlowStats};
 use crate::packet::{FlowId, Packet, PacketHeader, PacketKind, SeqNo, HEADER_BYTES, MTU_BYTES};
 use crate::queue::QueueDiscipline;
 use crate::routes::{RouteId, RouteTable};
 use crate::time::{SimDuration, SimTime};
+use crate::timer::{TimerHandle, TimerService};
 use crate::topology::{LinkId, NodeId, Route, Topology};
 use crate::tracer::EwmaRateTracer;
 use crate::transport::{FlowAgent, LinkController};
@@ -78,8 +83,10 @@ pub struct Network {
     flows: Vec<FlowRuntime>,
     routes: RouteTable,
     events: EventQueue,
+    timers: TimerService,
     clock: SimTime,
     config: NetworkConfig,
+    events_processed: u64,
 }
 
 impl Network {
@@ -114,8 +121,10 @@ impl Network {
             flows: Vec::new(),
             routes: RouteTable::new(),
             events: EventQueue::new(),
+            timers: TimerService::new(),
             clock: SimTime::ZERO,
             config,
+            events_processed: 0,
         }
     }
 
@@ -221,6 +230,7 @@ impl Network {
             stats: FlowStats::default(),
             tracer: EwmaRateTracer::new(self.config.rate_ewma_tau),
         });
+        self.timers.register_flow();
         let at = self.flows[id].spec.start_time;
         self.events.schedule(at, Event::FlowStart { flow: id });
         id
@@ -237,9 +247,9 @@ impl Network {
             if next > until {
                 break;
             }
-            let (time, event) = self.events.pop().expect("peeked event must exist");
+            let (time, id, event) = self.events.pop_entry().expect("peeked event must exist");
             self.clock = time;
-            self.handle(event);
+            self.handle(id, event);
         }
         self.clock = self.clock.max(until);
     }
@@ -253,9 +263,9 @@ impl Network {
     /// Run until no events remain (only sensible for workloads where every
     /// flow has a finite size).
     pub fn run_to_completion(&mut self) {
-        while let Some((time, event)) = self.events.pop() {
+        while let Some((time, id, event)) = self.events.pop_entry() {
             self.clock = time;
-            self.handle(event);
+            self.handle(id, event);
         }
     }
 
@@ -331,13 +341,33 @@ impl Network {
         self.links.len()
     }
 
+    /// Total number of events dispatched so far (the `event_core` benchmark
+    /// divides this by wall time to report events/sec).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events currently pending in the queue. Structurally
+    /// cancelled timers (see [`AgentCtx::cancel_timer`]) do not count.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of armed, un-fired timers of `flow`. Stopping or completing a
+    /// flow cancels all of them, so this drops to zero structurally — the
+    /// regression surface for the stale-RTX-timer bug.
+    pub fn pending_timer_count(&self, flow: FlowId) -> usize {
+        self.timers.pending_count(flow)
+    }
+
     // ---- event handling ---------------------------------------------------
 
-    fn handle(&mut self, event: Event) {
+    fn handle(&mut self, id: EventId, event: Event) {
+        self.events_processed += 1;
         match event {
             Event::FlowStart { flow } => self.handle_flow_start(flow),
             Event::FlowStop { flow } => self.handle_flow_stop(flow),
-            Event::FlowTimer { flow, tag } => self.dispatch_timer(flow, tag),
+            Event::FlowTimer { flow, tag } => self.dispatch_timer(flow, tag, id),
             Event::LinkTimer { link, tag } => self.handle_link_timer(link, tag),
             Event::TransmitComplete { link } => {
                 self.links[link].busy = false;
@@ -362,6 +392,9 @@ impl Network {
             for &l in self.routes.links(self.flows[flow].spec.route) {
                 self.links[l].queue.release_flow(flow);
             }
+            // Structural cancellation: a stopped flow leaves no timers
+            // behind to fire into the dispatch path.
+            self.timers.cancel_all(&mut self.events, flow);
         }
     }
 
@@ -427,11 +460,15 @@ impl Network {
                 for &l in self.routes.links(route) {
                     self.links[l].queue.release_flow(flow);
                 }
+                self.timers.cancel_all(&mut self.events, flow);
             }
         }
     }
 
-    fn dispatch_timer(&mut self, flow: FlowId, tag: u64) {
+    fn dispatch_timer(&mut self, flow: FlowId, tag: u64, id: EventId) {
+        self.timers.fired(flow, id);
+        // Stop/completion cancels outstanding timers structurally; this
+        // guard is defence in depth, not the cancellation mechanism.
         if self.flows[flow].phase != FlowPhase::Active {
             return;
         }
@@ -607,15 +644,26 @@ impl AgentCtx<'_> {
     }
 
     /// Arrange for [`FlowAgent::on_timer`] to be called with `tag` after
-    /// `delay`.
-    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
-        self.net.events.schedule(
-            self.net.clock + delay,
-            Event::FlowTimer {
-                flow: self.flow,
-                tag,
-            },
-        );
+    /// `delay`. The returned [`TimerHandle`] can be kept to
+    /// [`Self::cancel_timer`] the callback before it fires; when the flow
+    /// stops or completes, every outstanding timer is cancelled
+    /// automatically.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerHandle {
+        self.net
+            .timers
+            .arm(&mut self.net.events, self.flow, delay, tag)
+    }
+
+    /// Cancel a timer previously armed with [`Self::set_timer`]. Returns
+    /// `true` if the timer was still pending, `false` if it already fired
+    /// or was already cancelled.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.net.timers.cancel(&mut self.net.events, handle)
+    }
+
+    /// Number of this flow's armed, un-fired timers.
+    pub fn pending_timers(&self) -> usize {
+        self.net.timers.pending_count(self.flow)
     }
 }
 
@@ -828,6 +876,82 @@ mod tests {
                 assert_eq!(net.link_stats(id).packets_transmitted, 0);
             }
         }
+    }
+
+    /// Arms one timer on start and counts how often it fires — the probe
+    /// for structural timer cancellation.
+    struct TimerProbe {
+        delay: SimDuration,
+        fired: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl FlowAgent for TimerProbe {
+        fn on_start(&mut self, ctx: &mut AgentCtx<'_>) {
+            ctx.set_timer(self.delay, 7);
+        }
+        fn on_data(&mut self, _packet: &Packet, _ctx: &mut AgentCtx<'_>) {}
+        fn on_ack(&mut self, _packet: &Packet, _ctx: &mut AgentCtx<'_>) {}
+        fn on_timer(&mut self, tag: u64, _ctx: &mut AgentCtx<'_>) {
+            assert_eq!(tag, 7);
+            self.fired.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn stopping_a_flow_cancels_its_pending_timers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let fired = Arc::new(AtomicUsize::new(0));
+        let mut net = small_net();
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[7],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(TimerProbe {
+                delay: SimDuration::from_micros(500),
+                fired: fired.clone(),
+            }),
+        );
+        net.run_until(SimTime::from_micros(100));
+        assert_eq!(net.pending_timer_count(flow), 1);
+        let pending_with_timer = net.pending_events();
+        net.stop_flow(flow);
+        net.run_until(SimTime::from_micros(200));
+        // The stop structurally removed the timer: it no longer counts as a
+        // pending event and never dispatches.
+        assert_eq!(net.pending_timer_count(flow), 0);
+        assert!(net.pending_events() < pending_with_timer);
+        net.run_until(SimTime::from_millis(2));
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        assert_eq!(net.flow_phase(flow), FlowPhase::Stopped);
+    }
+
+    #[test]
+    fn unstopped_timers_still_fire_and_can_be_cancelled_by_handle() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let fired = Arc::new(AtomicUsize::new(0));
+        let mut net = small_net();
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[7],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(TimerProbe {
+                delay: SimDuration::from_micros(500),
+                fired: fired.clone(),
+            }),
+        );
+        net.run_until(SimTime::from_millis(1));
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "positive control");
+        assert_eq!(net.pending_timer_count(flow), 0);
     }
 
     #[test]

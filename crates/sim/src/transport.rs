@@ -16,7 +16,12 @@
 //!
 //! Agents interact with the network exclusively through [`AgentCtx`]
 //! (sending packets, setting timers, reading flow state), which keeps them
-//! free of any knowledge of the event queue or link internals.
+//! free of any knowledge of the event queue or link internals. Timers are
+//! handle-based: [`AgentCtx::set_timer`] returns a
+//! [`crate::timer::TimerHandle`] that [`AgentCtx::cancel_timer`] revokes,
+//! and a flow that stops or completes sheds its outstanding timers
+//! automatically — agents never have to defend against a stale callback
+//! firing into dead state.
 
 use crate::network::AgentCtx;
 use crate::packet::Packet;
@@ -36,7 +41,10 @@ pub trait FlowAgent: Send {
     /// and transmits more data.
     fn on_ack(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>);
 
-    /// A timer set via [`AgentCtx::set_timer`] fired.
+    /// A timer set via [`AgentCtx::set_timer`] fired. The `tag` is the one
+    /// passed at arm time (distinguishing timer kinds — RTX vs pacing,
+    /// say); the corresponding [`crate::timer::TimerHandle`] is spent by
+    /// the time this runs, so re-arming starts from a clean slate.
     fn on_timer(&mut self, tag: u64, ctx: &mut AgentCtx<'_>);
 
     /// A human-readable protocol name (for logs and experiment tables).
