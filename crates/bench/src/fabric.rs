@@ -182,14 +182,14 @@ fn spec_from_options(opts: &ScenarioOptions) -> TopologySpec {
 
 /// Report a semantically invalid option combination and exit non-zero —
 /// the same contract as `ScenarioOptions::parsed_or` for unparsable values.
-fn cli_error(message: impl std::fmt::Display) -> ! {
+pub(crate) fn cli_error(message: impl std::fmt::Display) -> ! {
     eprintln!("error: {message}");
     std::process::exit(2);
 }
 
 /// A deadline generous enough for `total_bytes` through one `bottleneck_bps`
 /// link, with convergence slack.
-fn transfer_deadline(total_bytes: u64, bottleneck_bps: f64) -> SimDuration {
+pub(crate) fn transfer_deadline(total_bytes: u64, bottleneck_bps: f64) -> SimDuration {
     let drain = total_bytes as f64 * 8.0 / bottleneck_bps;
     SimDuration::from_secs_f64(4.0 * drain) + SimDuration::from_millis(10)
 }
@@ -198,7 +198,7 @@ fn transfer_deadline(total_bytes: u64, bottleneck_bps: f64) -> SimDuration {
 /// leaf is oversubscribed, or when there is no fabric tier at all). Deadline
 /// heuristics multiply by this: on an R:1 oversubscribed fabric, cross-rack
 /// transfers drain up to R times slower than the NIC bound suggests.
-fn worst_oversubscription(topo: &Topology) -> f64 {
+pub(crate) fn worst_oversubscription(topo: &Topology) -> f64 {
     use numfabric_sim::topology::NodeKind;
     let mut worst: f64 = 1.0;
     for &leaf in topo.leaves() {

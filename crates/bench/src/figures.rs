@@ -108,6 +108,12 @@ pub fn registry() -> ScenarioRegistry {
         run: crate::fabric::stride,
     });
     registry.register(ScenarioSpec {
+        name: "sweep",
+        summary: "Parameter-sweep grid (scenarios x topologies x protocols x loads x sizes) on a thread pool",
+        usage: "[--scenarios incast,shuffle,stride] [--topologies leaf-spine,fat-tree:k=4,oversub:4:1] [--protocols numfabric,dctcp,...] [--loads 0.5,...] [--sizes BYTES,...] [--replicates N] [--seed S] [--threads N] [--json]",
+        run: crate::sweep::sweep,
+    });
+    registry.register(ScenarioSpec {
         name: "semi-dynamic",
         summary: "Generic semi-dynamic convergence run for one protocol",
         usage: "[--protocol numfabric|dgd|rcp|dctcp|pfabric] [--events N] [--seed S] [--full]",

@@ -18,6 +18,11 @@
 //!   stride) runnable on leaf-spine, oversubscribed and fat-tree fabrics.
 //! * [`figures`] — every figure/table as a registry-dispatchable function.
 //! * [`report`] — percentiles, CDFs, Fig. 5 bins and table printing.
+//! * [`sweep`] — the deterministic parallel sweep engine: a work-stealing
+//!   thread pool executes a `SweepSpec` grid (scenarios × topologies ×
+//!   protocols × loads × sizes × seeds) cell-by-cell and aggregates the
+//!   results into one JSON document + markdown comparison table whose bytes
+//!   are independent of `--threads`.
 //!
 //! Scenarios that list `--full` in their usage run at the paper's scale
 //! with it (128 hosts, 1000 paths, 100 events, …); the default is a
@@ -33,9 +38,11 @@ pub mod figures;
 pub mod protocols;
 pub mod report;
 pub mod semi_dynamic;
+pub mod sweep;
 
 pub use dynamic::{generate_arrivals, run_dynamic, DynamicFlowResult, DynamicRun, Objective};
 pub use fabric::{run_steady_state, run_transfers, SteadyStateSummary, TransferSummary};
 pub use figures::registry;
 pub use protocols::Protocol;
 pub use semi_dynamic::{rate_timeseries, run_semi_dynamic, SemiDynamicResult, SemiDynamicRun};
+pub use sweep::{execute_cells, markdown_table, run_cell, sweep_report_json, CellResult};

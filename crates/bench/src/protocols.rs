@@ -30,6 +30,10 @@ pub enum Protocol {
 }
 
 impl Protocol {
+    /// The spellings [`Protocol::from_name`] accepts, for error messages —
+    /// the single copy every "invalid protocol" report renders.
+    pub const NAMES: &'static str = "numfabric|dgd|rcp|dctcp|pfabric";
+
     /// The scheme's display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -89,8 +93,8 @@ impl Protocol {
         let name = opts.value("--protocol").unwrap_or("numfabric");
         Protocol::from_name(name).unwrap_or_else(|| {
             eprintln!(
-                "error: invalid value `{name}` for option `--protocol`: \
-                 expected numfabric|dgd|rcp|dctcp|pfabric"
+                "error: invalid value `{name}` for option `--protocol`: expected {}",
+                Protocol::NAMES
             );
             std::process::exit(2);
         })

@@ -1,0 +1,510 @@
+//! The deterministic parallel sweep engine: execute a [`SweepSpec`] grid on
+//! a work-stealing thread pool and aggregate the per-cell results into one
+//! structured report.
+//!
+//! The determinism contract extends the simulator's: every [`SweepCell`] is
+//! a self-contained, fully-seeded simulation owned by exactly one worker
+//! thread (`Network` is `Send`, pinned at compile time in `numfabric-sim`),
+//! cells share no state, and the aggregate is assembled in cell-index order
+//! — so the aggregated output is **bit-identical regardless of
+//! `--threads`**. Thread count and wall-clock never appear in the JSON
+//! report; they are printed separately in the human-readable mode.
+//!
+//! The pool is a classic work-stealing arrangement built on `std::thread` +
+//! channels: cells are dealt round-robin onto one deque per worker, each
+//! worker pops its own deque from the front and steals from the *back* of a
+//! victim's deque when its own runs dry, and finished cells flow back over
+//! an `mpsc` channel. Stealing keeps the pool busy when cell costs are
+//! skewed (a 240-flow shuffle next to an 8-flow incast), which is the
+//! common shape of these grids.
+
+use crate::fabric::{
+    run_steady_state, run_transfers, transfer_deadline, worst_oversubscription, SteadyStateSummary,
+    TransferSummary,
+};
+use crate::protocols::Protocol;
+use crate::report::{mean, percentile, Json};
+use numfabric_sim::SimDuration;
+use numfabric_workloads::registry::ScenarioOptions;
+use numfabric_workloads::scenarios::{incast_pairs, shuffle_pairs, stride_pairs};
+use numfabric_workloads::sweep::{SweepCell, SweepScenario, SweepSpec};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// How long each steady-state (stride) cell runs. Long enough for every
+/// protocol to settle, short enough that a grid of them stays interactive.
+const STEADY_STATE_RUN: SimDuration = SimDuration::from_millis(4);
+
+/// The measured outcome of one sweep cell: the cell identity plus the
+/// metrics of its scenario family (FCT statistics for finite transfers,
+/// oracle-relative rate error for steady state).
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell that was run.
+    pub cell: SweepCell,
+    /// Flows injected.
+    pub flows: usize,
+    /// Flows completed before the deadline (`None` for steady-state cells,
+    /// whose flows are long-lived by construction).
+    pub completed: Option<usize>,
+    /// Median flow completion time in seconds (finite transfers).
+    pub median_fct_seconds: Option<f64>,
+    /// 99th-percentile flow completion time in seconds (finite transfers).
+    pub p99_fct_seconds: Option<f64>,
+    /// Aggregate goodput in bits per second (finite transfers).
+    pub goodput_bps: Option<f64>,
+    /// Mean relative rate error vs the fluid oracle (steady state).
+    pub steady_state_error: Option<f64>,
+    /// Fraction of flows within 10% of the oracle rate (steady state).
+    pub fraction_within_10pct: Option<f64>,
+}
+
+impl CellResult {
+    fn from_transfers(cell: SweepCell, summary: &TransferSummary) -> Self {
+        Self {
+            flows: summary.flows,
+            completed: Some(summary.completed),
+            median_fct_seconds: percentile(&summary.fcts, 0.5),
+            p99_fct_seconds: percentile(&summary.fcts, 0.99),
+            goodput_bps: Some(summary.aggregate_goodput_bps()),
+            steady_state_error: None,
+            fraction_within_10pct: None,
+            cell,
+        }
+    }
+
+    fn from_steady_state(cell: SweepCell, summary: &SteadyStateSummary) -> Self {
+        let rel_errors: Vec<f64> = summary
+            .rates_bps
+            .iter()
+            .zip(&summary.oracle_bps)
+            .map(|(&r, &o)| (r - o).abs() / o.max(1.0))
+            .collect();
+        Self {
+            flows: summary.rates_bps.len(),
+            completed: None,
+            median_fct_seconds: None,
+            p99_fct_seconds: None,
+            goodput_bps: None,
+            steady_state_error: mean(&rel_errors),
+            fraction_within_10pct: Some(summary.fraction_within(0.10)),
+            cell,
+        }
+    }
+}
+
+/// Run one sweep cell to completion: build the fabric, derive the workload
+/// from the cell's axes and seed, simulate, and summarize.
+///
+/// The load axis scales the participating host fraction: an incast cell
+/// fans in `load · (hosts − 1)` senders, a shuffle cell spans `load ·
+/// hosts` participants. Stride cells run the full `hosts/2` permutation as
+/// long-lived flows for a fixed window and ignore the load and size axes
+/// (documented on [`SweepScenario`]).
+///
+/// Errors only on an unknown protocol name — everything else about a cell
+/// is valid by construction of [`SweepSpec::expand`].
+pub fn run_cell(cell: &SweepCell) -> Result<CellResult, String> {
+    let protocol = Protocol::from_name(&cell.protocol).ok_or_else(|| {
+        format!(
+            "unknown protocol `{}` in sweep cell {}",
+            cell.protocol, cell.index
+        )
+    })?;
+    let topo = cell.topology.build(false);
+    let hosts = topo.hosts().len();
+    let host_bps = topo.links()[0].capacity_bps;
+    Ok(match cell.scenario {
+        SweepScenario::Incast => {
+            let fan_in = ((cell.load * (hosts - 1) as f64).round() as usize).clamp(1, hosts - 1);
+            let pairs = incast_pairs(&topo, fan_in, cell.seed);
+            let deadline = transfer_deadline(fan_in as u64 * cell.size_bytes, host_bps);
+            let summary = run_transfers(&protocol, topo, &pairs, cell.size_bytes, deadline);
+            CellResult::from_transfers(cell.clone(), &summary)
+        }
+        SweepScenario::Shuffle => {
+            let participants = ((cell.load * hosts as f64).round() as usize).clamp(2, hosts);
+            let pairs = shuffle_pairs(&topo, Some(participants), cell.seed);
+            let slowdown = worst_oversubscription(&topo);
+            let deadline = transfer_deadline(
+                (participants as u64 - 1) * cell.size_bytes,
+                host_bps / slowdown,
+            );
+            let summary = run_transfers(&protocol, topo, &pairs, cell.size_bytes, deadline);
+            CellResult::from_transfers(cell.clone(), &summary)
+        }
+        SweepScenario::Stride => {
+            let pairs = stride_pairs(&topo, hosts / 2, cell.seed);
+            let summary = run_steady_state(&protocol, topo, &pairs, STEADY_STATE_RUN);
+            CellResult::from_steady_state(cell.clone(), &summary)
+        }
+    })
+}
+
+/// Execute every cell on a work-stealing pool of `threads` workers and
+/// return the results **in cell-index order** — the order, and therefore
+/// the aggregate built from it, is independent of the thread count and of
+/// which worker ran which cell.
+///
+/// `threads` is clamped to `1..=cells.len()`; with one thread the cells run
+/// inline on the caller's thread through the identical per-cell path.
+pub fn execute_cells(cells: Vec<SweepCell>, threads: usize) -> Result<Vec<CellResult>, String> {
+    if cells.is_empty() {
+        return Ok(Vec::new());
+    }
+    let threads = threads.clamp(1, cells.len());
+    if threads == 1 {
+        // Same contract as the pool: run every cell, report the
+        // lowest-index error.
+        let mut results = Vec::with_capacity(cells.len());
+        let mut first_error = None;
+        for cell in &cells {
+            match run_cell(cell) {
+                Ok(r) => results.push(r),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        return match first_error {
+            Some(e) => Err(e),
+            None => Ok(results),
+        };
+    }
+
+    // One deque per worker, cells dealt round-robin. Workers pop their own
+    // deque from the front and steal from the back of the others, so an
+    // expensive cell at one worker's front doesn't strand the cells queued
+    // behind it.
+    let queues: Vec<Arc<Mutex<VecDeque<usize>>>> = (0..threads)
+        .map(|w| {
+            Arc::new(Mutex::new(
+                (w..cells.len()).step_by(threads).collect::<VecDeque<_>>(),
+            ))
+        })
+        .collect();
+    let cells = Arc::new(cells);
+    let (tx, rx) = mpsc::channel::<(usize, Result<CellResult, String>)>();
+
+    let workers: Vec<_> = (0..threads)
+        .map(|me| {
+            let queues = queues.clone();
+            let cells = Arc::clone(&cells);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                loop {
+                    // Own work first (front), then steal (back).
+                    let job = queues[me].lock().expect("queue poisoned").pop_front();
+                    let job = job.or_else(|| {
+                        (1..queues.len()).find_map(|d| {
+                            queues[(me + d) % queues.len()]
+                                .lock()
+                                .expect("queue poisoned")
+                                .pop_back()
+                        })
+                    });
+                    let Some(index) = job else { return };
+                    if tx.send((index, run_cell(&cells[index]))).is_err() {
+                        return;
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+
+    // Every cell runs even when some fail, and the reported error is the
+    // lowest-index one — so the error path, like the success path, does not
+    // depend on scheduling or thread count.
+    let mut slots: Vec<Option<CellResult>> = vec![None; cells.len()];
+    let mut first_error: Option<(usize, String)> = None;
+    for (index, result) in rx {
+        match result {
+            Ok(r) => slots[index] = Some(r),
+            Err(e) => {
+                if first_error.as_ref().is_none_or(|(i, _)| index < *i) {
+                    first_error = Some((index, e));
+                }
+            }
+        }
+    }
+    for worker in workers {
+        worker.join().map_err(|_| "sweep worker panicked")?;
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.ok_or(format!("sweep cell {i} produced no result")))
+        .collect()
+}
+
+/// The aggregated report of a sweep: the spec's axes and every per-cell
+/// result, in cell-index order. Deliberately contains **no thread count and
+/// no timing** — the report is a pure function of the spec, which is what
+/// makes `--threads`-independence testable bit-for-bit.
+pub fn sweep_report_json(spec: &SweepSpec, results: &[CellResult]) -> Json {
+    let axis_strs = |it: Vec<String>| Json::Arr(it.into_iter().map(Json::Str).collect());
+    Json::Obj(vec![
+        (
+            "sweep",
+            Json::Obj(vec![
+                ("base_seed", Json::Int(spec.base_seed)),
+                ("cells", Json::Int(results.len() as u64)),
+                (
+                    "scenarios",
+                    axis_strs(spec.scenarios.iter().map(|s| s.to_string()).collect()),
+                ),
+                (
+                    "topologies",
+                    axis_strs(spec.topologies.iter().map(|t| t.to_string()).collect()),
+                ),
+                ("protocols", axis_strs(spec.protocols.clone())),
+                ("loads", Json::nums(spec.loads.iter().copied())),
+                (
+                    "sizes",
+                    Json::Arr(spec.sizes.iter().map(|&s| Json::Int(s)).collect()),
+                ),
+                ("replicates", Json::Int(spec.replicates as u64)),
+            ]),
+        ),
+        (
+            "results",
+            Json::Arr(results.iter().map(cell_report_json).collect()),
+        ),
+    ])
+}
+
+fn cell_report_json(result: &CellResult) -> Json {
+    let cell = &result.cell;
+    let opt_num = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+    Json::Obj(vec![
+        ("cell", Json::Int(cell.index as u64)),
+        ("scenario", Json::str(cell.scenario.name())),
+        ("topology", Json::str(cell.topology.to_string())),
+        ("protocol", Json::str(cell.protocol.clone())),
+        ("load", Json::Num(cell.load)),
+        ("size_bytes", Json::Int(cell.size_bytes)),
+        ("replicate", Json::Int(cell.replicate as u64)),
+        ("seed", Json::Int(cell.seed)),
+        ("flows", Json::Int(result.flows as u64)),
+        (
+            "completed",
+            result.completed.map_or(Json::Null, |c| Json::Int(c as u64)),
+        ),
+        ("median_fct_seconds", opt_num(result.median_fct_seconds)),
+        ("p99_fct_seconds", opt_num(result.p99_fct_seconds)),
+        ("goodput_bps", opt_num(result.goodput_bps)),
+        ("steady_state_error", opt_num(result.steady_state_error)),
+        (
+            "fraction_within_10pct",
+            opt_num(result.fraction_within_10pct),
+        ),
+    ])
+}
+
+/// Render the per-cell comparison as a GitHub-flavored markdown table:
+/// one row per cell with FCT percentiles, completion and steady-state
+/// error columns (`-` where a column does not apply to the scenario —
+/// stride cells dash both load and size, which their simulation ignores,
+/// so nobody attributes seed-driven variance between them to either axis).
+pub fn markdown_table(results: &[CellResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| cell | scenario | topology | protocol | load | size | seed | flows | completed | p50 FCT | p99 FCT | goodput | ss error |"
+    );
+    let _ = writeln!(
+        out,
+        "|-----:|----------|----------|----------|-----:|-----:|-----:|------:|----------:|--------:|--------:|--------:|---------:|"
+    );
+    let dash = || "-".to_string();
+    let ms = |v: Option<f64>| v.map_or_else(dash, |s| format!("{:.2} ms", s * 1e3));
+    for r in results {
+        let c = &r.cell;
+        let is_stride = c.scenario == SweepScenario::Stride;
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            c.index,
+            c.scenario,
+            c.topology,
+            c.protocol,
+            if is_stride {
+                dash()
+            } else {
+                format!("{:.2}", c.load)
+            },
+            if is_stride {
+                dash()
+            } else if c.size_bytes.is_multiple_of(1000) {
+                format!("{} kB", c.size_bytes / 1000)
+            } else {
+                format!("{} B", c.size_bytes)
+            },
+            c.seed,
+            r.flows,
+            r.completed.map_or_else(dash, |n| n.to_string()),
+            ms(r.median_fct_seconds),
+            ms(r.p99_fct_seconds),
+            r.goodput_bps
+                .map_or_else(dash, |g| format!("{:.2} Gbps", g / 1e9)),
+            r.steady_state_error
+                .map_or_else(dash, |e| format!("{:.1}%", e * 100.0)),
+        );
+    }
+    out
+}
+
+/// The `numfabric-run sweep` entry point: expand the grid from the options,
+/// execute it on the pool, and print the aggregate (markdown table by
+/// default, the structured JSON document with `--json`).
+pub fn sweep(opts: &ScenarioOptions) {
+    let spec = SweepSpec::try_from_options(opts).unwrap_or_else(|e| crate::fabric::cli_error(e));
+    for name in &spec.protocols {
+        if Protocol::from_name(name).is_none() {
+            crate::fabric::cli_error(format!(
+                "invalid value `{name}` for option `--protocols`: expected {}",
+                Protocol::NAMES
+            ));
+        }
+    }
+    let cells = spec
+        .expand()
+        .unwrap_or_else(|e| crate::fabric::cli_error(e));
+    let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: usize = opts.parsed_or("--threads", default_threads);
+    let json = opts.flag("--json");
+    if !json {
+        println!(
+            "Sweep: {} cells ({} scenarios x {} topologies x {} protocols x {} loads x {} sizes x {} replicates) on {} threads\n",
+            cells.len(),
+            spec.scenarios.len(),
+            spec.topologies.len(),
+            spec.protocols.len(),
+            spec.loads.len(),
+            spec.sizes.len(),
+            spec.replicates,
+            threads.clamp(1, cells.len()),
+        );
+    }
+    let start = Instant::now();
+    let results = execute_cells(cells, threads).unwrap_or_else(|e| crate::fabric::cli_error(e));
+    let wall = start.elapsed();
+    if json {
+        println!("{}", sweep_report_json(&spec, &results).render());
+    } else {
+        print!("{}", markdown_table(&results));
+        println!(
+            "\n{} cells in {:.2} s wall-clock. The table and the --json report are\n\
+             bit-identical for any --threads value; only this timing line and the\n\
+             thread count in the header vary.",
+            results.len(),
+            wall.as_secs_f64(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numfabric_workloads::fabric::TopologySpec;
+    use numfabric_workloads::sweep::derive_cell_seed;
+
+    fn mini_cell(scenario: SweepScenario, index: usize) -> SweepCell {
+        SweepCell {
+            index,
+            scenario,
+            topology: TopologySpec::FatTree { k: 4 },
+            protocol: "numfabric".to_string(),
+            load: 0.25,
+            size_bytes: 50_000,
+            replicate: 0,
+            seed: derive_cell_seed(1, index as u64),
+        }
+    }
+
+    #[test]
+    fn incast_cell_runs_and_reports_fcts() {
+        let result = run_cell(&mini_cell(SweepScenario::Incast, 0)).unwrap();
+        // load 0.25 of 15 eligible senders on the 16-host fat-tree: 4 senders.
+        assert_eq!(result.flows, 4);
+        assert_eq!(result.completed, Some(4));
+        assert!(result.median_fct_seconds.unwrap() > 0.0);
+        assert!(result.p99_fct_seconds.unwrap() >= result.median_fct_seconds.unwrap());
+        assert!(result.steady_state_error.is_none());
+    }
+
+    #[test]
+    fn stride_cell_reports_oracle_error_not_fcts() {
+        let result = run_cell(&mini_cell(SweepScenario::Stride, 1)).unwrap();
+        assert_eq!(result.flows, 16);
+        assert_eq!(result.completed, None);
+        assert!(result.median_fct_seconds.is_none());
+        let err = result.steady_state_error.unwrap();
+        assert!((0.0..1.0).contains(&err), "mean relative error {err}");
+        assert!(result.fraction_within_10pct.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unknown_protocol_is_an_error_not_a_panic() {
+        let mut cell = mini_cell(SweepScenario::Incast, 0);
+        cell.protocol = "tcp-reno".to_string();
+        let err = run_cell(&cell).unwrap_err();
+        assert!(err.contains("tcp-reno"));
+        // And the pool surfaces it instead of hanging.
+        let err = execute_cells(vec![cell], 4).unwrap_err();
+        assert!(err.contains("tcp-reno"));
+    }
+
+    #[test]
+    fn error_reporting_is_scheduling_independent() {
+        // Two failing cells: whatever the thread count, every cell still
+        // runs and the *lowest-index* failure is the one reported.
+        let mut cells: Vec<SweepCell> = (0..4)
+            .map(|i| mini_cell(SweepScenario::Incast, i))
+            .collect();
+        cells[1].protocol = "bad-one".to_string();
+        cells[3].protocol = "bad-three".to_string();
+        for threads in [1, 2, 4] {
+            let err = execute_cells(cells.clone(), threads).unwrap_err();
+            assert!(
+                err.contains("bad-one") && err.contains("cell 1"),
+                "threads={threads}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn executor_returns_results_in_cell_index_order() {
+        let cells: Vec<SweepCell> = (0..4)
+            .map(|i| mini_cell(SweepScenario::Incast, i))
+            .collect();
+        let results = execute_cells(cells, 3).unwrap();
+        let indices: Vec<usize> = results.iter().map(|r| r.cell.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_grid_is_an_empty_report() {
+        assert!(execute_cells(Vec::new(), 8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn markdown_table_has_one_row_per_cell_and_dashes_where_not_applicable() {
+        let transfer = run_cell(&mini_cell(SweepScenario::Incast, 0)).unwrap();
+        let steady = run_cell(&mini_cell(SweepScenario::Stride, 1)).unwrap();
+        let table = markdown_table(&[transfer, steady]);
+        let rows: Vec<&str> = table.lines().collect();
+        assert_eq!(rows.len(), 2 + 2, "header + separator + 2 cells");
+        assert!(rows[2].contains("incast") && rows[2].contains("Gbps"));
+        assert!(rows[3].contains("stride") && rows[3].contains('%'));
+        // Stride has no FCT columns; incast has no steady-state error.
+        assert!(rows[3].contains(" - "));
+        assert!(rows[2].trim_end().ends_with("- |"));
+    }
+}

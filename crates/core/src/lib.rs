@@ -12,7 +12,7 @@
 //! * [`xwi`] — the eXplicit Weight Inference switch logic: per-port prices
 //!   updated from the minimum normalized KKT residual of the flows crossing
 //!   the port plus an under-utilization decay, smoothed with β-averaging.
-//! * [`protocol`] — the [`NumFabricAgent`](protocol::NumFabricAgent) flow
+//! * [`protocol`] — the [`NumFabricAgent`] flow
 //!   agent tying both layers together, plus helpers to build a ready-to-run
 //!   NUMFabric network.
 //! * [`multipath`] — the subflow coordination used for resource pooling.

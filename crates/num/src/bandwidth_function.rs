@@ -4,7 +4,7 @@
 //! bandwidth a flow should receive. Allocation on a link of capacity `C`
 //! picks the largest common fair share `f*` such that `Σ_i B_i(f*) ≤ C`
 //! (water-filling); across a network the fair shares are max-min over the
-//! flows (see BwE, [35] in the paper).
+//! flows (see BwE, \[35\] in the paper).
 //!
 //! This module provides piecewise-linear, non-decreasing bandwidth functions,
 //! their (pseudo-)inverse `F(x)` (fair share as a function of bandwidth), the

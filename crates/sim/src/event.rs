@@ -12,7 +12,7 @@
 //! with heavy schedule/pop churn — is exactly what calendar-queue schedulers
 //! were designed for. The layout:
 //!
-//! * **Levels.** [`LEVELS`] wheels of [`SLOTS`] (a power of two) buckets
+//! * **Levels.** `LEVELS` wheels of `SLOTS` (a power of two) buckets
 //!   each. A level-`l` slot spans `SLOTS^l` nanosecond ticks, so level 0
 //!   resolves single nanoseconds and the whole hierarchy covers
 //!   `SLOTS^LEVELS` ns (≈ 68 simulated seconds) ahead of the cursor.

@@ -16,8 +16,8 @@
 //!   Queueing (the WFQ approximation NUMFabric's Swift layer uses), an
 //!   ECN-marking FIFO (DCTCP) and a pFabric priority queue.
 //! * **Transport protocols** ([`transport`]) — per-flow
-//!   [`FlowAgent`](transport::FlowAgent)s at the hosts and per-link
-//!   [`LinkController`](transport::LinkController)s at the switches.
+//!   [`FlowAgent`]s at the hosts and per-link
+//!   [`LinkController`]s at the switches.
 //!   NUMFabric itself lives in the `numfabric-core` crate; DGD, RCP*, DCTCP
 //!   and pFabric live in `numfabric-baselines`.
 //! * **Measurement** ([`tracer`]) — destination-side EWMA rate estimation
@@ -37,6 +37,13 @@
 //! [`event::HeapEventQueue`]). Workload generators (in
 //! `numfabric-workloads`) inject randomness only through explicitly seeded
 //! RNGs.
+//!
+//! Parallelism: one [`network::Network`] owns one complete simulation and
+//! is `Send` (every agent, queue and controller trait object carries a
+//! `Send` bound; the guarantee is asserted at compile time in
+//! [`network`]). Independent simulations therefore parallelize across
+//! threads with no locks in the hot path and no effect on determinism —
+//! the `numfabric-bench` sweep engine runs one owned `Network` per worker.
 //!
 //! ## Quick example
 //!

@@ -77,6 +77,12 @@ impl Default for NetworkConfig {
 }
 
 /// The packet-level network simulator.
+///
+/// A `Network` owns every piece of its simulation state and is `Send`
+/// (asserted at compile time below): move it to a worker thread and run it
+/// there. Concurrent sweeps exploit this — one fully-owned `Network` per
+/// thread — without any change to the single-threaded event core or its
+/// determinism contract.
 pub struct Network {
     topo: Topology,
     links: Vec<LinkRuntime>,
@@ -666,6 +672,23 @@ impl AgentCtx<'_> {
         self.net.timers.pending_count(self.flow)
     }
 }
+
+// The parallel-sweep contract, pinned at compile time: a `Network` owns its
+// entire simulation (topology, route arena, queues, agents, controllers,
+// event wheel, timers — no `Rc`, no interior sharing), so a worker thread
+// can own one outright and independent simulations can run concurrently
+// without touching the event core's determinism. `FlowAgent`,
+// `QueueDiscipline` and `LinkController` carry `Send` bounds for exactly
+// this reason; if a future change smuggles in a non-`Send` field, this is
+// the line that fails to compile.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Network>();
+    assert_send::<EventQueue>();
+    assert_send::<crate::timer::TimerService>();
+    assert_send::<Topology>();
+    assert_send::<crate::routes::RouteTable>();
+};
 
 #[cfg(test)]
 mod tests {

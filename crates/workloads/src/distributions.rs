@@ -3,10 +3,10 @@
 //! The paper's dynamic-workload experiments (§6.1, Fig. 5 and Fig. 7) use two
 //! empirical, heavy-tailed distributions measured in production clusters:
 //!
-//! * **Web search** [3]: "about 50% of the flows are smaller than 100 KB, but
-//!   95% of all bytes belong to the larger 30% of flows that are larger than
-//!   1 MB".
-//! * **Enterprise** [4]: "also heavy-tailed, but has many more short flows
+//! * **Web search** \[3\]: "about 50% of the flows are smaller than 100 KB,
+//!   but 95% of all bytes belong to the larger 30% of flows that are larger
+//!   than 1 MB".
+//! * **Enterprise** \[4\]: "also heavy-tailed, but has many more short flows
 //!   with 95% of the flows smaller than 10 KB".
 //!
 //! The original trace files are not public, so this module encodes synthetic

@@ -24,6 +24,11 @@
 //! * [`registry`] — a registry of named, runnable scenarios; the
 //!   `numfabric-run` CLI in `numfabric-bench` lists and dispatches every
 //!   figure scenario through it.
+//! * [`sweep`] — parameter-sweep grids: [`SweepSpec`] names axes (scenarios
+//!   × topologies × protocols × loads × sizes × seed replicates) and
+//!   expands their cartesian product into self-contained [`SweepCell`]s,
+//!   each with a seed derived from `(base_seed, cell_index)` — the
+//!   specification half of the parallel sweep engine in `numfabric-bench`.
 //!
 //! Everything is deterministic given the seeds embedded in the
 //! configuration structs, so every protocol under comparison sees an
@@ -39,6 +44,7 @@ pub mod fabric;
 pub mod ideal;
 pub mod registry;
 pub mod scenarios;
+pub mod sweep;
 
 pub use arrivals::{poisson_arrivals, FlowArrival, PoissonWorkloadConfig};
 pub use convergence::{
@@ -57,3 +63,4 @@ pub use scenarios::{
     incast_pairs, permutation_pairs, random_pairs, shuffle_pairs, stride_pairs, EventKind,
     NetworkEvent, PathSpec, SemiDynamicConfig, SemiDynamicScenario,
 };
+pub use sweep::{derive_cell_seed, InvalidSweep, SweepCell, SweepScenario, SweepSpec};

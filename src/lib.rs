@@ -16,7 +16,12 @@
 //! * [`baselines`] — DGD, RCP*, DCTCP and pFabric.
 //! * [`workloads`] — flow-size distributions, Poisson arrivals, the
 //!   semi-dynamic convergence scenario, permutation traffic, the convergence
-//!   criterion and the ideal (oracle) fluid reference.
+//!   criterion, the ideal (oracle) fluid reference, and parameter-sweep
+//!   grids ([`workloads::sweep`]): `SweepSpec` expands scenario × topology
+//!   × protocol × load × size × seed axes into self-contained cells, each
+//!   deterministically seeded from `(base_seed, cell_index)`, which the
+//!   `numfabric-bench` sweep engine executes on a work-stealing thread pool
+//!   (`numfabric-run sweep`) with `--threads`-independent aggregate output.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `numfabric-bench` crate for the binaries that regenerate every table and
