@@ -168,6 +168,25 @@ impl FlowAgent for DctcpAgent {
     // so it arms no flow timers and nothing needs cancelling on completion.
     fn on_timer(&mut self, _tag: u64, _ctx: &mut AgentCtx<'_>) {}
 
+    fn on_reroute(&mut self, path_was_lost: bool, ctx: &mut AgentCtx<'_>) {
+        if !path_was_lost {
+            return;
+        }
+        // With no retransmission timer, losing the whole in-flight window
+        // to a failed path would stall the ACK clock forever. Recover the
+        // way TCP does after an RTO: go-back-N from the last cumulative
+        // ACK and slow-start toward half the old window.
+        self.ssthresh_bytes = (self.cwnd_bytes / 2.0).max(2.0 * MTU_BYTES as f64);
+        self.cwnd_bytes = (self.config.initial_window_packets * MTU_BYTES as u64) as f64;
+        self.next_seq = self.highest_ack;
+        ctx.rewind_sent(self.highest_ack);
+        self.acks_marked = 0;
+        self.acks_total = 0;
+        self.cut_this_window = false;
+        self.send_available(ctx);
+        self.window_end_seq = self.next_seq;
+    }
+
     fn name(&self) -> &'static str {
         "dctcp"
     }
@@ -286,6 +305,52 @@ mod tests {
         );
         net.run_until(SimTime::from_millis(50));
         assert_eq!(net.flow_phase(flow), FlowPhase::Completed);
+    }
+
+    #[test]
+    fn cable_cut_on_the_path_restarts_the_ack_clock() {
+        // Same regression surface as NUMFabric's reroute test: DCTCP has
+        // no RTX timer, so losing the whole in-flight window to a cable
+        // cut would stall the flow forever without the go-back-N restart
+        // in `on_reroute`.
+        let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
+        let mut net = dctcp_network(topo, &DctcpConfig::default());
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(DctcpAgent::new(DctcpConfig::default())),
+        );
+        net.run_until(SimTime::from_millis(2));
+        let original = net.flow_spec(flow).route;
+        let topo = net.topology().clone();
+        let (fwd, rev) = net
+            .route(original)
+            .links
+            .iter()
+            .find_map(|&l| {
+                let spec = &topo.links()[l];
+                (topo.nodes()[spec.from].kind.is_switch() && topo.nodes()[spec.to].kind.is_switch())
+                    .then(|| (l, topo.link_between(spec.to, spec.from).unwrap()))
+            })
+            .expect("cross-rack route crosses a fabric cable");
+        use numfabric_sim::LinkChange;
+        net.schedule_link_change(SimTime::from_millis(2), fwd, LinkChange::Down);
+        net.schedule_link_change(SimTime::from_millis(2), rev, LinkChange::Down);
+        net.run_until(SimTime::from_millis(5));
+        assert_ne!(net.flow_spec(flow).route, original);
+        let delivered = net.flow_stats(flow).bytes_delivered;
+        net.run_until(SimTime::from_millis(8));
+        let grown = net.flow_stats(flow).bytes_delivered - delivered;
+        // 3 ms of a recovered flow on a 10 Gbps NIC moves megabytes.
+        assert!(
+            grown > 1_000_000,
+            "flow barely moved after the cut: {grown} bytes"
+        );
     }
 
     #[test]

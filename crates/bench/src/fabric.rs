@@ -17,6 +17,7 @@ use numfabric_num::utility::LogUtility;
 use numfabric_sim::topology::Topology;
 use numfabric_sim::{SimDuration, SimTime};
 use numfabric_workloads::convergence::oracle_rates_bps;
+use numfabric_workloads::impairments::ImpairmentSchedule;
 use numfabric_workloads::registry::ScenarioOptions;
 use numfabric_workloads::scenarios::{incast_pairs, shuffle_pairs, stride_pairs, PathSpec};
 use numfabric_workloads::TopologySpec;
@@ -63,8 +64,33 @@ pub fn run_transfers(
     size_bytes: u64,
     deadline: SimDuration,
 ) -> TransferSummary {
+    run_transfers_impaired(
+        protocol,
+        topo,
+        pairs,
+        size_bytes,
+        deadline,
+        &ImpairmentSchedule::new(),
+        0,
+    )
+}
+
+/// [`run_transfers`] with an [`ImpairmentSchedule`] injected before the run
+/// starts; `impair_seed` seeds the network's loss/jitter draws so impaired
+/// replays stay bit-identical.
+pub fn run_transfers_impaired(
+    protocol: &Protocol,
+    topo: Topology,
+    pairs: &[PathSpec],
+    size_bytes: u64,
+    deadline: SimDuration,
+    impairments: &ImpairmentSchedule,
+    impair_seed: u64,
+) -> TransferSummary {
     let utility = Arc::new(LogUtility::new());
     let mut net = protocol.build_network(topo);
+    net.set_impairment_seed(impair_seed);
+    impairments.apply(&mut net);
     let ids: Vec<_> = pairs
         .iter()
         .map(|p| {
@@ -139,8 +165,32 @@ pub fn run_steady_state(
     pairs: &[PathSpec],
     run_for: SimDuration,
 ) -> SteadyStateSummary {
+    run_steady_state_impaired(
+        protocol,
+        topo,
+        pairs,
+        run_for,
+        &ImpairmentSchedule::new(),
+        0,
+    )
+}
+
+/// [`run_steady_state`] with an [`ImpairmentSchedule`] injected before the
+/// run starts. The oracle is still the *healthy* fluid allocation — under a
+/// persistent impairment the measured rates document the concession, and the
+/// dedicated `recovery` scenario compares against the post-failure oracle.
+pub fn run_steady_state_impaired(
+    protocol: &Protocol,
+    topo: Topology,
+    pairs: &[PathSpec],
+    run_for: SimDuration,
+    impairments: &ImpairmentSchedule,
+    impair_seed: u64,
+) -> SteadyStateSummary {
     let utility = Arc::new(LogUtility::new());
     let mut net = protocol.build_network(topo.clone());
+    net.set_impairment_seed(impair_seed);
+    impairments.apply(&mut net);
     let ids: Vec<_> = pairs
         .iter()
         .map(|p| {
@@ -180,11 +230,45 @@ fn spec_from_options(opts: &ScenarioOptions) -> TopologySpec {
     opts.parsed_or("--topology", TopologySpec::LeafSpine)
 }
 
+/// Parse `--impair` into an [`ImpairmentSchedule`] (empty when absent) and
+/// validate every referenced link against the built fabric. Malformed specs
+/// and out-of-range links exit 2 like every other usage error.
+fn impairments_from_options(opts: &ScenarioOptions, topo: &Topology) -> ImpairmentSchedule {
+    let Some(raw) = opts.value("--impair") else {
+        if opts.flag("--impair") {
+            cli_error("option --impair: missing value");
+        }
+        return ImpairmentSchedule::new();
+    };
+    let schedule: ImpairmentSchedule = raw.parse().unwrap_or_else(|e| cli_error(e));
+    for event in &schedule.events {
+        if event.link >= topo.links().len() {
+            cli_error(format!(
+                "--impair references link {} but this fabric has links 0..{}",
+                event.link,
+                topo.links().len()
+            ));
+        }
+    }
+    schedule
+}
+
 /// Report a semantically invalid option combination and exit non-zero —
 /// the same contract as `ScenarioOptions::parsed_or` for unparsable values.
 pub(crate) fn cli_error(message: impl std::fmt::Display) -> ! {
     eprintln!("error: {message}");
     std::process::exit(2);
+}
+
+/// Exit 1 after the report has been printed when the run ended wedged —
+/// unfinished flows or a failed oracle comparison. Exit 0 is reserved for
+/// runs whose report is complete and trustworthy, so CI smoke steps cannot
+/// silently pass on a partial simulation.
+pub(crate) fn exit_if_wedged(wedged: bool, reason: impl std::fmt::Display) {
+    if wedged {
+        eprintln!("error: {reason}");
+        std::process::exit(1);
+    }
 }
 
 /// A deadline generous enough for `total_bytes` through one `bottleneck_bps`
@@ -266,6 +350,7 @@ pub fn incast(opts: &ScenarioOptions) {
         ));
     }
     let pairs = incast_pairs(&topo, fan_in, seed);
+    let impairments = impairments_from_options(opts, &topo);
     let host_bps = topo.links()[0].capacity_bps;
     let topology = spec.describe(&topo);
     if !json {
@@ -277,20 +362,29 @@ pub fn incast(opts: &ScenarioOptions) {
         );
     }
     let deadline = transfer_deadline(fan_in as u64 * size, host_bps);
-    let summary = run_transfers(&protocol, topo, &pairs, size, deadline);
+    let summary =
+        run_transfers_impaired(&protocol, topo, &pairs, size, deadline, &impairments, seed);
     if json {
         println!(
             "{}",
             transfer_report_json("incast", &topology, protocol.name(), size, seed, &summary)
                 .render()
         );
-        return;
+    } else {
+        print_transfer_summary("incast", &summary);
+        println!(
+            "\nExpected shape: the receiver's access link is the bottleneck, so aggregate goodput\n\
+             approaches its line rate ({:.0} Gbps) and FCTs stack up roughly linearly with fan-in.",
+            host_bps / 1e9
+        );
     }
-    print_transfer_summary("incast", &summary);
-    println!(
-        "\nExpected shape: the receiver's access link is the bottleneck, so aggregate goodput\n\
-         approaches its line rate ({:.0} Gbps) and FCTs stack up roughly linearly with fan-in.",
-        host_bps / 1e9
+    exit_if_wedged(
+        !summary.all_completed(),
+        format!(
+            "incast run wedged: {}/{} transfers unfinished at the deadline",
+            summary.flows - summary.completed,
+            summary.flows
+        ),
     );
 }
 
@@ -313,6 +407,7 @@ pub fn shuffle(opts: &ScenarioOptions) {
         ));
     }
     let pairs = shuffle_pairs(&topo, Some(participants), seed);
+    let impairments = impairments_from_options(opts, &topo);
     let host_bps = topo.links()[0].capacity_bps;
     let topology = spec.describe(&topo);
     if !json {
@@ -328,20 +423,29 @@ pub fn shuffle(opts: &ScenarioOptions) {
     // slower for cross-rack traffic.
     let slowdown = worst_oversubscription(&topo);
     let deadline = transfer_deadline((participants as u64 - 1) * size, host_bps / slowdown);
-    let summary = run_transfers(&protocol, topo, &pairs, size, deadline);
+    let summary =
+        run_transfers_impaired(&protocol, topo, &pairs, size, deadline, &impairments, seed);
     if json {
         println!(
             "{}",
             transfer_report_json("shuffle", &topology, protocol.name(), size, seed, &summary)
                 .render()
         );
-        return;
+    } else {
+        print_transfer_summary("shuffle", &summary);
+        println!(
+            "\nExpected shape: on full-bisection fabrics the NICs bound the shuffle; oversubscribed\n\
+             fabrics shift the bottleneck into the spine uplinks and stretch the makespan by ~the\n\
+             oversubscription ratio for cross-rack traffic."
+        );
     }
-    print_transfer_summary("shuffle", &summary);
-    println!(
-        "\nExpected shape: on full-bisection fabrics the NICs bound the shuffle; oversubscribed\n\
-         fabrics shift the bottleneck into the spine uplinks and stretch the makespan by ~the\n\
-         oversubscription ratio for cross-rack traffic."
+    exit_if_wedged(
+        !summary.all_completed(),
+        format!(
+            "shuffle run wedged: {}/{} transfers unfinished at the deadline",
+            summary.flows - summary.completed,
+            summary.flows
+        ),
     );
 }
 
@@ -365,6 +469,7 @@ pub fn stride(opts: &ScenarioOptions) {
         ));
     }
     let pairs = stride_pairs(&topo, stride_by, seed);
+    let impairments = impairments_from_options(opts, &topo);
     let topology = spec.describe(&topo);
     if !json {
         println!(
@@ -374,13 +479,21 @@ pub fn stride(opts: &ScenarioOptions) {
             pairs.len(),
         );
     }
-    let summary = run_steady_state(&protocol, topo, &pairs, SimDuration::from_millis(millis));
+    let summary = run_steady_state_impaired(
+        &protocol,
+        topo,
+        &pairs,
+        SimDuration::from_millis(millis),
+        &impairments,
+        seed,
+    );
     if json {
         println!(
             "{}",
             steady_state_report_json("stride", &topology, protocol.name(), seed, millis, &summary)
                 .render()
         );
+        exit_if_wedged_steady_state(&summary);
         return;
     }
     let rates_gbps: Vec<f64> = summary.rates_bps.iter().map(|r| r / 1e9).collect();
@@ -409,6 +522,28 @@ pub fn stride(opts: &ScenarioOptions) {
         "\nExpected shape: NUMFabric tracks the oracle allocation on every fabric; on\n\
          oversubscribed leaf-spine the per-flow rates drop to ~1/ratio of the NIC speed, and on\n\
          fat-trees ECMP collisions split the affected core links evenly."
+    );
+    exit_if_wedged_steady_state(&summary);
+}
+
+/// The steady-state wedge check: a run whose oracle comparison is broken —
+/// non-finite rate estimates, or aggregate throughput collapsed below 30% of
+/// the oracle — exits 1 after its report. The threshold is wedge detection,
+/// not a quality gate: every working protocol clears it with a wide margin
+/// even under impairments, while a stalled simulation (rates ~0) does not.
+fn exit_if_wedged_steady_state(summary: &SteadyStateSummary) {
+    let finite = summary.rates_bps.iter().all(|r| r.is_finite());
+    let ratio = summary.throughput_ratio();
+    exit_if_wedged(
+        !finite || ratio < 0.3,
+        format!(
+            "steady-state run wedged: throughput ratio {ratio:.3} vs the fluid oracle{}",
+            if finite {
+                ""
+            } else {
+                " (non-finite rate estimates)"
+            }
+        ),
     );
 }
 

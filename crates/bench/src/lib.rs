@@ -15,7 +15,11 @@
 //! * [`dynamic`] — Poisson-arrival workloads with Oracle and empty-network
 //!   references (Figures 5 and 7).
 //! * [`fabric`] — the generalized-fabric scenario family (incast, shuffle,
-//!   stride) runnable on leaf-spine, oversubscribed and fat-tree fabrics.
+//!   stride) runnable on leaf-spine, oversubscribed and fat-tree fabrics,
+//!   with optional `--impair` failure/degradation schedules.
+//! * [`recovery`] — the failure-recovery scenario: cut the busiest fabric
+//!   cable mid-run and measure each protocol's time to re-converge onto the
+//!   post-failure fluid allocation.
 //! * [`figures`] — every figure/table as a registry-dispatchable function.
 //! * [`report`] — percentiles, CDFs, Fig. 5 bins and table printing.
 //! * [`sweep`] — the deterministic parallel sweep engine: a work-stealing
@@ -36,13 +40,18 @@ pub mod dynamic;
 pub mod fabric;
 pub mod figures;
 pub mod protocols;
+pub mod recovery;
 pub mod report;
 pub mod semi_dynamic;
 pub mod sweep;
 
 pub use dynamic::{generate_arrivals, run_dynamic, DynamicFlowResult, DynamicRun, Objective};
-pub use fabric::{run_steady_state, run_transfers, SteadyStateSummary, TransferSummary};
+pub use fabric::{
+    run_steady_state, run_steady_state_impaired, run_transfers, run_transfers_impaired,
+    SteadyStateSummary, TransferSummary,
+};
 pub use figures::registry;
 pub use protocols::Protocol;
+pub use recovery::{run_recovery, RecoveryResult};
 pub use semi_dynamic::{rate_timeseries, run_semi_dynamic, SemiDynamicResult, SemiDynamicRun};
 pub use sweep::{execute_cells, markdown_table, run_cell, sweep_report_json, CellResult};

@@ -19,8 +19,8 @@
 //! common shape of these grids.
 
 use crate::fabric::{
-    run_steady_state, run_transfers, transfer_deadline, worst_oversubscription, SteadyStateSummary,
-    TransferSummary,
+    run_steady_state_impaired, run_transfers_impaired, transfer_deadline, worst_oversubscription,
+    SteadyStateSummary, TransferSummary,
 };
 use crate::protocols::Protocol;
 use crate::report::{mean, percentile, Json};
@@ -102,7 +102,9 @@ impl CellResult {
 /// fans in `load · (hosts − 1)` senders, a shuffle cell spans `load ·
 /// hosts` participants. Stride cells run the full `hosts/2` permutation as
 /// long-lived flows for a fixed window and ignore the load and size axes
-/// (documented on [`SweepScenario`]).
+/// (documented on [`SweepScenario`]). The impairment axis expands its named
+/// profile into a schedule on the cell's own fabric, seeded and windowed by
+/// the cell, before the simulation starts.
 ///
 /// Errors only on an unknown protocol name — everything else about a cell
 /// is valid by construction of [`SweepSpec::expand`].
@@ -121,7 +123,16 @@ pub fn run_cell(cell: &SweepCell) -> Result<CellResult, String> {
             let fan_in = ((cell.load * (hosts - 1) as f64).round() as usize).clamp(1, hosts - 1);
             let pairs = incast_pairs(&topo, fan_in, cell.seed);
             let deadline = transfer_deadline(fan_in as u64 * cell.size_bytes, host_bps);
-            let summary = run_transfers(&protocol, topo, &pairs, cell.size_bytes, deadline);
+            let impairments = cell.impairment.schedule(&topo, cell.seed, deadline);
+            let summary = run_transfers_impaired(
+                &protocol,
+                topo,
+                &pairs,
+                cell.size_bytes,
+                deadline,
+                &impairments,
+                cell.seed,
+            );
             CellResult::from_transfers(cell.clone(), &summary)
         }
         SweepScenario::Shuffle => {
@@ -132,12 +143,29 @@ pub fn run_cell(cell: &SweepCell) -> Result<CellResult, String> {
                 (participants as u64 - 1) * cell.size_bytes,
                 host_bps / slowdown,
             );
-            let summary = run_transfers(&protocol, topo, &pairs, cell.size_bytes, deadline);
+            let impairments = cell.impairment.schedule(&topo, cell.seed, deadline);
+            let summary = run_transfers_impaired(
+                &protocol,
+                topo,
+                &pairs,
+                cell.size_bytes,
+                deadline,
+                &impairments,
+                cell.seed,
+            );
             CellResult::from_transfers(cell.clone(), &summary)
         }
         SweepScenario::Stride => {
             let pairs = stride_pairs(&topo, hosts / 2, cell.seed);
-            let summary = run_steady_state(&protocol, topo, &pairs, STEADY_STATE_RUN);
+            let impairments = cell.impairment.schedule(&topo, cell.seed, STEADY_STATE_RUN);
+            let summary = run_steady_state_impaired(
+                &protocol,
+                topo,
+                &pairs,
+                STEADY_STATE_RUN,
+                &impairments,
+                cell.seed,
+            );
             CellResult::from_steady_state(cell.clone(), &summary)
         }
     })
@@ -269,6 +297,10 @@ pub fn sweep_report_json(spec: &SweepSpec, results: &[CellResult]) -> Json {
                     "sizes",
                     Json::Arr(spec.sizes.iter().map(|&s| Json::Int(s)).collect()),
                 ),
+                (
+                    "impairments",
+                    axis_strs(spec.impairments.iter().map(|i| i.to_string()).collect()),
+                ),
                 ("replicates", Json::Int(spec.replicates as u64)),
             ]),
         ),
@@ -289,6 +321,7 @@ fn cell_report_json(result: &CellResult) -> Json {
         ("protocol", Json::str(cell.protocol.clone())),
         ("load", Json::Num(cell.load)),
         ("size_bytes", Json::Int(cell.size_bytes)),
+        ("impairment", Json::str(cell.impairment.name())),
         ("replicate", Json::Int(cell.replicate as u64)),
         ("seed", Json::Int(cell.seed)),
         ("flows", Json::Int(result.flows as u64)),
@@ -316,11 +349,11 @@ pub fn markdown_table(results: &[CellResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "| cell | scenario | topology | protocol | load | size | seed | flows | completed | p50 FCT | p99 FCT | goodput | ss error |"
+        "| cell | scenario | topology | protocol | load | size | impair | seed | flows | completed | p50 FCT | p99 FCT | goodput | ss error |"
     );
     let _ = writeln!(
         out,
-        "|-----:|----------|----------|----------|-----:|-----:|-----:|------:|----------:|--------:|--------:|--------:|---------:|"
+        "|-----:|----------|----------|----------|-----:|-----:|--------|-----:|------:|----------:|--------:|--------:|--------:|---------:|"
     );
     let dash = || "-".to_string();
     let ms = |v: Option<f64>| v.map_or_else(dash, |s| format!("{:.2} ms", s * 1e3));
@@ -329,7 +362,7 @@ pub fn markdown_table(results: &[CellResult]) -> String {
         let is_stride = c.scenario == SweepScenario::Stride;
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             c.index,
             c.scenario,
             c.topology,
@@ -346,6 +379,7 @@ pub fn markdown_table(results: &[CellResult]) -> String {
             } else {
                 format!("{} B", c.size_bytes)
             },
+            c.impairment.name(),
             c.seed,
             r.flows,
             r.completed.map_or_else(dash, |n| n.to_string()),
@@ -381,13 +415,14 @@ pub fn sweep(opts: &ScenarioOptions) {
     let json = opts.flag("--json");
     if !json {
         println!(
-            "Sweep: {} cells ({} scenarios x {} topologies x {} protocols x {} loads x {} sizes x {} replicates) on {} threads\n",
+            "Sweep: {} cells ({} scenarios x {} topologies x {} protocols x {} loads x {} sizes x {} impairments x {} replicates) on {} threads\n",
             cells.len(),
             spec.scenarios.len(),
             spec.topologies.len(),
             spec.protocols.len(),
             spec.loads.len(),
             spec.sizes.len(),
+            spec.impairments.len(),
             spec.replicates,
             threads.clamp(1, cells.len()),
         );
@@ -413,6 +448,7 @@ pub fn sweep(opts: &ScenarioOptions) {
 mod tests {
     use super::*;
     use numfabric_workloads::fabric::TopologySpec;
+    use numfabric_workloads::impairments::ImpairmentProfile;
     use numfabric_workloads::sweep::derive_cell_seed;
 
     fn mini_cell(scenario: SweepScenario, index: usize) -> SweepCell {
@@ -423,6 +459,7 @@ mod tests {
             protocol: "numfabric".to_string(),
             load: 0.25,
             size_bytes: 50_000,
+            impairment: ImpairmentProfile::None,
             replicate: 0,
             seed: derive_cell_seed(1, index as u64),
         }
@@ -448,6 +485,32 @@ mod tests {
         let err = result.steady_state_error.unwrap();
         assert!((0.0..1.0).contains(&err), "mean relative error {err}");
         assert!(result.fraction_within_10pct.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn impaired_cells_run_and_are_replay_identical() {
+        for profile in [
+            ImpairmentProfile::Flap,
+            ImpairmentProfile::Loss,
+            ImpairmentProfile::Jitter,
+        ] {
+            let mut cell = mini_cell(SweepScenario::Incast, 2);
+            cell.impairment = profile;
+            let a = run_cell(&cell).unwrap();
+            let b = run_cell(&cell).unwrap();
+            assert_eq!(a.flows, b.flows, "{profile:?}");
+            assert_eq!(a.completed, b.completed, "{profile:?}");
+            assert_eq!(
+                a.median_fct_seconds.map(f64::to_bits),
+                b.median_fct_seconds.map(f64::to_bits),
+                "{profile:?} replay diverged"
+            );
+            assert_eq!(
+                a.goodput_bps.map(f64::to_bits),
+                b.goodput_bps.map(f64::to_bits),
+                "{profile:?} replay diverged"
+            );
+        }
     }
 
     #[test]

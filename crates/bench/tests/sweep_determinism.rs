@@ -10,6 +10,7 @@
 
 use numfabric_bench::sweep::{execute_cells, markdown_table, sweep_report_json};
 use numfabric_workloads::fabric::TopologySpec;
+use numfabric_workloads::impairments::ImpairmentProfile;
 use numfabric_workloads::sweep::{derive_cell_seed, SweepScenario, SweepSpec};
 
 /// The ISSUE's mini-grid: incast × shuffle on leaf-spine × fat-tree:k=4,
@@ -21,8 +22,30 @@ fn mini_grid() -> SweepSpec {
         protocols: vec!["numfabric".to_string()],
         loads: vec![0.25],
         sizes: vec![50_000],
+        impairments: vec![ImpairmentProfile::None],
         replicates: 2,
         base_seed: 7,
+    }
+}
+
+/// The impairment-axis grid: the mini-grid's incast half crossed with every
+/// non-trivial impairment profile — cable flaps, seeded wire loss, and delay
+/// jitter all exercise the network RNG and the reroute path, which is
+/// exactly the machinery whose determinism this suite must pin.
+fn impaired_grid() -> SweepSpec {
+    SweepSpec {
+        scenarios: vec![SweepScenario::Incast, SweepScenario::Stride],
+        topologies: vec![TopologySpec::FatTree { k: 4 }],
+        protocols: vec!["numfabric".to_string()],
+        loads: vec![0.25],
+        sizes: vec![50_000],
+        impairments: vec![
+            ImpairmentProfile::Flap,
+            ImpairmentProfile::Loss,
+            ImpairmentProfile::Jitter,
+        ],
+        replicates: 1,
+        base_seed: 11,
     }
 }
 
@@ -59,6 +82,23 @@ fn aggregate_is_reproducible_run_to_run_on_the_pool() {
     let (a, _) = aggregate_with_threads(&spec, 3);
     let (b, _) = aggregate_with_threads(&spec, 5);
     assert_eq!(a, b);
+}
+
+#[test]
+fn impaired_grid_is_bit_identical_across_thread_counts() {
+    let spec = impaired_grid();
+    assert_eq!(spec.cell_count(), 6);
+    let (json_serial, table_serial) = aggregate_with_threads(&spec, 1);
+    let (json_pooled, table_pooled) = aggregate_with_threads(&spec, 6);
+    assert_eq!(
+        json_serial, json_pooled,
+        "impaired cells must not make the report depend on --threads"
+    );
+    assert_eq!(table_serial, table_pooled);
+    // The axis is actually in the report, not silently dropped.
+    for name in ["flap", "loss", "jitter"] {
+        assert!(json_serial.contains(name), "missing impairment `{name}`");
+    }
 }
 
 #[test]

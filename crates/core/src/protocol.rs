@@ -30,7 +30,7 @@ use numfabric_sim::packet::{Packet, PacketKind, DEFAULT_PAYLOAD_BYTES, MTU_BYTES
 use numfabric_sim::queue::StfqQueue;
 use numfabric_sim::topology::Topology;
 use numfabric_sim::transport::FlowAgent;
-use numfabric_sim::SimTime;
+use numfabric_sim::{SimDuration, SimTime};
 use std::sync::Arc;
 
 /// Weights are clamped into this range to keep STFQ virtual times well
@@ -213,6 +213,25 @@ impl NumFabricAgent {
         }
     }
 
+    /// (Re)build the Swift window for the flow's current route.
+    fn configure_window_for_route(&mut self, ctx: &AgentCtx<'_>) {
+        let mut window = SwiftWindow::new(&self.config, ctx.base_rtt(), MTU_BYTES as u64);
+        // Path-length-aware dt: the configured slack targets a standing
+        // queue at the bottleneck, but every *other* traversed link — both
+        // the data path and the ACK return path — can add up to one MTU
+        // serialization of head-of-line wait to the RTT. A fixed dt tuned
+        // on the paper's 4-link leaf-spine round trips then under-windows
+        // flows on deeper fabrics (fat-tree round trips are 12 links) and
+        // concedes rate. Grow the slack by one MTU serialization per
+        // round-trip link beyond the 4-link baseline.
+        let round_trip_links = 2 * ctx.route().len() as u64;
+        let per_hop = SimDuration::transmission(MTU_BYTES as u64, ctx.first_hop_capacity_bps());
+        window.dt +=
+            SimDuration::from_nanos(per_hop.as_nanos() * round_trip_links.saturating_sub(4));
+        self.window = Some(window);
+        self.path_len_hint = ctx.route().len() as u32;
+    }
+
     fn initial_burst_bytes(&self, ctx: &AgentCtx<'_>) -> u64 {
         match self.config.initial_window_bytes {
             Some(bytes) => bytes,
@@ -226,12 +245,7 @@ impl NumFabricAgent {
 impl FlowAgent for NumFabricAgent {
     fn on_start(&mut self, ctx: &mut AgentCtx<'_>) {
         self.started = true;
-        self.window = Some(SwiftWindow::new(
-            &self.config,
-            ctx.base_rtt(),
-            MTU_BYTES as u64,
-        ));
-        self.path_len_hint = ctx.route().len() as u32;
+        self.configure_window_for_route(ctx);
         self.recompute_weight();
 
         // Initial burst (§4.1): enough packets to produce inter-packet time
@@ -308,6 +322,30 @@ impl FlowAgent for NumFabricAgent {
     // nothing for the timer service to cancel at stop/completion). The xWI
     // price update runs switch-side on the periodic link timer instead.
     fn on_timer(&mut self, _tag: u64, _ctx: &mut AgentCtx<'_>) {}
+
+    fn on_reroute(&mut self, path_was_lost: bool, ctx: &mut AgentCtx<'_>) {
+        if !self.started {
+            return;
+        }
+        // The base RTT and hop count changed under the flow: retune the
+        // Swift window (d0 and the path-length-aware dt) for the new path.
+        self.configure_window_for_route(ctx);
+        self.recompute_weight();
+        if !path_was_lost {
+            return;
+        }
+        // The old path died and took the in-flight window with it. This
+        // agent is purely ACK-clocked (see `on_timer`), so with nothing
+        // left in flight no ACK will ever arrive to reopen the window —
+        // go-back-N from the last cumulative ACK restarts the clock on
+        // the new route.
+        self.next_seq = self.highest_ack;
+        ctx.rewind_sent(self.highest_ack);
+        // The receiver's next arrival opens a fresh inter-packet sequence;
+        // a gap spanning the outage is not a rate sample.
+        self.last_data_arrival = None;
+        self.send_available(ctx);
+    }
 
     fn name(&self) -> &'static str {
         "numfabric"
@@ -599,6 +637,55 @@ mod tests {
         let r1 = net.flow_rate_estimate(f1);
         assert!((r0 - 5e9).abs() < 1.2e9, "r0 = {r0:.3e}");
         assert!((r1 - 5e9).abs() < 1.2e9, "r1 = {r1:.3e}");
+    }
+
+    #[test]
+    fn cable_cut_on_the_path_reroutes_and_restarts_the_ack_clock() {
+        // Cut both directions of the flow's spine cable mid-run. The whole
+        // in-flight window dies with the cable, and NUMFabric has no
+        // retransmission timer — without the go-back-N in `on_reroute`
+        // the ACK clock would never tick again and the flow would stall
+        // at ~0 bps forever (the original recovery-scenario bug).
+        let mut net = small_numfabric_net();
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(NumFabricAgent::new(
+                NumFabricConfig::default(),
+                LogUtility::new(),
+            )),
+        );
+        net.run_until(SimTime::from_millis(2));
+        let original = net.flow_spec(flow).route;
+        let topo = net.topology().clone();
+        let (fwd, rev) = net
+            .route(original)
+            .links
+            .iter()
+            .find_map(|&l| {
+                let spec = &topo.links()[l];
+                (topo.nodes()[spec.from].kind.is_switch() && topo.nodes()[spec.to].kind.is_switch())
+                    .then(|| (l, topo.link_between(spec.to, spec.from).unwrap()))
+            })
+            .expect("cross-rack route crosses a fabric cable");
+        use numfabric_sim::LinkChange;
+        net.schedule_link_change(SimTime::from_millis(2), fwd, LinkChange::Down);
+        net.schedule_link_change(SimTime::from_millis(2), rev, LinkChange::Down);
+        net.run_until(SimTime::from_millis(5));
+        let detour = net.flow_spec(flow).route;
+        assert_ne!(detour, original, "the flow must move off the dead cable");
+        assert!(!net.route(detour).links.contains(&fwd));
+        // The clock restarted: the flow is back at (close to) its NIC rate.
+        let rate = net.flow_rate_estimate(flow);
+        assert!(rate > 8.5e9, "flow stalled after the cut: {rate:.3e} bps");
+        let delivered = net.flow_stats(flow).bytes_delivered;
+        net.run_until(SimTime::from_millis(6));
+        assert!(net.flow_stats(flow).bytes_delivered > delivered);
     }
 
     #[test]

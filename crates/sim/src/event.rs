@@ -104,6 +104,14 @@ pub enum Event {
         /// The flow to stop.
         flow: FlowId,
     },
+    /// A scheduled link impairment takes effect (failure, restore, speed
+    /// change, loss rate, jitter — see [`crate::impairment::LinkChange`]).
+    LinkChange {
+        /// The affected link.
+        link: LinkId,
+        /// The state change to apply.
+        change: crate::impairment::LinkChange,
+    },
 }
 
 /// Identity of a scheduled event: its insertion sequence number, which also

@@ -1,0 +1,151 @@
+//! Link impairments: the event-level vocabulary for failing, flapping,
+//! slowing, corrupting and jittering links mid-simulation.
+//!
+//! Production fabrics are not the healthy graphs the paper evaluates on —
+//! links flap, optics degrade asymmetrically, and lossy cables silently cap
+//! throughput. This module defines [`LinkChange`], the set of state changes
+//! a link can undergo, applied by
+//! [`crate::network::Network::schedule_link_change`] as **ordinary scheduled
+//! events**: an impairment is just an [`crate::event::Event`] in the timing
+//! wheel, dispatched in `(time, seq)` order like any packet arrival, so
+//! replays of an impaired scenario stay bit-identical under the determinism
+//! contract.
+//!
+//! Randomized impairments (per-packet loss, delay jitter) draw from a
+//! self-contained SplitMix64 stream owned by the `Network` and seeded
+//! explicitly via [`crate::network::Network::set_impairment_seed`]. The
+//! stream advances only when an impaired link actually transmits, and event
+//! dispatch order is deterministic, so the draw sequence — and with it every
+//! loss decision and jitter offset — is a pure function of the seed and the
+//! scenario. The engine keeps its no-ambient-randomness property: an
+//! unimpaired simulation never touches the stream.
+//!
+//! Schedule construction (which link, when, how long) lives one layer up in
+//! `numfabric-workloads`, next to the other seeded scenario builders; this
+//! module is only the mechanism.
+
+use crate::time::SimDuration;
+
+/// One state change applied to a link at a scheduled instant.
+///
+/// Each variant is the *target state*, not a delta, so schedules replay
+/// identically regardless of what state the link was in (a `Down` on an
+/// already-down link is a no-op, a `Loss` overwrites the previous rate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkChange {
+    /// Fail the link: its queue is drained and every queued packet dropped,
+    /// packets still propagating toward the far end are lost on arrival, and
+    /// enqueues while down are dropped. Flows pinned by ECMP choice are
+    /// re-routed over the surviving paths (see
+    /// [`crate::topology::Topology::host_route_avoiding`]).
+    Down,
+    /// Restore a failed link. Flows return to the route their ECMP choice
+    /// selects on the restored graph.
+    Up,
+    /// Change the link's capacity to `bits_per_second` (asymmetric speed
+    /// changes: the reverse twin keeps its own capacity). The packet
+    /// currently serializing keeps its old transmission time.
+    Speed(f64),
+    /// Drop each packet leaving this link with the given probability
+    /// (`0.0..=1.0`), drawn from the network's seeded impairment stream.
+    /// The packet still occupies the wire for its serialization time — the
+    /// model is corruption on the cable, not at the queue.
+    Loss(f64),
+    /// Add a uniformly distributed extra propagation delay in
+    /// `[0, max_extra]` to each packet leaving this link, drawn from the
+    /// seeded impairment stream. Jitter can reorder packets of one flow.
+    Jitter(SimDuration),
+}
+
+/// The per-link impairment state a [`crate::network::Network`] tracks at
+/// runtime. Fresh links are up, lossless and jitter-free.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkHealth {
+    /// Whether the link is currently up.
+    pub up: bool,
+    /// Per-packet loss probability on the wire.
+    pub loss: f64,
+    /// Maximum extra propagation delay added per packet.
+    pub jitter: SimDuration,
+}
+
+impl Default for LinkHealth {
+    fn default() -> Self {
+        Self {
+            up: true,
+            loss: 0.0,
+            jitter: SimDuration::ZERO,
+        }
+    }
+}
+
+impl LinkHealth {
+    /// Whether this link needs a random draw per transmitted packet.
+    pub fn is_randomized(&self) -> bool {
+        self.loss > 0.0 || !self.jitter.is_zero()
+    }
+}
+
+/// Advance a SplitMix64 state and return the next `u64`.
+///
+/// Spelled out here (rather than borrowed from the offline `rand` shim's
+/// internal helper) for the same reason as the sweep's
+/// `derive_cell_seed`: the shims must stay swappable for the real crates.io
+/// crates by a manifest-only change, and `numfabric-sim` deliberately has no
+/// `rand` dependency at all.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The next draw from `state` as a float in `[0, 1)`.
+pub(crate) fn splitmix64_unit(state: &mut u64) -> f64 {
+    // 53 mantissa bits, the standard u64 -> unit-interval construction.
+    (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_health_is_pristine() {
+        let h = LinkHealth::default();
+        assert!(h.up && h.loss == 0.0 && h.jitter.is_zero());
+        assert!(!h.is_randomized());
+        assert!(LinkHealth {
+            loss: 0.01,
+            ..Default::default()
+        }
+        .is_randomized());
+        assert!(LinkHealth {
+            jitter: SimDuration::from_micros(1),
+            ..Default::default()
+        }
+        .is_randomized());
+    }
+
+    #[test]
+    fn splitmix_stream_is_deterministic_and_seed_sensitive() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let mut c = 43u64;
+        let draws_a: Vec<u64> = (0..8).map(|_| splitmix64(&mut a)).collect();
+        let draws_b: Vec<u64> = (0..8).map(|_| splitmix64(&mut b)).collect();
+        let draws_c: Vec<u64> = (0..8).map(|_| splitmix64(&mut c)).collect();
+        assert_eq!(draws_a, draws_b);
+        assert_ne!(draws_a, draws_c);
+    }
+
+    #[test]
+    fn unit_draws_stay_in_the_half_open_interval() {
+        let mut s = 7u64;
+        for _ in 0..1000 {
+            let u = splitmix64_unit(&mut s);
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+    }
+}

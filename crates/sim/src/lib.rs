@@ -72,6 +72,7 @@
 
 pub mod event;
 pub mod flow;
+pub mod impairment;
 pub mod network;
 pub mod packet;
 pub mod queue;
@@ -85,6 +86,7 @@ pub mod transport;
 
 pub use event::{Event, EventId, EventQueue, HeapEventQueue};
 pub use flow::{FlowPhase, FlowSpec, FlowStats};
+pub use impairment::{LinkChange, LinkHealth};
 pub use network::{AgentCtx, LinkStats, Network, NetworkConfig};
 pub use packet::{FlowId, Packet, PacketHeader, PacketKind};
 pub use queue::{DropTailFifo, EcnFifo, PfabricQueue, QueueDiscipline, StfqQueue};

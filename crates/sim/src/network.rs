@@ -17,9 +17,24 @@
 //! [`TimerHandle`] that [`AgentCtx::cancel_timer`] revokes, and stopping or
 //! completing a flow structurally cancels its outstanding timers (see
 //! [`crate::timer`]).
+//!
+//! Two further mechanisms ride on the same event loop:
+//!
+//! * **A control lane per link.** Non-data packets (ACKs, SYNs) bypass the
+//!   data queue discipline at every egress and are served with strict
+//!   priority, modeling the highest-priority control class real fabrics
+//!   configure. An ACK therefore waits at most one data serialization per
+//!   hop instead of a full reverse-path data backlog — the fix for the
+//!   bidirectional ACK-queueing rate gap. Link controllers still observe
+//!   every dequeued packet, so price stamping on reverse paths is intact.
+//! * **Link impairments.** [`Network::schedule_link_change`] injects
+//!   failures, restorations, speed changes, loss and jitter as ordinary
+//!   scheduled events; see [`crate::impairment`] for the determinism story
+//!   and [`LinkChange`] for per-variant semantics.
 
 use crate::event::{Event, EventId, EventQueue};
 use crate::flow::{FlowPhase, FlowSpec, FlowStats};
+use crate::impairment::{splitmix64_unit, LinkChange, LinkHealth};
 use crate::packet::{FlowId, Packet, PacketHeader, PacketKind, SeqNo, HEADER_BYTES, MTU_BYTES};
 use crate::queue::QueueDiscipline;
 use crate::routes::{RouteId, RouteTable};
@@ -48,8 +63,12 @@ struct LinkRuntime {
     capacity_bps: f64,
     delay: SimDuration,
     queue: Box<dyn QueueDiscipline>,
+    /// Strict-priority lane for non-data packets (ACKs, SYNs): never
+    /// dropped by a discipline, always served before the data queue.
+    control_lane: std::collections::VecDeque<Packet>,
     controller: Option<Box<dyn LinkController>>,
     busy: bool,
+    health: LinkHealth,
     stats: LinkStats,
 }
 
@@ -93,6 +112,9 @@ pub struct Network {
     clock: SimTime,
     config: NetworkConfig,
     events_processed: u64,
+    /// SplitMix64 state for randomized impairments (loss, jitter). Advances
+    /// only when an impaired link transmits; see [`crate::impairment`].
+    rng: u64,
 }
 
 impl Network {
@@ -116,8 +138,10 @@ impl Network {
                 capacity_bps: spec.capacity_bps,
                 delay: spec.delay,
                 queue: queue_factory(id),
+                control_lane: std::collections::VecDeque::new(),
                 controller: None,
                 busy: false,
+                health: LinkHealth::default(),
                 stats: LinkStats::default(),
             })
             .collect();
@@ -131,6 +155,7 @@ impl Network {
             clock: SimTime::ZERO,
             config,
             events_processed: 0,
+            rng: 0,
         }
     }
 
@@ -193,7 +218,11 @@ impl Network {
         agent: Box<dyn FlowAgent>,
     ) -> FlowId {
         let route = self.topo.host_route(src, dst, spine_choice);
-        self.add_flow_on_route(src, dst, route, size_bytes, start_time, group, agent)
+        let id = self.add_flow_on_route(src, dst, route, size_bytes, start_time, group, agent);
+        // Remember the ECMP pin so link failures can re-select the route
+        // over the surviving paths; explicit-route flows stay `None`.
+        self.flows[id].spec.ecmp_choice = Some(spine_choice);
+        id
     }
 
     /// Add a flow with an explicit route (for custom topologies).
@@ -227,6 +256,7 @@ impl Network {
             reverse_route,
             base_rtt,
             group,
+            ecmp_choice: None,
         };
         let id = self.flows.len();
         self.flows.push(FlowRuntime {
@@ -332,12 +362,42 @@ impl Network {
         self.links[link].capacity_bps
     }
 
-    /// Counters for a link.
+    // ---- impairments ------------------------------------------------------
+
+    /// Schedule a [`LinkChange`] to take effect at `at` (clamped to the
+    /// current time), as an ordinary event in the wheel. Impairment
+    /// schedules built by `numfabric-workloads` reduce to a sequence of
+    /// these calls.
+    pub fn schedule_link_change(&mut self, at: SimTime, link: LinkId, change: LinkChange) {
+        assert!(link < self.links.len(), "no such link: {link}");
+        self.events
+            .schedule(at.max(self.clock), Event::LinkChange { link, change });
+    }
+
+    /// Seed the impairment stream that randomized [`LinkChange::Loss`] and
+    /// [`LinkChange::Jitter`] draws come from. Runs that never impair a
+    /// link never touch the stream, so the seed is irrelevant to them.
+    pub fn set_impairment_seed(&mut self, seed: u64) {
+        self.rng = seed;
+    }
+
+    /// Whether a link is currently up.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.links[link].health.up
+    }
+
+    /// A link's current impairment state.
+    pub fn link_health(&self, link: LinkId) -> LinkHealth {
+        self.links[link].health
+    }
+
+    /// Counters for a link. Backlog counts include the control lane.
     pub fn link_stats(&self, link: LinkId) -> LinkStats {
         let lr = &self.links[link];
+        let lane_bytes: usize = lr.control_lane.iter().map(|p| p.wire_bytes as usize).sum();
         LinkStats {
-            queue_bytes: lr.queue.backlog_bytes(),
-            queue_packets: lr.queue.backlog_packets(),
+            queue_bytes: lr.queue.backlog_bytes() + lane_bytes,
+            queue_packets: lr.queue.backlog_packets() + lr.control_lane.len(),
             ..lr.stats
         }
     }
@@ -380,6 +440,125 @@ impl Network {
                 self.try_transmit(link);
             }
             Event::Arrival { link, packet } => self.handle_arrival(link, packet),
+            Event::LinkChange { link, change } => self.handle_link_change(link, change),
+        }
+    }
+
+    fn handle_link_change(&mut self, link: LinkId, change: LinkChange) {
+        match change {
+            LinkChange::Down => {
+                if !self.links[link].health.up {
+                    return;
+                }
+                self.links[link].health.up = false;
+                // Everything queued behind the failed cable is lost,
+                // deterministically (drain order is the discipline's own
+                // dequeue order). Packets already propagating are lost at
+                // their arrival instant (see `handle_arrival`).
+                self.drop_link_backlog(link);
+                self.reroute_ecmp_flows();
+            }
+            LinkChange::Up => {
+                if self.links[link].health.up {
+                    return;
+                }
+                self.links[link].health.up = true;
+                self.reroute_ecmp_flows();
+                self.try_transmit(link);
+            }
+            LinkChange::Speed(capacity_bps) => self.set_link_capacity(link, capacity_bps),
+            LinkChange::Loss(probability) => {
+                assert!(
+                    (0.0..=1.0).contains(&probability),
+                    "loss probability out of range: {probability}"
+                );
+                self.links[link].health.loss = probability;
+            }
+            LinkChange::Jitter(max_extra) => self.links[link].health.jitter = max_extra,
+        }
+    }
+
+    /// Drop every packet queued on `link` (data queue and control lane),
+    /// with full drop accounting.
+    fn drop_link_backlog(&mut self, link: LinkId) {
+        let mut dropped_flows = Vec::new();
+        {
+            let lr = &mut self.links[link];
+            while let Some(p) = lr.control_lane.pop_front() {
+                dropped_flows.push(p.flow);
+            }
+            while let Some(p) = lr.queue.dequeue(self.clock) {
+                dropped_flows.push(p.flow);
+            }
+            lr.stats.packets_dropped += dropped_flows.len() as u64;
+        }
+        for flow in dropped_flows {
+            self.flows[flow].stats.packets_dropped += 1;
+        }
+    }
+
+    /// Re-select the route of every live ECMP-pinned flow over the links
+    /// that survive the current failure set. Flows whose surviving choice
+    /// is unchanged keep their route (and their in-flight packets); a
+    /// partitioned flow keeps its dead route and stalls until a restore.
+    ///
+    /// Every rerouted *active* flow is then told via
+    /// [`FlowAgent::on_reroute`], with `path_was_lost` reporting whether
+    /// its old path (either direction) crossed a downed link — that is the
+    /// case in which its in-flight window died with the cable and a purely
+    /// ACK-clocked sender must retransmit to restart its clock.
+    fn reroute_ecmp_flows(&mut self) {
+        let down: std::collections::HashSet<LinkId> = self
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, lr)| !lr.health.up)
+            .map(|(id, _)| id)
+            .collect();
+        let mut rerouted: Vec<(FlowId, bool)> = Vec::new();
+        for flow in 0..self.flows.len() {
+            let fr = &self.flows[flow];
+            if !matches!(fr.phase, FlowPhase::Pending | FlowPhase::Active) {
+                continue;
+            }
+            let Some(choice) = fr.spec.ecmp_choice else {
+                continue;
+            };
+            let (src, dst, old) = (fr.spec.src, fr.spec.dst, fr.spec.route);
+            let old_reverse = fr.spec.reverse_route;
+            let Some(new_route) = self.topo.host_route_avoiding(src, dst, choice, &down) else {
+                continue;
+            };
+            if self.routes.links(old) == new_route.links.as_slice() {
+                continue;
+            }
+            // Old in-flight and queued packets carry the old interned
+            // route and keep following it (dying at the failed hop); the
+            // flow's own per-queue state moves to the new path.
+            for &l in self.routes.links(old) {
+                self.links[l].queue.release_flow(flow);
+            }
+            let path_was_lost = self
+                .routes
+                .links(old)
+                .iter()
+                .chain(self.routes.links(old_reverse))
+                .any(|l| down.contains(l));
+            let reverse = self.topo.reverse_route(&new_route);
+            let base_rtt = self
+                .topo
+                .base_rtt(&new_route, MTU_BYTES as u64, HEADER_BYTES as u64);
+            let active = self.flows[flow].phase == FlowPhase::Active;
+            let fr = &mut self.flows[flow];
+            fr.spec.base_rtt = base_rtt;
+            fr.spec.route = self.routes.intern(new_route);
+            fr.spec.reverse_route = self.routes.intern(reverse);
+            if active {
+                rerouted.push((flow, path_was_lost));
+            }
+        }
+        for (flow, path_was_lost) in rerouted {
+            self.with_agent(flow, |agent, ctx| agent.on_reroute(path_was_lost, ctx));
         }
     }
 
@@ -419,7 +598,14 @@ impl Network {
         }
     }
 
-    fn handle_arrival(&mut self, _link: LinkId, mut packet: Packet) {
+    fn handle_arrival(&mut self, link: LinkId, mut packet: Packet) {
+        // A packet in flight is delivered unless its cable is down at the
+        // arrival instant: failing a link loses whatever was on the wire.
+        if !self.links[link].health.up {
+            self.links[link].stats.packets_dropped += 1;
+            self.flows[packet.flow].stats.packets_dropped += 1;
+            return;
+        }
         packet.advance_hop();
         if let Some(next) = packet.next_link(&self.routes) {
             self.enqueue_on_link(next, packet);
@@ -498,32 +684,49 @@ impl Network {
     }
 
     fn enqueue_on_link(&mut self, link: LinkId, mut packet: Packet) {
+        if !self.links[link].health.up {
+            // Forwarding onto a failed link drops the packet at the port.
+            self.links[link].stats.packets_dropped += 1;
+            self.flows[packet.flow].stats.packets_dropped += 1;
+            return;
+        }
         {
             let lr = &mut self.links[link];
             if packet.is_data() {
                 if let Some(ctrl) = &mut lr.controller {
                     ctrl.on_enqueue(&mut packet, self.clock);
                 }
-            }
-            let outcome = lr.queue.enqueue(packet, self.clock);
-            if let Some(dropped) = outcome.dropped() {
-                lr.stats.packets_dropped += 1;
-                self.flows[dropped.flow].stats.packets_dropped += 1;
+                let outcome = lr.queue.enqueue(packet, self.clock);
+                if let Some(dropped) = outcome.dropped() {
+                    lr.stats.packets_dropped += 1;
+                    self.flows[dropped.flow].stats.packets_dropped += 1;
+                }
+            } else {
+                // ACKs and SYNs ride the strict-priority control lane:
+                // they skip the data discipline entirely and are never
+                // dropped by buffer pressure.
+                lr.control_lane.push_back(packet);
             }
         }
         self.try_transmit(link);
     }
 
     fn try_transmit(&mut self, link: LinkId) {
-        let (packet, tx_time, delay) = {
+        let (packet, tx_time, delay, lost, jitter) = {
             let lr = &mut self.links[link];
-            if lr.busy {
+            if lr.busy || !lr.health.up {
                 return;
             }
+            // Price controllers see the *data* backlog, control lane
+            // excluded: control bytes are invisible to the queue-based
+            // price signal, exactly like a separate hardware class.
             let backlog = lr.queue.backlog_bytes();
-            let mut packet = match lr.queue.dequeue(self.clock) {
+            let mut packet = match lr.control_lane.pop_front() {
                 Some(p) => p,
-                None => return,
+                None => match lr.queue.dequeue(self.clock) {
+                    Some(p) => p,
+                    None => return,
+                },
             };
             if let Some(ctrl) = &mut lr.controller {
                 ctrl.on_dequeue(&mut packet, self.clock, backlog);
@@ -532,14 +735,33 @@ impl Network {
             lr.stats.bytes_transmitted += packet.wire_bytes as u64;
             lr.stats.packets_transmitted += 1;
             let tx_time = SimDuration::transmission(packet.wire_bytes as u64, lr.capacity_bps);
-            (packet, tx_time, lr.delay)
+            // Randomized impairments: one stream draw per decision, taken
+            // only on impaired links, so unimpaired runs never touch the
+            // stream and stay bit-identical with pre-impairment builds.
+            let health = lr.health;
+            let delay = lr.delay;
+            let lost = health.loss > 0.0 && splitmix64_unit(&mut self.rng) < health.loss;
+            let jitter = if !lost && !health.jitter.is_zero() {
+                let unit = splitmix64_unit(&mut self.rng);
+                SimDuration::from_nanos((health.jitter.as_nanos() as f64 * unit) as u64)
+            } else {
+                SimDuration::ZERO
+            };
+            (packet, tx_time, delay, lost, jitter)
         };
         self.events
             .schedule(self.clock + tx_time, Event::TransmitComplete { link });
-        self.events.schedule(
-            self.clock + tx_time + delay,
-            Event::Arrival { link, packet },
-        );
+        if lost {
+            // Corrupted on the wire: it occupied the link for its full
+            // serialization time but never arrives.
+            self.links[link].stats.packets_dropped += 1;
+            self.flows[packet.flow].stats.packets_dropped += 1;
+        } else {
+            self.events.schedule(
+                self.clock + tx_time + delay + jitter,
+                Event::Arrival { link, packet },
+            );
+        }
     }
 }
 
@@ -578,6 +800,16 @@ impl AgentCtx<'_> {
         fr.spec
             .size_bytes
             .map(|s| s.saturating_sub(fr.stats.bytes_sent))
+    }
+
+    /// Rewind the sent-bytes high-water mark to `to` (typically the highest
+    /// cumulative ACK) ahead of a go-back-N retransmission, so that
+    /// [`Self::remaining_bytes`] counts the lost tail as still owed rather
+    /// than treating the dead transmission as spent. A `to` at or beyond
+    /// the current mark is a no-op.
+    pub fn rewind_sent(&mut self, to: u64) {
+        let stats = &mut self.net.flows[self.flow].stats;
+        stats.bytes_sent = stats.bytes_sent.min(to);
     }
 
     /// The flow's forward route.
@@ -975,6 +1207,179 @@ mod tests {
         net.run_until(SimTime::from_millis(1));
         assert_eq!(fired.load(Ordering::SeqCst), 1, "positive control");
         assert_eq!(net.pending_timer_count(flow), 0);
+    }
+
+    /// The leaf0 -> spine0 uplink of the small test fabric.
+    fn uplink(net: &Network, spine: usize) -> LinkId {
+        let topo = net.topology();
+        let leaf0 = topo
+            .nodes()
+            .iter()
+            .position(|n| n.kind == NodeKind::Leaf)
+            .unwrap();
+        let spine0 = topo
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == NodeKind::Spine)
+            .map(|(id, _)| id)
+            .nth(spine)
+            .unwrap();
+        topo.link_between(leaf0, spine0).unwrap()
+    }
+
+    #[test]
+    fn failing_a_link_drops_its_backlog_and_blocks_traffic() {
+        let mut net = small_net();
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        // Pin the flow on spine 0 with an explicit route so the failure
+        // cannot be routed around.
+        let route = net.topology().host_route(hosts[0], hosts[4], 0);
+        let flow = net.add_flow_on_route(
+            hosts[0],
+            hosts[4],
+            route,
+            None,
+            SimTime::ZERO,
+            None,
+            Box::new(SimpleWindowAgent::new(32)),
+        );
+        net.run_until(SimTime::from_millis(1));
+        let link = uplink(&net, 0);
+        assert!(net.link_is_up(link));
+        let sent_before = net.flow_stats(flow).packets_sent;
+        assert!(sent_before > 0);
+        net.schedule_link_change(SimTime::from_millis(1), link, LinkChange::Down);
+        net.run_until(SimTime::from_millis(4));
+        assert!(!net.link_is_up(link));
+        // The window drains into the dead link and the flow wedges: drops
+        // are accounted and delivery stops growing.
+        assert!(net.flow_stats(flow).packets_dropped > 0);
+        let delivered = net.flow_stats(flow).bytes_delivered;
+        net.run_until(SimTime::from_millis(8));
+        assert_eq!(net.flow_stats(flow).bytes_delivered, delivered);
+    }
+
+    #[test]
+    fn ecmp_pinned_flows_reroute_around_a_failure_and_return_on_restore() {
+        let mut net = small_net();
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0, // ECMP pin on spine 0
+            None,
+            Box::new(SimpleWindowAgent::new(16)),
+        );
+        let original = net.flow_spec(flow).route;
+        let failed = uplink(&net, 0);
+        net.schedule_link_change(SimTime::from_millis(1), failed, LinkChange::Down);
+        net.schedule_link_change(SimTime::from_millis(3), failed, LinkChange::Up);
+        net.run_until(SimTime::from_millis(2));
+        let detour = net.flow_spec(flow).route;
+        assert_ne!(detour, original, "failure must move the flow off spine 0");
+        assert!(!net.route(detour).links.contains(&failed));
+        let delivered_at_2ms = net.flow_stats(flow).bytes_delivered;
+        net.run_until(SimTime::from_millis(4));
+        // The restore puts the ECMP choice back on its original path, and
+        // the flow kept making progress across the whole flap.
+        assert_eq!(net.flow_spec(flow).route, original);
+        assert!(net.flow_stats(flow).bytes_delivered > delivered_at_2ms);
+    }
+
+    #[test]
+    fn wire_loss_drops_packets_deterministically_per_seed() {
+        let run = |seed: u64| {
+            let mut net = small_net();
+            net.set_impairment_seed(seed);
+            let hosts: Vec<_> = net.topology().hosts().to_vec();
+            let link = uplink(&net, 0);
+            net.schedule_link_change(SimTime::ZERO, link, LinkChange::Loss(0.2));
+            let route = net.topology().host_route(hosts[0], hosts[4], 0);
+            let flow = net.add_flow_on_route(
+                hosts[0],
+                hosts[4],
+                route,
+                None,
+                SimTime::ZERO,
+                None,
+                Box::new(SimpleWindowAgent::new(32)),
+            );
+            net.run_until(SimTime::from_millis(2));
+            let stats = net.flow_stats(flow);
+            (stats.packets_dropped, stats.bytes_delivered)
+        };
+        let (dropped, delivered) = run(7);
+        assert!(dropped > 0, "20% wire loss must drop something");
+        assert!(delivered > 0, "most packets still get through");
+        assert_eq!(run(7), (dropped, delivered), "same seed, same losses");
+        assert_ne!(run(8), (dropped, delivered), "loss pattern follows seed");
+    }
+
+    #[test]
+    fn jitter_delays_but_does_not_drop() {
+        let mut net = small_net();
+        net.set_impairment_seed(1);
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        let link = uplink(&net, 0);
+        net.schedule_link_change(
+            SimTime::ZERO,
+            link,
+            LinkChange::Jitter(SimDuration::from_micros(20)),
+        );
+        let route = net.topology().host_route(hosts[0], hosts[4], 0);
+        let flow = net.add_flow_on_route(
+            hosts[0],
+            hosts[4],
+            route,
+            Some(150_000),
+            SimTime::ZERO,
+            None,
+            Box::new(SimpleWindowAgent::new(16)),
+        );
+        net.run_until(SimTime::from_millis(20));
+        assert_eq!(net.flow_phase(flow), FlowPhase::Completed);
+        assert_eq!(net.flow_stats(flow).packets_dropped, 0);
+    }
+
+    #[test]
+    fn speed_change_event_matches_direct_capacity_change() {
+        let mut net = small_net();
+        let link = uplink(&net, 0);
+        net.schedule_link_change(SimTime::from_micros(10), link, LinkChange::Speed(1e9));
+        net.run_until(SimTime::from_micros(20));
+        assert_eq!(net.link_capacity_bps(link), 1e9);
+    }
+
+    #[test]
+    fn acks_ride_the_control_lane_past_a_data_backlog() {
+        // Saturate h0 -> h4 with a big window, then check that the reverse
+        // direction's ACK-bearing links report no control-lane induced
+        // drops and the flow's ACK clock keeps running: bytes_acked tracks
+        // bytes_delivered closely even under full forward queues.
+        let mut net = small_net();
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        let flow = net.add_flow(
+            hosts[0],
+            hosts[4],
+            None,
+            SimTime::ZERO,
+            0,
+            None,
+            Box::new(SimpleWindowAgent::new(64)),
+        );
+        net.run_until(SimTime::from_millis(4));
+        let stats = net.flow_stats(flow);
+        assert!(stats.bytes_delivered > 0);
+        // With a strict-priority control lane the ACK path adds at most one
+        // serialization per hop, so the ACK horizon hugs delivery.
+        let lag = stats.bytes_delivered.saturating_sub(stats.bytes_acked);
+        assert!(
+            lag <= 16 * 1460,
+            "ACKs lag delivery by {lag} bytes — control lane not serving"
+        );
     }
 
     #[test]

@@ -590,6 +590,168 @@ impl Topology {
         self.equal_cost_node_paths(src, dst)
     }
 
+    /// All shortest **valley-free** paths from `src` to `dst` over the links
+    /// that survive `down`, as node sequences in the same deterministic
+    /// (lexicographic) order as [`Topology::equal_cost_node_paths`].
+    ///
+    /// This is the route re-selection primitive of the impairment layer: a
+    /// directed link is unusable if it is in `down` *or its reverse twin is*
+    /// (a flow cannot use a path its ACKs cannot retrace), and paths must
+    /// ascend the tier hierarchy monotonically to a single peak and then
+    /// descend (up/down routing — no valleys, no flat hops). On a healthy
+    /// hierarchical fabric every shortest path is valley-free, so an empty
+    /// `down` set reproduces `equal_cost_node_paths` exactly.
+    ///
+    /// Returns an empty list when the failure set disconnects the pair (in
+    /// the valley-free sense).
+    ///
+    /// # Panics
+    /// Panics if `src == dst`.
+    pub fn surviving_node_paths(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        down: &std::collections::HashSet<LinkId>,
+    ) -> Vec<Vec<NodeId>> {
+        assert_ne!(src, dst, "a path needs distinct endpoints");
+        let n = self.nodes.len();
+        // A directed link is banned when it or its reverse twin is down.
+        let usable = |id: LinkId| {
+            if down.contains(&id) {
+                return false;
+            }
+            let spec = &self.links[id];
+            match self.link_between(spec.to, spec.from) {
+                Some(twin) => !down.contains(&twin),
+                None => true,
+            }
+        };
+        // Valley-free search state: (node, phase) with phase 0 = still
+        // ascending tiers, phase 1 = descending. A hop either rises (staying
+        // in phase 0), or falls (entering / staying in phase 1); flat hops
+        // are not valley-free and the hierarchical builders create none.
+        let state = |node: NodeId, phase: usize| node * 2 + phase;
+        let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); 2 * n];
+        for (id, l) in self.links.iter().enumerate() {
+            if !usable(id) {
+                continue;
+            }
+            let (tf, tt) = (self.nodes[l.from].kind.tier(), self.nodes[l.to].kind.tier());
+            if tt > tf {
+                fwd[state(l.from, 0)].push(state(l.to, 0));
+            } else if tt < tf {
+                fwd[state(l.from, 0)].push(state(l.to, 1));
+                fwd[state(l.from, 1)].push(state(l.to, 1));
+            }
+        }
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); 2 * n];
+        for (s, outs) in fwd.iter().enumerate() {
+            for &t in outs {
+                rev[t].push(s);
+            }
+        }
+        for adj in fwd.iter_mut().chain(rev.iter_mut()) {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+
+        let bfs = |start: usize, adj: &[Vec<usize>]| -> Vec<u32> {
+            let mut dist = vec![u32::MAX; 2 * n];
+            dist[start] = 0;
+            let mut frontier = std::collections::VecDeque::from([start]);
+            while let Some(u) = frontier.pop_front() {
+                for &v in &adj[u] {
+                    if dist[v] == u32::MAX {
+                        dist[v] = dist[u] + 1;
+                        frontier.push_back(v);
+                    }
+                }
+            }
+            dist
+        };
+        // `dst` is only reachable in the descending phase (its final hop
+        // falls onto it; hosts have the lowest tier).
+        let (start, goal) = (state(src, 0), state(dst, 1));
+        let dist_from_src = bfs(start, &fwd);
+        let dist_to_dst = bfs(goal, &rev);
+        let total = dist_from_src[goal];
+        if total == u32::MAX {
+            return Vec::new();
+        }
+
+        // Same iterative DFS as `equal_cost_node_paths`, over the state
+        // graph; the phase is a function of the node/tier sequence, so
+        // distinct state paths are distinct node paths.
+        let on_dag = |u: usize, v: usize| {
+            dist_from_src[v] == dist_from_src[u] + 1
+                && dist_to_dst[v] != u32::MAX
+                && dist_from_src[v] + dist_to_dst[v] == total
+        };
+        let mut paths = Vec::new();
+        let mut path = vec![start];
+        let mut cursors = vec![0usize];
+        while let Some(&u) = path.last() {
+            if u == goal {
+                paths.push(path.iter().map(|&s| s / 2).collect());
+                path.pop();
+                cursors.pop();
+                continue;
+            }
+            let cursor = cursors.last_mut().expect("one cursor per path node");
+            match fwd[u][*cursor..].iter().position(|&v| on_dag(u, v)) {
+                Some(offset) => {
+                    let v = fwd[u][*cursor + offset];
+                    *cursor += offset + 1;
+                    path.push(v);
+                    cursors.push(0);
+                }
+                None => {
+                    path.pop();
+                    cursors.pop();
+                }
+            }
+        }
+        paths
+    }
+
+    /// All surviving equal-cost routes between two hosts after the links in
+    /// `down` failed (see [`Topology::surviving_node_paths`]); empty when
+    /// the pair is disconnected.
+    ///
+    /// # Panics
+    /// Panics if `src` or `dst` is not a host, or `src == dst`.
+    pub fn host_routes_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        down: &std::collections::HashSet<LinkId>,
+    ) -> Vec<Route> {
+        assert_eq!(self.nodes[src].kind, NodeKind::Host, "{src} is not a host");
+        assert_eq!(self.nodes[dst].kind, NodeKind::Host, "{dst} is not a host");
+        self.surviving_node_paths(src, dst, down)
+            .iter()
+            .map(|p| self.route_via(p))
+            .collect()
+    }
+
+    /// The surviving route pinned to ECMP choice `choice % num_surviving`,
+    /// or `None` when the failures disconnect the pair. With an empty `down`
+    /// set this is exactly [`Topology::host_route`].
+    pub fn host_route_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        choice: usize,
+        down: &std::collections::HashSet<LinkId>,
+    ) -> Option<Route> {
+        let routes = self.host_routes_avoiding(src, dst, down);
+        if routes.is_empty() {
+            return None;
+        }
+        let pick = choice % routes.len();
+        Some(routes.into_iter().nth(pick).expect("index is in range"))
+    }
+
     /// The reverse of `route` (the path ACKs take), assuming every link has a
     /// reverse twin.
     pub fn reverse_route(&self, route: &Route) -> Route {

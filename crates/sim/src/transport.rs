@@ -47,6 +47,18 @@ pub trait FlowAgent: Send {
     /// the time this runs, so re-arming starts from a clean slate.
     fn on_timer(&mut self, tag: u64, ctx: &mut AgentCtx<'_>);
 
+    /// The network moved the flow onto a new ECMP route (a link on the old
+    /// path failed, or a restore put the original path back). By the time
+    /// this runs [`AgentCtx::route`] and [`AgentCtx::base_rtt`] already
+    /// describe the new path. `path_was_lost` is true when the old route
+    /// traversed a downed link in either direction — every packet in
+    /// flight there must be presumed lost. Purely ACK-clocked protocols
+    /// (no retransmission timer) **must** retransmit here: with the whole
+    /// window gone no ACK will ever arrive to reopen it, and the flow
+    /// stalls forever. The default does nothing, which is correct for
+    /// timer-driven protocols that recover via their own RTO.
+    fn on_reroute(&mut self, _path_was_lost: bool, _ctx: &mut AgentCtx<'_>) {}
+
     /// A human-readable protocol name (for logs and experiment tables).
     fn name(&self) -> &'static str {
         "unnamed"

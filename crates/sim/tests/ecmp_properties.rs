@@ -11,6 +11,11 @@
 //!    produces the identical route (and thus interns to the same `RouteId`),
 //!    and uniformly drawn choices spread across the equal-cost path set
 //!    within a 2x uniformity bound over 10k draws.
+//! 3. **Failure re-selection** — routes re-selected over the surviving DAG
+//!    after arbitrary link failures keep every validity invariant, never
+//!    traverse a banned cable (a failed link or one whose reverse twin
+//!    failed), and reduce exactly to the healthy enumeration when nothing
+//!    failed.
 
 use numfabric_sim::routes::RouteTable;
 use numfabric_sim::topology::{FatTreeConfig, LeafSpineConfig, NodeId, Topology};
@@ -136,6 +141,96 @@ proptest! {
                 assert_eq!(again, first, "route derivation is not stable");
                 assert_eq!(table.intern(again), id, "interning is not stable");
             }
+        }
+    }
+}
+
+proptest! {
+    /// Surviving-DAG re-selection (the impairment layer's route recovery):
+    /// after failing an arbitrary subset of fabric links, every re-selected
+    /// route is still a valid valley-free path over the remaining graph and
+    /// never touches a banned cable — a down link or a link whose reverse
+    /// twin is down (its ACKs could not return). When the failures partition
+    /// the pair, the enumeration is empty and `host_route_avoiding` reports
+    /// `None` instead of fabricating a route.
+    #[test]
+    fn prop_failure_reselection_is_valid_and_avoids_banned_cables(
+        half_k in 1usize..=3,
+        src_pick in 0usize..10_000,
+        dst_pick in 0usize..10_000,
+        choice in 0usize..1_000,
+        fail_seed in 0u64..10_000,
+        fail_count in 1usize..=6,
+    ) {
+        let k = 2 * half_k;
+        let topo = Topology::fat_tree(&FatTreeConfig::new(k));
+        let hosts = topo.hosts();
+        let src = hosts[src_pick % hosts.len()];
+        let dst = hosts[dst_pick % hosts.len()];
+        if src != dst {
+            // Fail a random subset of switch-to-switch links (host NIC
+            // failures always partition and are uninteresting here).
+            let mut rng = ChaCha8Rng::seed_from_u64(fail_seed);
+            let fabric_links: Vec<usize> = topo
+                .links()
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| {
+                    topo.nodes()[l.from].kind.is_switch() && topo.nodes()[l.to].kind.is_switch()
+                })
+                .map(|(id, _)| id)
+                .collect();
+            let mut down = std::collections::HashSet::new();
+            for _ in 0..fail_count {
+                down.insert(fabric_links[rng.gen_range(0..fabric_links.len())]);
+            }
+            let banned = |l: usize| {
+                let spec = &topo.links()[l];
+                down.contains(&l)
+                    || topo
+                        .link_between(spec.to, spec.from)
+                        .is_some_and(|twin| down.contains(&twin))
+            };
+            let surviving = topo.host_routes_avoiding(src, dst, &down);
+            for route in &surviving {
+                assert_valid_route(&topo, src, dst, route);
+                for &l in &route.links {
+                    prop_assert!(!banned(l), "surviving route uses banned link {l}");
+                }
+            }
+            match topo.host_route_avoiding(src, dst, choice, &down) {
+                Some(route) => {
+                    prop_assert!(!surviving.is_empty());
+                    prop_assert_eq!(&route, &surviving[choice % surviving.len()]);
+                }
+                None => prop_assert!(surviving.is_empty(), "route withheld despite survivors"),
+            }
+        }
+    }
+
+    /// With no failures, the surviving enumeration reduces exactly to the
+    /// healthy ECMP enumeration on both fabric families — same paths, same
+    /// deterministic order.
+    #[test]
+    fn prop_empty_failure_set_reproduces_healthy_routes(
+        src_pick in 0usize..10_000,
+        dst_pick in 0usize..10_000,
+    ) {
+        for topo in [
+            Topology::fat_tree(&FatTreeConfig::new(4)),
+            Topology::leaf_spine(&LeafSpineConfig::oversubscribed(16, 4, 2, 4.0)),
+        ] {
+            let hosts = topo.hosts();
+            let src = hosts[src_pick % hosts.len()];
+            let dst = hosts[dst_pick % hosts.len()];
+            if src == dst {
+                continue;
+            }
+            let none = std::collections::HashSet::new();
+            prop_assert_eq!(
+                topo.host_routes_avoiding(src, dst, &none),
+                topo.host_routes(src, dst)
+            );
         }
     }
 }

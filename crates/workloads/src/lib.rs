@@ -14,6 +14,11 @@
 //!   permutations.
 //! * [`fabric`] — `--topology` specs (`leaf-spine`, `oversub:R:1`,
 //!   `fat-tree:k=K`) parsed into buildable topologies.
+//! * [`impairments`] — failure/impairment schedules: `--impair` specs
+//!   (`down@usec:link`, `loss@usec:link=p`, ...) parsed into timed
+//!   [`LinkChange`](numfabric_sim::LinkChange) events, the `cable_cut`
+//!   recovery experiment builder, and the named [`ImpairmentProfile`]
+//!   family (`none`/`flap`/`loss`/`jitter`) used as a sweep axis.
 //! * [`convergence`] — the §6.1 convergence criterion (95 % of flows within
 //!   10 % of the oracle allocation, sustained for 5 ms, filter rise time
 //!   subtracted) and the mapping from packet-level flows to fluid NUM
@@ -25,7 +30,8 @@
 //!   `numfabric-run` CLI in `numfabric-bench` lists and dispatches every
 //!   figure scenario through it.
 //! * [`sweep`] — parameter-sweep grids: [`SweepSpec`] names axes (scenarios
-//!   × topologies × protocols × loads × sizes × seed replicates) and
+//!   × topologies × protocols × loads × sizes × impairments × seed
+//!   replicates) and
 //!   expands their cartesian product into self-contained [`SweepCell`]s,
 //!   each with a seed derived from `(base_seed, cell_index)` — the
 //!   specification half of the parallel sweep engine in `numfabric-bench`.
@@ -42,6 +48,7 @@ pub mod convergence;
 pub mod distributions;
 pub mod fabric;
 pub mod ideal;
+pub mod impairments;
 pub mod registry;
 pub mod scenarios;
 pub mod sweep;
@@ -56,6 +63,10 @@ pub use distributions::{
 };
 pub use fabric::{InvalidTopology, TopologySpec};
 pub use ideal::{empty_network_fct, IdealCompletion, IdealFluidSimulator};
+pub use impairments::{
+    fabric_cables, ImpairmentEvent, ImpairmentProfile, ImpairmentSchedule, InvalidImpairment,
+    InvalidProfile,
+};
 pub use registry::{
     InvalidOption, ScenarioOptions, ScenarioRegistry, ScenarioSpec, UnknownScenario,
 };

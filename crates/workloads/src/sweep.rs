@@ -17,6 +17,7 @@
 //! has no execution machinery.
 
 use crate::fabric::TopologySpec;
+use crate::impairments::ImpairmentProfile;
 use crate::registry::{InvalidOption, ScenarioOptions};
 use std::fmt;
 use std::str::FromStr;
@@ -107,6 +108,9 @@ pub struct SweepSpec {
     pub loads: Vec<f64>,
     /// Transfer-size axis in bytes (finite-transfer scenarios only).
     pub sizes: Vec<u64>,
+    /// Impairment axis: each named profile expands to a seeded failure /
+    /// degradation schedule on the cell's fabric (`none` = healthy run).
+    pub impairments: Vec<ImpairmentProfile>,
     /// Seed replicates per point (innermost axis): each replicate is its own
     /// cell with its own derived seed.
     pub replicates: usize,
@@ -125,6 +129,7 @@ impl Default for SweepSpec {
             protocols: vec!["numfabric".to_string(), "dctcp".to_string()],
             loads: vec![0.5],
             sizes: vec![100_000],
+            impairments: vec![ImpairmentProfile::None],
             replicates: 1,
             base_seed: 1,
         }
@@ -149,6 +154,8 @@ pub struct SweepCell {
     pub load: f64,
     /// Per-transfer size in bytes (finite-transfer scenarios).
     pub size_bytes: u64,
+    /// Impairment profile applied to the cell's fabric.
+    pub impairment: ImpairmentProfile,
     /// Which seed replicate this cell is (0-based).
     pub replicate: usize,
     /// The cell's own seed, `derive_cell_seed(base_seed, index)`.
@@ -195,6 +202,7 @@ impl SweepSpec {
             * self.protocols.len()
             * self.loads.len()
             * self.sizes.len()
+            * self.impairments.len()
             * self.replicates
     }
 
@@ -207,6 +215,7 @@ impl SweepSpec {
             ("--protocols", self.protocols.is_empty()),
             ("--loads", self.loads.is_empty()),
             ("--sizes", self.sizes.is_empty()),
+            ("--impairments", self.impairments.is_empty()),
         ] {
             if empty {
                 return Err(InvalidSweep(format!("axis {axis} is empty")));
@@ -235,10 +244,11 @@ impl SweepSpec {
     /// Expand the grid into its cells.
     ///
     /// Expansion order is fixed and documented: scenarios (outermost) →
-    /// topologies → protocols → loads → sizes → replicates (innermost),
-    /// each axis in its listed order. `cell.index` is the position in this
-    /// order and the input to [`derive_cell_seed`] — so the cell list, and
-    /// with it every derived seed, is a pure function of the spec.
+    /// topologies → protocols → loads → sizes → impairments → replicates
+    /// (innermost), each axis in its listed order. `cell.index` is the
+    /// position in this order and the input to [`derive_cell_seed`] — so the
+    /// cell list, and with it every derived seed, is a pure function of the
+    /// spec.
     pub fn expand(&self) -> Result<Vec<SweepCell>, InvalidSweep> {
         self.validate()?;
         let mut cells = Vec::with_capacity(self.cell_count());
@@ -247,18 +257,21 @@ impl SweepSpec {
                 for protocol in &self.protocols {
                     for &load in &self.loads {
                         for &size_bytes in &self.sizes {
-                            for replicate in 0..self.replicates {
-                                let index = cells.len();
-                                cells.push(SweepCell {
-                                    index,
-                                    scenario,
-                                    topology,
-                                    protocol: protocol.clone(),
-                                    load,
-                                    size_bytes,
-                                    replicate,
-                                    seed: derive_cell_seed(self.base_seed, index as u64),
-                                });
+                            for &impairment in &self.impairments {
+                                for replicate in 0..self.replicates {
+                                    let index = cells.len();
+                                    cells.push(SweepCell {
+                                        index,
+                                        scenario,
+                                        topology,
+                                        protocol: protocol.clone(),
+                                        load,
+                                        size_bytes,
+                                        impairment,
+                                        replicate,
+                                        seed: derive_cell_seed(self.base_seed, index as u64),
+                                    });
+                                }
                             }
                         }
                     }
@@ -276,6 +289,7 @@ impl SweepSpec {
     /// * `--protocols numfabric,dctcp,dgd,rcp,pfabric`
     /// * `--loads 0.25,0.5,1.0`
     /// * `--sizes 50000,500000`
+    /// * `--impairments none,flap,loss,jitter`
     /// * `--replicates N` and `--seed S`
     ///
     /// The singular spellings the per-scenario CLIs use (`--topology`,
@@ -289,6 +303,7 @@ impl SweepSpec {
             ("--protocol", "--protocols"),
             ("--load", "--loads"),
             ("--size", "--sizes"),
+            ("--impair", "--impairments"),
         ] {
             if opts.flag(singular) {
                 return Err(InvalidOption {
@@ -305,6 +320,7 @@ impl SweepSpec {
             protocols: parse_csv(opts, "--protocols")?.unwrap_or(defaults.protocols),
             loads: parse_csv(opts, "--loads")?.unwrap_or(defaults.loads),
             sizes: parse_csv(opts, "--sizes")?.unwrap_or(defaults.sizes),
+            impairments: parse_csv(opts, "--impairments")?.unwrap_or(defaults.impairments),
             replicates: opts
                 .try_parsed("--replicates")?
                 .unwrap_or(defaults.replicates),
@@ -378,20 +394,24 @@ mod tests {
             protocols: vec!["numfabric".into()],
             loads: vec![0.5],
             sizes: vec![1000, 2000],
+            impairments: vec![ImpairmentProfile::None, ImpairmentProfile::Flap],
             replicates: 2,
             base_seed: 7,
         };
         let cells = spec.expand().unwrap();
-        assert_eq!(cells.len(), 2 * 2 * 2 * 2);
-        // Innermost axis (replicates) varies fastest.
-        assert_eq!((cells[0].size_bytes, cells[0].replicate), (1000, 0));
-        assert_eq!((cells[1].size_bytes, cells[1].replicate), (1000, 1));
-        assert_eq!((cells[2].size_bytes, cells[2].replicate), (2000, 0));
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2 * 2);
+        // Innermost axis (replicates) varies fastest, then impairments.
+        let inner = |c: &SweepCell| (c.size_bytes, c.impairment, c.replicate);
+        assert_eq!(inner(&cells[0]), (1000, ImpairmentProfile::None, 0));
+        assert_eq!(inner(&cells[1]), (1000, ImpairmentProfile::None, 1));
+        assert_eq!(inner(&cells[2]), (1000, ImpairmentProfile::Flap, 0));
+        assert_eq!(inner(&cells[3]), (1000, ImpairmentProfile::Flap, 1));
+        assert_eq!(inner(&cells[4]), (2000, ImpairmentProfile::None, 0));
         // Outermost axis (scenario) varies slowest: first half incast.
-        assert!(cells[..8]
+        assert!(cells[..16]
             .iter()
             .all(|c| c.scenario == SweepScenario::Incast));
-        assert!(cells[8..]
+        assert!(cells[16..]
             .iter()
             .all(|c| c.scenario == SweepScenario::Shuffle));
         // Indices are positions.
@@ -442,6 +462,8 @@ mod tests {
             "0.25,1.0",
             "--sizes",
             "50000",
+            "--impairments",
+            "none,flap",
             "--replicates",
             "3",
             "--seed",
@@ -459,10 +481,15 @@ mod tests {
         assert_eq!(spec.protocols, vec!["dgd".to_string()]);
         assert_eq!(spec.loads, vec![0.25, 1.0]);
         assert_eq!(spec.sizes, vec![50000]);
+        assert_eq!(
+            spec.impairments,
+            vec![ImpairmentProfile::None, ImpairmentProfile::Flap]
+        );
         assert_eq!(spec.replicates, 3);
         assert_eq!(spec.base_seed, 42);
-        // 1 scenario x 2 topologies x 1 protocol x 2 loads x 1 size x 3 replicates.
-        assert_eq!(spec.cell_count(), 12);
+        // 1 scenario x 2 topologies x 1 protocol x 2 loads x 1 size x
+        // 2 impairments x 3 replicates.
+        assert_eq!(spec.cell_count(), 24);
     }
 
     #[test]
@@ -476,6 +503,9 @@ mod tests {
         assert!(err.reason.contains("empty element"));
         let err = SweepSpec::try_from_options(&opts(&["--loads", "0.5,banana"])).unwrap_err();
         assert_eq!(err.value, "banana");
+        let err =
+            SweepSpec::try_from_options(&opts(&["--impairments", "none,blackhole"])).unwrap_err();
+        assert_eq!(err.value, "blackhole");
         // An axis option as the dangling last token must not silently fall
         // back to the default grid.
         let err = SweepSpec::try_from_options(&opts(&["--scenarios"])).unwrap_err();
@@ -493,6 +523,7 @@ mod tests {
             (vec!["--scenario", "incast"], "--scenarios"),
             (vec!["--load", "0.5"], "--loads"),
             (vec!["--size", "1000"], "--sizes"),
+            (vec!["--impair", "flap"], "--impairments"),
         ] {
             let err = SweepSpec::try_from_options(&opts(&args)).unwrap_err();
             assert!(err.reason.contains(plural), "{args:?}: {err}");
