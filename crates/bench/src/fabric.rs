@@ -72,12 +72,16 @@ pub fn run_transfers(
         deadline,
         &ImpairmentSchedule::new(),
         0,
+        1,
     )
 }
 
 /// [`run_transfers`] with an [`ImpairmentSchedule`] injected before the run
 /// starts; `impair_seed` seeds the network's loss/jitter draws so impaired
-/// replays stay bit-identical.
+/// replays stay bit-identical. `partitions` decomposes the network into
+/// per-partition event cores — with deterministic impairments the report is
+/// bit-identical for every partition count.
+#[allow(clippy::too_many_arguments)]
 pub fn run_transfers_impaired(
     protocol: &Protocol,
     topo: Topology,
@@ -86,9 +90,11 @@ pub fn run_transfers_impaired(
     deadline: SimDuration,
     impairments: &ImpairmentSchedule,
     impair_seed: u64,
+    partitions: usize,
 ) -> TransferSummary {
     let utility = Arc::new(LogUtility::new());
     let mut net = protocol.build_network(topo);
+    net.set_partitions(partitions);
     net.set_impairment_seed(impair_seed);
     impairments.apply(&mut net);
     let ids: Vec<_> = pairs
@@ -172,6 +178,7 @@ pub fn run_steady_state(
         run_for,
         &ImpairmentSchedule::new(),
         0,
+        1,
     )
 }
 
@@ -179,6 +186,9 @@ pub fn run_steady_state(
 /// run starts. The oracle is still the *healthy* fluid allocation — under a
 /// persistent impairment the measured rates document the concession, and the
 /// dedicated `recovery` scenario compares against the post-failure oracle.
+/// `partitions` decomposes the network into per-partition event cores — with
+/// deterministic impairments the report is bit-identical for every partition
+/// count.
 pub fn run_steady_state_impaired(
     protocol: &Protocol,
     topo: Topology,
@@ -186,9 +196,11 @@ pub fn run_steady_state_impaired(
     run_for: SimDuration,
     impairments: &ImpairmentSchedule,
     impair_seed: u64,
+    partitions: usize,
 ) -> SteadyStateSummary {
     let utility = Arc::new(LogUtility::new());
     let mut net = protocol.build_network(topo.clone());
+    net.set_partitions(partitions);
     net.set_impairment_seed(impair_seed);
     impairments.apply(&mut net);
     let ids: Vec<_> = pairs
@@ -228,6 +240,17 @@ pub fn run_steady_state_impaired(
 /// `ScenarioOptions::parsed_or`'s report-and-exit-2 path.
 fn spec_from_options(opts: &ScenarioOptions) -> TopologySpec {
     opts.parsed_or("--topology", TopologySpec::LeafSpine)
+}
+
+/// Parse `--partitions` (default 1): the number of per-partition event cores
+/// the network is decomposed into. Zero is rejected; the knob never changes
+/// report bytes (deterministic impairments), so any value is safe for replay.
+pub(crate) fn partitions_from_options(opts: &ScenarioOptions) -> usize {
+    let partitions: usize = opts.parsed_or("--partitions", 1);
+    if partitions == 0 {
+        cli_error("--partitions must be at least 1");
+    }
+    partitions
 }
 
 /// Parse `--impair` into an [`ImpairmentSchedule`] (empty when absent) and
@@ -351,6 +374,7 @@ pub fn incast(opts: &ScenarioOptions) {
     }
     let pairs = incast_pairs(&topo, fan_in, seed);
     let impairments = impairments_from_options(opts, &topo);
+    let partitions = partitions_from_options(opts);
     let host_bps = topo.links()[0].capacity_bps;
     let topology = spec.describe(&topo);
     if !json {
@@ -362,8 +386,16 @@ pub fn incast(opts: &ScenarioOptions) {
         );
     }
     let deadline = transfer_deadline(fan_in as u64 * size, host_bps);
-    let summary =
-        run_transfers_impaired(&protocol, topo, &pairs, size, deadline, &impairments, seed);
+    let summary = run_transfers_impaired(
+        &protocol,
+        topo,
+        &pairs,
+        size,
+        deadline,
+        &impairments,
+        seed,
+        partitions,
+    );
     if json {
         println!(
             "{}",
@@ -408,6 +440,7 @@ pub fn shuffle(opts: &ScenarioOptions) {
     }
     let pairs = shuffle_pairs(&topo, Some(participants), seed);
     let impairments = impairments_from_options(opts, &topo);
+    let partitions = partitions_from_options(opts);
     let host_bps = topo.links()[0].capacity_bps;
     let topology = spec.describe(&topo);
     if !json {
@@ -423,8 +456,16 @@ pub fn shuffle(opts: &ScenarioOptions) {
     // slower for cross-rack traffic.
     let slowdown = worst_oversubscription(&topo);
     let deadline = transfer_deadline((participants as u64 - 1) * size, host_bps / slowdown);
-    let summary =
-        run_transfers_impaired(&protocol, topo, &pairs, size, deadline, &impairments, seed);
+    let summary = run_transfers_impaired(
+        &protocol,
+        topo,
+        &pairs,
+        size,
+        deadline,
+        &impairments,
+        seed,
+        partitions,
+    );
     if json {
         println!(
             "{}",
@@ -470,6 +511,7 @@ pub fn stride(opts: &ScenarioOptions) {
     }
     let pairs = stride_pairs(&topo, stride_by, seed);
     let impairments = impairments_from_options(opts, &topo);
+    let partitions = partitions_from_options(opts);
     let topology = spec.describe(&topo);
     if !json {
         println!(
@@ -486,6 +528,7 @@ pub fn stride(opts: &ScenarioOptions) {
         SimDuration::from_millis(millis),
         &impairments,
         seed,
+        partitions,
     );
     if json {
         println!(

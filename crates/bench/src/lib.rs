@@ -21,6 +21,9 @@
 //!   cable mid-run and measure each protocol's time to re-converge onto the
 //!   post-failure fluid allocation.
 //! * [`figures`] — every figure/table as a registry-dispatchable function.
+//! * [`perf`] — the `bench` scenario: event-core throughput and end-to-end
+//!   scenario wall-clock, written to `BENCH_<rev>.json` for the perf
+//!   trajectory.
 //! * [`report`] — percentiles, CDFs, Fig. 5 bins and table printing.
 //! * [`sweep`] — the deterministic parallel sweep engine: a work-stealing
 //!   thread pool executes a `SweepSpec` grid (scenarios × topologies ×
@@ -39,6 +42,7 @@
 pub mod dynamic;
 pub mod fabric;
 pub mod figures;
+pub mod perf;
 pub mod protocols;
 pub mod recovery;
 pub mod report;
@@ -51,7 +55,11 @@ pub use fabric::{
     SteadyStateSummary, TransferSummary,
 };
 pub use figures::registry;
+pub use perf::{bench_report_json, event_core_timing, Timing};
 pub use protocols::Protocol;
-pub use recovery::{run_recovery, RecoveryResult};
+pub use recovery::{run_recovery, RecoveryConfig, RecoveryResult};
 pub use semi_dynamic::{rate_timeseries, run_semi_dynamic, SemiDynamicResult, SemiDynamicRun};
-pub use sweep::{execute_cells, markdown_table, run_cell, sweep_report_json, CellResult};
+pub use sweep::{
+    execute_cells, execute_cells_partitioned, markdown_table, run_cell, run_cell_partitioned,
+    sweep_report_json, CellResult,
+};

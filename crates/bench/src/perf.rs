@@ -1,0 +1,244 @@
+//! The `bench` scenario: simulator performance measurement for the perf
+//! trajectory.
+//!
+//! Two layers are timed:
+//!
+//! * **Event-core micro-benchmark** — schedule-and-pop a fixed batch of
+//!   events through a standalone timing wheel ([`numfabric_sim::EventQueue`])
+//!   and report events/second and nanoseconds/event. This isolates the
+//!   scheduler hot path from protocol work.
+//! * **End-to-end scenario wall-clock** — run the small incast and stride
+//!   scenarios exactly as `numfabric-run` would and report wall-clock
+//!   seconds plus simulated-events-per-wall-second. This is the number a
+//!   perf regression actually moves.
+//!
+//! The run always writes `BENCH_<rev>.json` (set `--rev` to a commit hash in
+//! CI; the default is `local`) so successive revisions accumulate comparable
+//! perf snapshots; `--json` additionally prints the same document to stdout.
+//! The timings themselves are machine-dependent — everything else in the
+//! document (event counts, flow counts) is deterministic.
+
+use crate::fabric::{run_steady_state, run_transfers, transfer_deadline};
+use crate::protocols::Protocol;
+use crate::report::Json;
+use numfabric_core::NumFabricConfig;
+use numfabric_sim::topology::{LeafSpineConfig, Topology};
+use numfabric_sim::{Event, EventQueue, SimDuration, SimTime};
+use numfabric_workloads::registry::ScenarioOptions;
+use numfabric_workloads::scenarios::{incast_pairs, stride_pairs};
+use std::time::Instant;
+
+/// One timed section: how many units of work, how long they took.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// What was timed (e.g. `event-core`, `incast`).
+    pub name: &'static str,
+    /// Units of work performed (scheduled events, injected flows, ...).
+    pub units: u64,
+    /// Wall-clock seconds elapsed.
+    pub seconds: f64,
+}
+
+impl Timing {
+    /// Units of work per wall-clock second.
+    pub fn per_second(&self) -> f64 {
+        self.units as f64 / self.seconds.max(1e-12)
+    }
+
+    /// Wall-clock nanoseconds per unit of work.
+    pub fn ns_per_unit(&self) -> f64 {
+        self.seconds * 1e9 / (self.units as f64).max(1.0)
+    }
+}
+
+/// Schedule `events` timer events at striped future times into a fresh
+/// timing wheel, then pop the queue dry, timing the whole round trip.
+///
+/// The stripe pattern (a small prime stride across a microsecond window)
+/// exercises same-batch appends, near-future wheel slots and the overflow
+/// level without drawing any randomness, so every run schedules the exact
+/// same event set.
+pub fn event_core_timing(events: u64) -> Timing {
+    let mut queue = EventQueue::new();
+    let started = Instant::now();
+    for i in 0..events {
+        // Deterministic spread over ~1 ms with heavy same-slot batching.
+        let at = SimTime::from_nanos((i % 997) * 1_024 + (i / 997));
+        queue.schedule(
+            at,
+            Event::FlowTimer {
+                flow: (i % 64) as usize,
+                tag: i,
+            },
+        );
+    }
+    let mut popped = 0u64;
+    while queue.pop().is_some() {
+        popped += 1;
+    }
+    assert_eq!(popped, events, "timing wheel lost events");
+    Timing {
+        name: "event-core",
+        units: events,
+        seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Time the small incast scenario end to end (build network, inject flows,
+/// run to the deadline). Returns the timing plus the number of completed
+/// transfers, which the report records to prove the run did real work.
+pub fn incast_timing() -> (Timing, u64) {
+    let topo = Topology::leaf_spine(&LeafSpineConfig::small(16, 2, 2));
+    let pairs = incast_pairs(&topo, 8, 1);
+    let protocol = Protocol::NumFabric(NumFabricConfig::default());
+    let size = 200_000u64;
+    let deadline = transfer_deadline(pairs.len() as u64 * size, 10e9);
+    let started = Instant::now();
+    let summary = run_transfers(&protocol, topo, &pairs, size, deadline);
+    let timing = Timing {
+        name: "incast",
+        units: summary.flows as u64,
+        seconds: started.elapsed().as_secs_f64(),
+    };
+    (timing, summary.completed as u64)
+}
+
+/// Time the small stride steady-state scenario end to end. Returns the
+/// timing plus the flow count.
+pub fn stride_timing() -> (Timing, u64) {
+    let topo = Topology::leaf_spine(&LeafSpineConfig::small(16, 2, 2));
+    let pairs = stride_pairs(&topo, 8, 1);
+    let protocol = Protocol::NumFabric(NumFabricConfig::default());
+    let started = Instant::now();
+    let summary = run_steady_state(&protocol, topo, &pairs, SimDuration::from_millis(4));
+    let timing = Timing {
+        name: "stride",
+        units: summary.rates_bps.len() as u64,
+        seconds: started.elapsed().as_secs_f64(),
+    };
+    (timing, summary.rates_bps.len() as u64)
+}
+
+/// Assemble the `BENCH_<rev>.json` document from measured timings.
+///
+/// Split out from [`bench()`] so tests can pin the report shape with
+/// synthetic timings instead of re-running the (machine-dependent)
+/// measurement.
+pub fn bench_report_json(rev: &str, event_core: &Timing, scenarios: &[(Timing, u64)]) -> Json {
+    Json::Obj(vec![
+        ("rev", Json::str(rev)),
+        (
+            "event_core",
+            Json::Obj(vec![
+                ("events", Json::Int(event_core.units)),
+                ("elapsed_seconds", Json::Num(event_core.seconds)),
+                ("events_per_sec", Json::Num(event_core.per_second())),
+                ("ns_per_event", Json::Num(event_core.ns_per_unit())),
+            ]),
+        ),
+        (
+            "scenarios",
+            Json::Arr(
+                scenarios
+                    .iter()
+                    .map(|(t, completed)| {
+                        Json::Obj(vec![
+                            ("name", Json::str(t.name)),
+                            ("flows", Json::Int(t.units)),
+                            ("completed", Json::Int(*completed)),
+                            ("wall_seconds", Json::Num(t.seconds)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The `bench` scenario: measure event-core throughput and end-to-end
+/// scenario wall-clock, write `BENCH_<rev>.json`, and print the document
+/// with `--json` (or a human table without).
+pub fn bench(opts: &ScenarioOptions) {
+    let events: u64 = opts.parsed_or("--events", 2_000_000);
+    let rev = opts.value("--rev").unwrap_or("local").to_string();
+    let json = opts.flag("--json");
+
+    let event_core = event_core_timing(events);
+    let scenarios = vec![incast_timing(), stride_timing()];
+    let report = bench_report_json(&rev, &event_core, &scenarios);
+    let rendered = report.render();
+
+    let path = format!("BENCH_{rev}.json");
+    if let Err(e) = std::fs::write(&path, format!("{rendered}\n")) {
+        crate::fabric::cli_error(format!("cannot write {path}: {e}"));
+    }
+
+    if json {
+        println!("{rendered}");
+    } else {
+        println!(
+            "Event core: {} events in {:.3} s = {:.2} M events/s ({:.0} ns/event)",
+            event_core.units,
+            event_core.seconds,
+            event_core.per_second() / 1e6,
+            event_core.ns_per_unit()
+        );
+        for (t, completed) in &scenarios {
+            println!(
+                "Scenario {:>7}: {} flows ({} completed) in {:.3} s wall-clock",
+                t.name, t.units, completed, t.seconds
+            );
+        }
+        println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_arithmetic() {
+        let t = Timing {
+            name: "event-core",
+            units: 1_000_000,
+            seconds: 0.5,
+        };
+        assert!((t.per_second() - 2e6).abs() < 1.0);
+        assert!((t.ns_per_unit() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_core_round_trips_all_events() {
+        // Small batch: the assert inside event_core_timing is the check.
+        let t = event_core_timing(10_000);
+        assert_eq!(t.units, 10_000);
+        assert!(t.seconds >= 0.0);
+    }
+
+    #[test]
+    fn bench_report_has_the_contract_fields() {
+        let core = Timing {
+            name: "event-core",
+            units: 1000,
+            seconds: 0.001,
+        };
+        let incast = Timing {
+            name: "incast",
+            units: 8,
+            seconds: 0.25,
+        };
+        let json = bench_report_json("abc123", &core, &[(incast, 8)]).render();
+        for needle in [
+            r#""rev":"abc123""#,
+            r#""events":1000"#,
+            r#""events_per_sec":1000000.0"#,
+            r#""ns_per_event":1000.0"#,
+            r#""name":"incast""#,
+            r#""completed":8"#,
+            r#""wall_seconds":0.25"#,
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

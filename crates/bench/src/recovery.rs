@@ -17,7 +17,7 @@
 //! routes, ties to the lowest link id — so a `recovery` run is a pure
 //! function of its options, like every other scenario.
 
-use crate::fabric::{cli_error, exit_if_wedged};
+use crate::fabric::{cli_error, exit_if_wedged, partitions_from_options};
 use crate::protocols::Protocol;
 use crate::report::{print_table, Json};
 use numfabric_num::utility::{LogUtility, UtilityRef};
@@ -51,6 +51,10 @@ pub struct RecoveryConfig {
     /// instant through the end of the regime, and for at least this many
     /// samples.
     pub sustain: usize,
+    /// Number of per-partition event cores the network is decomposed into.
+    /// A cable cut is a deterministic impairment, so the report is
+    /// bit-identical for every partition count.
+    pub partitions: usize,
 }
 
 impl Default for RecoveryConfig {
@@ -65,6 +69,7 @@ impl Default for RecoveryConfig {
             tolerance: 0.20,
             quorum: 0.75,
             sustain: 3,
+            partitions: 1,
         }
     }
 }
@@ -194,6 +199,7 @@ pub fn run_recovery(
     );
 
     let mut net = protocol.build_network(topo);
+    net.set_partitions(config.partitions);
     schedule.apply(&mut net);
     let ids: Vec<_> = pairs
         .iter()
@@ -365,6 +371,7 @@ pub fn recovery(opts: &ScenarioOptions) {
         fail_at: SimTime::from_micros(fail_us),
         restore_at: restore_us.map(SimTime::from_micros),
         run_for: SimDuration::from_millis(millis),
+        partitions: partitions_from_options(opts),
         ..RecoveryConfig::default()
     };
     if config.fail_at + config.sample_every * config.sustain as u64 > SimTime::ZERO + config.run_for

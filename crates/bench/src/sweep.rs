@@ -109,6 +109,15 @@ impl CellResult {
 /// Errors only on an unknown protocol name — everything else about a cell
 /// is valid by construction of [`SweepSpec::expand`].
 pub fn run_cell(cell: &SweepCell) -> Result<CellResult, String> {
+    run_cell_partitioned(cell, 1)
+}
+
+/// [`run_cell`] with the cell's network decomposed into `partitions` event
+/// cores. Like `--threads`, the partition count is an execution knob: with
+/// deterministic impairment profiles the cell result is bit-identical for
+/// every value (randomized loss/jitter profiles draw from per-partition
+/// streams, so each partition count is its own fully-replayable sequence).
+pub fn run_cell_partitioned(cell: &SweepCell, partitions: usize) -> Result<CellResult, String> {
     let protocol = Protocol::from_name(&cell.protocol).ok_or_else(|| {
         format!(
             "unknown protocol `{}` in sweep cell {}",
@@ -132,6 +141,7 @@ pub fn run_cell(cell: &SweepCell) -> Result<CellResult, String> {
                 deadline,
                 &impairments,
                 cell.seed,
+                partitions,
             );
             CellResult::from_transfers(cell.clone(), &summary)
         }
@@ -152,6 +162,7 @@ pub fn run_cell(cell: &SweepCell) -> Result<CellResult, String> {
                 deadline,
                 &impairments,
                 cell.seed,
+                partitions,
             );
             CellResult::from_transfers(cell.clone(), &summary)
         }
@@ -165,6 +176,7 @@ pub fn run_cell(cell: &SweepCell) -> Result<CellResult, String> {
                 STEADY_STATE_RUN,
                 &impairments,
                 cell.seed,
+                partitions,
             );
             CellResult::from_steady_state(cell.clone(), &summary)
         }
@@ -179,6 +191,18 @@ pub fn run_cell(cell: &SweepCell) -> Result<CellResult, String> {
 /// `threads` is clamped to `1..=cells.len()`; with one thread the cells run
 /// inline on the caller's thread through the identical per-cell path.
 pub fn execute_cells(cells: Vec<SweepCell>, threads: usize) -> Result<Vec<CellResult>, String> {
+    execute_cells_partitioned(cells, threads, 1)
+}
+
+/// [`execute_cells`] with every cell's network decomposed into `partitions`
+/// event cores — the two parallelism knobs compose: `--threads` spreads
+/// whole cells across workers, `--partitions` decomposes each cell's fabric,
+/// and neither changes a byte of the aggregate for deterministic profiles.
+pub fn execute_cells_partitioned(
+    cells: Vec<SweepCell>,
+    threads: usize,
+    partitions: usize,
+) -> Result<Vec<CellResult>, String> {
     if cells.is_empty() {
         return Ok(Vec::new());
     }
@@ -189,7 +213,7 @@ pub fn execute_cells(cells: Vec<SweepCell>, threads: usize) -> Result<Vec<CellRe
         let mut results = Vec::with_capacity(cells.len());
         let mut first_error = None;
         for cell in &cells {
-            match run_cell(cell) {
+            match run_cell_partitioned(cell, partitions) {
                 Ok(r) => results.push(r),
                 Err(e) => {
                     first_error.get_or_insert(e);
@@ -234,7 +258,8 @@ pub fn execute_cells(cells: Vec<SweepCell>, threads: usize) -> Result<Vec<CellRe
                         })
                     });
                     let Some(index) = job else { return };
-                    if tx.send((index, run_cell(&cells[index]))).is_err() {
+                    let result = run_cell_partitioned(&cells[index], partitions);
+                    if tx.send((index, result)).is_err() {
                         return;
                     }
                 }
@@ -412,6 +437,7 @@ pub fn sweep(opts: &ScenarioOptions) {
         .unwrap_or_else(|e| crate::fabric::cli_error(e));
     let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads: usize = opts.parsed_or("--threads", default_threads);
+    let partitions = crate::fabric::partitions_from_options(opts);
     let json = opts.flag("--json");
     if !json {
         println!(
@@ -428,7 +454,8 @@ pub fn sweep(opts: &ScenarioOptions) {
         );
     }
     let start = Instant::now();
-    let results = execute_cells(cells, threads).unwrap_or_else(|e| crate::fabric::cli_error(e));
+    let results = execute_cells_partitioned(cells, threads, partitions)
+        .unwrap_or_else(|e| crate::fabric::cli_error(e));
     let wall = start.elapsed();
     if json {
         println!("{}", sweep_report_json(&spec, &results).render());
@@ -436,7 +463,8 @@ pub fn sweep(opts: &ScenarioOptions) {
         print!("{}", markdown_table(&results));
         println!(
             "\n{} cells in {:.2} s wall-clock. The table and the --json report are\n\
-             bit-identical for any --threads value; only this timing line and the\n\
+             bit-identical for any --threads value and, for deterministic impairment\n\
+             profiles, for any --partitions value; only this timing line and the\n\
              thread count in the header vary.",
             results.len(),
             wall.as_secs_f64(),

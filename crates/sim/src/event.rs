@@ -273,15 +273,46 @@ impl EventQueue {
         self.schedule_entry(at, event, true)
     }
 
+    /// Schedule `event` at `at` under an externally allocated sequence
+    /// number. This is the partitioned-network entry point: the `Network`
+    /// owns one global `seq` counter shared by every partition's wheel, so
+    /// the cross-partition merge order `(time, seq)` is identical to the
+    /// single-queue pop order. The queue's own counter is untouched — do
+    /// not mix seeded and unseeded scheduling on one queue.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped event).
+    pub fn schedule_seeded(&mut self, at: SimTime, event: Event, seq: u64) -> EventId {
+        self.schedule_entry_with_seq(at, event, false, seq)
+    }
+
+    /// [`Self::schedule_seeded`] with O(1) cancellation via [`Self::cancel`].
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped event).
+    pub fn schedule_cancellable_seeded(&mut self, at: SimTime, event: Event, seq: u64) -> EventId {
+        self.schedule_entry_with_seq(at, event, true, seq)
+    }
+
     fn schedule_entry(&mut self, at: SimTime, event: Event, cancellable: bool) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.schedule_entry_with_seq(at, event, cancellable, seq)
+    }
+
+    fn schedule_entry_with_seq(
+        &mut self,
+        at: SimTime,
+        event: Event,
+        cancellable: bool,
+        seq: u64,
+    ) -> EventId {
         let t = at.as_nanos();
         assert!(
             t >= self.now,
             "cannot schedule an event in the past: {at} < {}",
             self.now()
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
         self.live += 1;
         let idx = match self.free.pop() {
             Some(idx) => {
@@ -304,9 +335,13 @@ impl EventQueue {
             self.cancellable_pending.insert(seq);
         }
         if !self.batch.is_empty() && t == self.batch_time {
-            // Joins the batch currently being drained; `seq` is the largest
-            // so far, so appending keeps the batch seq-sorted.
-            self.batch.push_back(key);
+            // Joins the batch currently being drained. With the queue's own
+            // counter `seq` is always the largest so far and this is a plain
+            // append; externally seeded sequence numbers (boundary messages
+            // drained at a barrier) may be smaller than a direct insert that
+            // raced ahead, so insert at the seq-sorted position.
+            let pos = self.batch.partition_point(|k| k.seq < seq);
+            self.batch.insert(pos, key);
         } else if t < self.cursor {
             // Behind the wheel cursor (which may have advanced during a
             // peek): the side heap serves these before the wheel.
@@ -431,6 +466,75 @@ impl EventQueue {
                 return None;
             }
         }
+    }
+
+    /// The `(time, seq)` ordering key of the next pending event, if any —
+    /// what the partitioned network's merge loop compares across wheels to
+    /// pick the globally next event. Purges cancelled tombstones like
+    /// [`Self::peek_time`].
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        // `peek_time` leaves the live head at the front of either the early
+        // heap or the batch, so the key is read off whichever front wins.
+        self.peek_time()?;
+        let early_first = match (self.early.peek(), self.batch.front()) {
+            (Some(e), Some(b)) => e.time < b.time,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        let key = if early_first {
+            self.early.peek().copied()
+        } else {
+            self.batch.front().copied()
+        };
+        key.map(|k| (SimTime::from_nanos(k.time), k.seq))
+    }
+
+    /// Remove every pending entry, returning `(time, seq, event,
+    /// cancellable)` tuples in `(time, seq)` order and leaving the queue
+    /// empty with its clock unchanged. Used when a network is re-partitioned
+    /// before running: pending events migrate to the new per-partition
+    /// wheels with their original sequence numbers.
+    pub(crate) fn drain_entries(&mut self) -> Vec<(SimTime, u64, Event, bool)> {
+        let saved_now = self.now;
+        let mut out = Vec::with_capacity(self.live);
+        loop {
+            let early_first = match (self.early.peek(), self.batch.front()) {
+                (Some(e), Some(b)) => e.time < b.time,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            let key = if early_first {
+                self.early.pop()
+            } else if self.batch.front().is_some() {
+                self.batch.pop_front()
+            } else {
+                if !self.refill_batch() {
+                    break;
+                }
+                continue;
+            };
+            let key = key.expect("selected source is non-empty");
+            if self.reap_if_cancelled(&key) {
+                continue;
+            }
+            if key.cancellable {
+                self.cancellable_pending.remove(&key.seq);
+            }
+            self.live -= 1;
+            self.now = key.time;
+            let event = self.slab[key.idx as usize]
+                .take()
+                .expect("pending key has a payload");
+            self.free.push(key.idx);
+            out.push((
+                SimTime::from_nanos(key.time),
+                key.seq,
+                event,
+                key.cancellable,
+            ));
+        }
+        self.now = saved_now;
+        out
     }
 
     /// Number of pending events.

@@ -11,14 +11,25 @@
 //! replays of an impaired scenario stay bit-identical under the determinism
 //! contract.
 //!
-//! Randomized impairments (per-packet loss, delay jitter) draw from a
-//! self-contained SplitMix64 stream owned by the `Network` and seeded
-//! explicitly via [`crate::network::Network::set_impairment_seed`]. The
-//! stream advances only when an impaired link actually transmits, and event
-//! dispatch order is deterministic, so the draw sequence — and with it every
-//! loss decision and jitter offset — is a pure function of the seed and the
-//! scenario. The engine keeps its no-ambient-randomness property: an
-//! unimpaired simulation never touches the stream.
+//! Randomized impairments (per-packet loss, delay jitter) draw from
+//! self-contained SplitMix64 streams owned by the `Network` — one stream
+//! per partition, derived from the seed passed to
+//! [`crate::network::Network::set_impairment_seed`] via
+//! [`derive_partition_seed`]. Each link draws from the stream of the
+//! partition that owns it, the streams advance only when an impaired link
+//! actually transmits, and event dispatch order is deterministic, so the
+//! draw sequence — and with it every loss decision and jitter offset — is a
+//! pure function of the seed and the scenario. Partition 0's stream *is*
+//! the raw seed, so a single-partition network reproduces the historical
+//! single-stream draws bit-for-bit. The engine keeps its
+//! no-ambient-randomness property: an unimpaired simulation never touches
+//! any stream.
+//!
+//! One caveat worth stating precisely: *deterministic* impairments (down,
+//! up, speed, cable cuts) draw nothing and are therefore bit-identical for
+//! any partition count, but the sampled values of *randomized* loss/jitter
+//! legitimately depend on how links are divided among streams — each
+//! partition count is its own (fully replayable) draw sequence.
 //!
 //! Schedule construction (which link, when, how long) lives one layer up in
 //! `numfabric-workloads`, next to the other seeded scenario builders; this
@@ -39,6 +50,14 @@ pub enum LinkChange {
     /// re-routed over the surviving paths (see
     /// [`crate::topology::Topology::host_route_avoiding`]).
     Down,
+    /// Fail the link **asymmetrically**: the directed link dies exactly like
+    /// [`LinkChange::Down`] (backlog dropped, in-flight packets lost on
+    /// arrival, enqueues dropped), but ECMP reroute avoids *only this
+    /// direction* — the reverse twin keeps carrying traffic, and a flow
+    /// whose ACK path crosses the dead direction simply loses those ACKs.
+    /// This models one-directional optic degradation, where the routing
+    /// plane only learns about the direction that stopped carrying light.
+    DownFwd,
     /// Restore a failed link. Flows return to the route their ECMP choice
     /// selects on the restored graph.
     Up,
@@ -63,6 +82,10 @@ pub enum LinkChange {
 pub struct LinkHealth {
     /// Whether the link is currently up.
     pub up: bool,
+    /// Whether a down link failed asymmetrically ([`LinkChange::DownFwd`]):
+    /// reroute then avoids only this direction, not the whole cable.
+    /// Meaningless while `up` is true.
+    pub asymmetric_down: bool,
     /// Per-packet loss probability on the wire.
     pub loss: f64,
     /// Maximum extra propagation delay added per packet.
@@ -73,6 +96,7 @@ impl Default for LinkHealth {
     fn default() -> Self {
         Self {
             up: true,
+            asymmetric_down: false,
             loss: 0.0,
             jitter: SimDuration::ZERO,
         }
@@ -107,6 +131,22 @@ pub(crate) fn splitmix64_unit(state: &mut u64) -> f64 {
     (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// Derive partition `partition`'s impairment-stream seed from the network's
+/// base seed. Partition 0 gets the base seed itself — a single-partition
+/// network reproduces the historical single-stream draw sequence exactly —
+/// and every other partition gets an independent SplitMix64-mixed stream,
+/// so concurrent-by-construction partitions never share RNG state.
+pub fn derive_partition_seed(seed: u64, partition: usize) -> u64 {
+    if partition == 0 {
+        return seed;
+    }
+    // Mix the partition index through one SplitMix64 step of a state offset
+    // by golden-ratio multiples — the same construction the sweep engine
+    // uses for per-cell seeds.
+    let mut state = seed.wrapping_add((partition as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    splitmix64(&mut state)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +178,19 @@ mod tests {
         let draws_c: Vec<u64> = (0..8).map(|_| splitmix64(&mut c)).collect();
         assert_eq!(draws_a, draws_b);
         assert_ne!(draws_a, draws_c);
+    }
+
+    #[test]
+    fn partition_seed_zero_is_the_base_seed_and_others_differ() {
+        assert_eq!(derive_partition_seed(42, 0), 42);
+        let derived: Vec<u64> = (0..8).map(|p| derive_partition_seed(42, p)).collect();
+        for (i, &a) in derived.iter().enumerate() {
+            for &b in &derived[i + 1..] {
+                assert_ne!(a, b, "partition streams must be distinct");
+            }
+        }
+        assert_eq!(derive_partition_seed(42, 3), derive_partition_seed(42, 3));
+        assert_ne!(derive_partition_seed(42, 3), derive_partition_seed(43, 3));
     }
 
     #[test]

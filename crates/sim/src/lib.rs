@@ -44,6 +44,15 @@
 //! [`network`]). Independent simulations therefore parallelize across
 //! threads with no locks in the hot path and no effect on determinism —
 //! the `numfabric-bench` sweep engine runs one owned `Network` per worker.
+//! *Inside* one simulation, the network is domain-decomposed: a
+//! deterministic graph partitioner ([`topology::Topology::partition`])
+//! assigns every node to one of `N` partitions, each partition owns its own
+//! timing wheel, timer service and impairment RNG stream, and cross-cut
+//! packet deliveries travel as boundary messages merged at conservative
+//! time barriers. Events carry globally allocated sequence numbers, so the
+//! merged pop order — and every report byte — is a pure function of the
+//! seed, independent of the partition count
+//! ([`network::Network::set_partitions`]).
 //!
 //! ## Quick example
 //!
@@ -86,13 +95,15 @@ pub mod transport;
 
 pub use event::{Event, EventId, EventQueue, HeapEventQueue};
 pub use flow::{FlowPhase, FlowSpec, FlowStats};
-pub use impairment::{LinkChange, LinkHealth};
+pub use impairment::{derive_partition_seed, LinkChange, LinkHealth};
 pub use network::{AgentCtx, LinkStats, Network, NetworkConfig};
 pub use packet::{FlowId, Packet, PacketHeader, PacketKind};
 pub use queue::{DropTailFifo, EcnFifo, PfabricQueue, QueueDiscipline, StfqQueue};
 pub use routes::{RouteId, RouteTable};
 pub use time::{SimDuration, SimTime};
 pub use timer::{TimerHandle, TimerService};
-pub use topology::{FatTreeConfig, LeafSpineConfig, LinkId, NodeId, NodeKind, Route, Topology};
+pub use topology::{
+    FatTreeConfig, LeafSpineConfig, LinkId, NodeId, NodeKind, Partitioning, Route, Topology,
+};
 pub use tracer::{EwmaRateTracer, RateSeries};
 pub use transport::{FlowAgent, LinkController, NullController};

@@ -34,7 +34,7 @@
 
 use crate::event::{Event, EventId, EventQueue};
 use crate::flow::{FlowPhase, FlowSpec, FlowStats};
-use crate::impairment::{splitmix64_unit, LinkChange, LinkHealth};
+use crate::impairment::{derive_partition_seed, splitmix64_unit, LinkChange, LinkHealth};
 use crate::packet::{FlowId, Packet, PacketHeader, PacketKind, SeqNo, HEADER_BYTES, MTU_BYTES};
 use crate::queue::QueueDiscipline;
 use crate::routes::{RouteId, RouteTable};
@@ -95,6 +95,34 @@ impl Default for NetworkConfig {
     }
 }
 
+/// One spatial partition's event core: its own timing wheel, its own timer
+/// bookkeeping, its own impairment RNG stream, and a boundary inbox for
+/// cross-partition packet deliveries produced during the current epoch.
+struct PartitionCore {
+    events: EventQueue,
+    timers: TimerService,
+    /// SplitMix64 state for randomized impairments (loss, jitter) on links
+    /// owned by this partition. Advances only when an impaired link
+    /// transmits; see [`crate::impairment`].
+    rng: u64,
+    /// Boundary messages addressed *to* this partition: cross-cut packet
+    /// arrivals stamped `(deliver_time, seq)` at creation and merged into
+    /// the wheel at the next time barrier. The conservative lookahead
+    /// guarantees every entry's deliver time is at or past that barrier.
+    inbox: Vec<(SimTime, u64, Event)>,
+}
+
+impl PartitionCore {
+    fn new(seed: u64, partition: usize) -> Self {
+        Self {
+            events: EventQueue::new(),
+            timers: TimerService::new(),
+            rng: derive_partition_seed(seed, partition),
+            inbox: Vec::new(),
+        }
+    }
+}
+
 /// The packet-level network simulator.
 ///
 /// A `Network` owns every piece of its simulation state and is `Send`
@@ -102,19 +130,51 @@ impl Default for NetworkConfig {
 /// there. Concurrent sweeps exploit this — one fully-owned `Network` per
 /// thread — without any change to the single-threaded event core or its
 /// determinism contract.
+///
+/// # Partitions
+///
+/// Internally the network is **domain-decomposed**: [`Network::set_partitions`]
+/// splits the fabric into spatial partitions (via [`Topology::partition`]),
+/// each owning a disjoint subset of nodes with its own timing wheel,
+/// [`TimerService`] and impairment RNG stream. Cross-partition deliveries
+/// travel as boundary messages released at conservative time barriers
+/// (lookahead = the minimum propagation delay over boundary links), and the
+/// run loop merges partition wheels by a **globally shared** `(time, seq)`
+/// key — so the observable pop order, and therefore every report byte, is
+/// identical for any partition count. The default single partition *is* the
+/// historical single-queue engine, bit for bit; the public API is unchanged
+/// either way. Execution is still sequential — the partition structure is
+/// the groundwork for intra-simulation threading, not yet the threads.
 pub struct Network {
     topo: Topology,
     links: Vec<LinkRuntime>,
     flows: Vec<FlowRuntime>,
     routes: RouteTable,
-    events: EventQueue,
-    timers: TimerService,
+    /// The per-partition event cores. Always at least one; index 0 is the
+    /// whole network until [`Network::set_partitions`] says otherwise.
+    parts: Vec<PartitionCore>,
+    /// Partition owning each node.
+    node_part: Vec<usize>,
+    /// Partition owning each link's runtime state (its tail node's).
+    link_part: Vec<usize>,
+    /// Whether each link crosses a partition boundary (its endpoints live
+    /// in different partitions) — the links whose deliveries become
+    /// boundary messages.
+    link_cut: Vec<bool>,
+    /// Conservative lookahead: the minimum propagation delay over boundary
+    /// links. `None` when no link crosses a cut (single partition), in
+    /// which case an epoch spans the whole run.
+    lookahead: Option<SimDuration>,
     clock: SimTime,
     config: NetworkConfig,
     events_processed: u64,
-    /// SplitMix64 state for randomized impairments (loss, jitter). Advances
-    /// only when an impaired link transmits; see [`crate::impairment`].
-    rng: u64,
+    /// The globally shared event sequence counter. Every event in every
+    /// partition's wheel draws from this one counter at schedule time, so
+    /// the cross-partition `(time, seq)` merge reproduces the single-queue
+    /// pop order exactly.
+    next_seq: u64,
+    /// The base impairment seed; per-partition streams derive from it.
+    impair_seed: u64,
 }
 
 impl Network {
@@ -145,18 +205,123 @@ impl Network {
                 stats: LinkStats::default(),
             })
             .collect();
+        let num_nodes = topo.nodes().len();
+        let num_links = topo.links().len();
         Self {
             topo,
             links,
             flows: Vec::new(),
             routes: RouteTable::new(),
-            events: EventQueue::new(),
-            timers: TimerService::new(),
+            parts: vec![PartitionCore::new(0, 0)],
+            node_part: vec![0; num_nodes],
+            link_part: vec![0; num_links],
+            link_cut: vec![false; num_links],
+            lookahead: None,
             clock: SimTime::ZERO,
             config,
             events_processed: 0,
-            rng: 0,
+            next_seq: 0,
+            impair_seed: 0,
         }
+    }
+
+    /// Re-split the network into `partitions` spatial domains (see the
+    /// type-level docs). Each partition gets its own timing wheel, timer
+    /// service and impairment stream; events already scheduled (e.g. link
+    /// controller timers installed at construction) migrate to their owning
+    /// partition's wheel with their original sequence numbers, so the
+    /// partition count never perturbs event order.
+    ///
+    /// Must be called during setup: after construction and controller
+    /// installation, before any flow is added or the simulation runs.
+    ///
+    /// # Panics
+    /// Panics if `partitions` is zero, or if flows exist or events have
+    /// already been processed.
+    pub fn set_partitions(&mut self, partitions: usize) {
+        assert!(partitions >= 1, "partition count must be at least 1");
+        assert!(
+            self.flows.is_empty() && self.events_processed == 0,
+            "set_partitions must be called before flows are added or the simulation runs"
+        );
+        let partitioning = self.topo.partition(partitions);
+        self.node_part = partitioning.assignment().to_vec();
+        self.link_part = self
+            .topo
+            .links()
+            .iter()
+            .map(|spec| self.node_part[spec.from])
+            .collect();
+        self.link_cut = self
+            .topo
+            .links()
+            .iter()
+            .map(|spec| self.node_part[spec.from] != self.node_part[spec.to])
+            .collect();
+        self.lookahead = self
+            .topo
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|&(l, _)| self.link_cut[l])
+            .map(|(_, spec)| spec.delay.max(SimDuration::from_nanos(1)))
+            .min();
+        // Migrate pending events (setup-time controller timers and link
+        // changes) into the new per-partition wheels, keeping their
+        // original global sequence numbers.
+        let mut pending: Vec<(SimTime, u64, Event, bool)> = Vec::new();
+        for core in &mut self.parts {
+            pending.extend(core.events.drain_entries());
+        }
+        pending.sort_by_key(|&(t, seq, ..)| (t, seq));
+        self.parts = (0..partitions)
+            .map(|p| PartitionCore::new(self.impair_seed, p))
+            .collect();
+        for (at, seq, event, cancellable) in pending {
+            let p = self.event_partition(&event);
+            let core = &mut self.parts[p].events;
+            if cancellable {
+                core.schedule_cancellable_seeded(at, event, seq);
+            } else {
+                core.schedule_seeded(at, event, seq);
+            }
+        }
+    }
+
+    /// The number of spatial partitions this network is decomposed into.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The partition that owns (handles events of) `event`: arrivals belong
+    /// to the receiving end of their link, everything else link-scoped to
+    /// the transmitting end, and flow-scoped events to the source host.
+    fn event_partition(&self, event: &Event) -> usize {
+        match event {
+            Event::Arrival { link, .. } => self.node_part[self.topo.links()[*link].to],
+            Event::TransmitComplete { link }
+            | Event::LinkTimer { link, .. }
+            | Event::LinkChange { link, .. } => self.link_part[*link],
+            Event::FlowStart { flow }
+            | Event::FlowStop { flow }
+            | Event::FlowTimer { flow, .. } => self.node_part[self.flows[*flow].spec.src],
+        }
+    }
+
+    /// Allocate the next globally shared sequence number.
+    fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Schedule `event` into its owning partition's wheel under the global
+    /// sequence counter — the partition-aware replacement for what used to
+    /// be `self.events.schedule(...)`.
+    fn schedule_event(&mut self, at: SimTime, event: Event) -> EventId {
+        let seq = self.alloc_seq();
+        let p = self.event_partition(&event);
+        self.parts[p].events.schedule_seeded(at, event, seq)
     }
 
     /// The topology this network was built from.
@@ -186,8 +351,7 @@ impl Network {
         let initial = controller.initial_timer();
         self.links[link].controller = Some(controller);
         if let Some(delay) = initial {
-            self.events
-                .schedule(self.clock + delay, Event::LinkTimer { link, tag: 0 });
+            self.schedule_event(self.clock + delay, Event::LinkTimer { link, tag: 0 });
         }
     }
 
@@ -266,26 +430,84 @@ impl Network {
             stats: FlowStats::default(),
             tracer: EwmaRateTracer::new(self.config.rate_ewma_tau),
         });
-        self.timers.register_flow();
+        // Dense per-flow timer bookkeeping on every partition: a flow's
+        // timers live only in its owning partition's service, but the flow
+        // id must index into all of them.
+        for core in &mut self.parts {
+            core.timers.register_flow();
+        }
         let at = self.flows[id].spec.start_time;
-        self.events.schedule(at, Event::FlowStart { flow: id });
+        self.schedule_event(at, Event::FlowStart { flow: id });
         id
     }
 
     /// Stop an active flow (it stops sending; in-flight packets still drain).
     pub fn stop_flow(&mut self, flow: FlowId) {
-        self.events.schedule(self.clock, Event::FlowStop { flow });
+        self.schedule_event(self.clock, Event::FlowStop { flow });
+    }
+
+    /// The earliest `(time, seq)` key across every partition's wheel, and
+    /// the partition holding it — the cross-partition merge point. Shared
+    /// sequence numbers make the winner unique and identical to what a
+    /// single queue would pop next.
+    fn peek_min(&mut self) -> Option<(SimTime, u64, usize)> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for p in 0..self.parts.len() {
+            if let Some((t, seq)) = self.parts[p].events.peek_key() {
+                if best.is_none_or(|(bt, bs, _)| (t, seq) < (bt, bs)) {
+                    best = Some((t, seq, p));
+                }
+            }
+        }
+        best
+    }
+
+    /// Release every buffered boundary message into its destination
+    /// partition's wheel — the time-barrier merge. Messages carry the
+    /// `(deliver_time, seq)` stamped at creation, so insertion order here
+    /// cannot perturb pop order.
+    fn drain_inboxes(&mut self) {
+        for p in 0..self.parts.len() {
+            if self.parts[p].inbox.is_empty() {
+                continue;
+            }
+            let msgs = std::mem::take(&mut self.parts[p].inbox);
+            for (at, seq, event) in msgs {
+                self.parts[p].events.schedule_seeded(at, event, seq);
+            }
+        }
     }
 
     /// Run the simulation until (and including) time `until`.
+    ///
+    /// With multiple partitions the loop runs in **epochs**: each epoch
+    /// starts at the earliest pending event time `t`, processes every event
+    /// strictly before the barrier `t + lookahead` in merged `(time, seq)`
+    /// order, then releases the boundary messages produced meanwhile. The
+    /// lookahead (minimum boundary-link propagation delay) guarantees no
+    /// boundary message can be due before the barrier, so the merged order
+    /// — and every observable byte — is independent of the partition count.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(next) = self.events.peek_time() {
-            if next > until {
+        loop {
+            self.drain_inboxes();
+            let Some((t, _, _)) = self.peek_min() else {
+                break;
+            };
+            if t > until {
                 break;
             }
-            let (time, id, event) = self.events.pop_entry().expect("peeked event must exist");
-            self.clock = time;
-            self.handle(id, event);
+            let barrier = self.lookahead.map(|la| t + la);
+            while let Some((time, _, p)) = self.peek_min() {
+                if time > until || barrier.is_some_and(|b| time >= b) {
+                    break;
+                }
+                let (time, id, event) = self.parts[p]
+                    .events
+                    .pop_entry()
+                    .expect("peeked event must exist");
+                self.clock = time;
+                self.handle(id, event);
+            }
         }
         self.clock = self.clock.max(until);
     }
@@ -297,11 +519,26 @@ impl Network {
     }
 
     /// Run until no events remain (only sensible for workloads where every
-    /// flow has a finite size).
+    /// flow has a finite size). Same epoch structure as [`Self::run_until`],
+    /// without the time bound.
     pub fn run_to_completion(&mut self) {
-        while let Some((time, id, event)) = self.events.pop_entry() {
-            self.clock = time;
-            self.handle(id, event);
+        loop {
+            self.drain_inboxes();
+            let Some((t, _, _)) = self.peek_min() else {
+                break;
+            };
+            let barrier = self.lookahead.map(|la| t + la);
+            while let Some((time, _, p)) = self.peek_min() {
+                if barrier.is_some_and(|b| time >= b) {
+                    break;
+                }
+                let (time, id, event) = self.parts[p]
+                    .events
+                    .pop_entry()
+                    .expect("peeked event must exist");
+                self.clock = time;
+                self.handle(id, event);
+            }
         }
     }
 
@@ -370,15 +607,20 @@ impl Network {
     /// these calls.
     pub fn schedule_link_change(&mut self, at: SimTime, link: LinkId, change: LinkChange) {
         assert!(link < self.links.len(), "no such link: {link}");
-        self.events
-            .schedule(at.max(self.clock), Event::LinkChange { link, change });
+        self.schedule_event(at.max(self.clock), Event::LinkChange { link, change });
     }
 
-    /// Seed the impairment stream that randomized [`LinkChange::Loss`] and
-    /// [`LinkChange::Jitter`] draws come from. Runs that never impair a
-    /// link never touch the stream, so the seed is irrelevant to them.
+    /// Seed the impairment streams that randomized [`LinkChange::Loss`] and
+    /// [`LinkChange::Jitter`] draws come from — one stream per partition,
+    /// derived via [`derive_partition_seed`] (partition 0 gets `seed`
+    /// itself, so a single-partition network reproduces the historical
+    /// single-stream draws exactly). Runs that never impair a link never
+    /// touch any stream, so the seed is irrelevant to them.
     pub fn set_impairment_seed(&mut self, seed: u64) {
-        self.rng = seed;
+        self.impair_seed = seed;
+        for (p, core) in self.parts.iter_mut().enumerate() {
+            core.rng = derive_partition_seed(seed, p);
+        }
     }
 
     /// Whether a link is currently up.
@@ -413,17 +655,22 @@ impl Network {
         self.events_processed
     }
 
-    /// Number of events currently pending in the queue. Structurally
-    /// cancelled timers (see [`AgentCtx::cancel_timer`]) do not count.
+    /// Number of events currently pending across every partition's wheel
+    /// and boundary inbox. Structurally cancelled timers (see
+    /// [`AgentCtx::cancel_timer`]) do not count.
     pub fn pending_events(&self) -> usize {
-        self.events.len()
+        self.parts
+            .iter()
+            .map(|c| c.events.len() + c.inbox.len())
+            .sum()
     }
 
     /// Number of armed, un-fired timers of `flow`. Stopping or completing a
     /// flow cancels all of them, so this drops to zero structurally — the
     /// regression surface for the stale-RTX-timer bug.
     pub fn pending_timer_count(&self, flow: FlowId) -> usize {
-        self.timers.pending_count(flow)
+        let p = self.node_part[self.flows[flow].spec.src];
+        self.parts[p].timers.pending_count(flow)
     }
 
     // ---- event handling ---------------------------------------------------
@@ -446,11 +693,14 @@ impl Network {
 
     fn handle_link_change(&mut self, link: LinkId, change: LinkChange) {
         match change {
-            LinkChange::Down => {
+            LinkChange::Down | LinkChange::DownFwd => {
                 if !self.links[link].health.up {
                     return;
                 }
                 self.links[link].health.up = false;
+                // An asymmetric failure dies identically at this link but
+                // leaves the reverse twin routable (see `reroute_ecmp_flows`).
+                self.links[link].health.asymmetric_down = change == LinkChange::DownFwd;
                 // Everything queued behind the failed cable is lost,
                 // deterministically (drain order is the discipline's own
                 // dequeue order). Packets already propagating are lost at
@@ -463,6 +713,7 @@ impl Network {
                     return;
                 }
                 self.links[link].health.up = true;
+                self.links[link].health.asymmetric_down = false;
                 self.reroute_ecmp_flows();
                 self.try_transmit(link);
             }
@@ -515,6 +766,20 @@ impl Network {
             .filter(|(_, lr)| !lr.health.up)
             .map(|(id, _)| id)
             .collect();
+        // The route-selection ban set: a symmetric failure bans the whole
+        // cable (a flow cannot use a path its ACKs cannot retrace), while an
+        // asymmetric `DownFwd` failure bans only the dead direction — the
+        // routing plane only learned about the direction that went dark.
+        let mut banned = down.clone();
+        for &id in &down {
+            if self.links[id].health.asymmetric_down {
+                continue;
+            }
+            let spec = &self.topo.links()[id];
+            if let Some(twin) = self.topo.link_between(spec.to, spec.from) {
+                banned.insert(twin);
+            }
+        }
         let mut rerouted: Vec<(FlowId, bool)> = Vec::new();
         for flow in 0..self.flows.len() {
             let fr = &self.flows[flow];
@@ -526,7 +791,10 @@ impl Network {
             };
             let (src, dst, old) = (fr.spec.src, fr.spec.dst, fr.spec.route);
             let old_reverse = fr.spec.reverse_route;
-            let Some(new_route) = self.topo.host_route_avoiding(src, dst, choice, &down) else {
+            let Some(new_route) = self
+                .topo
+                .host_route_avoiding_directed(src, dst, choice, &banned)
+            else {
                 continue;
             };
             if self.routes.links(old) == new_route.links.as_slice() {
@@ -571,6 +839,13 @@ impl Network {
         self.with_agent(flow, |agent, ctx| agent.on_start(ctx));
     }
 
+    /// Cancel every outstanding timer of `flow` in its owning partition.
+    fn cancel_flow_timers(&mut self, flow: FlowId) {
+        let p = self.node_part[self.flows[flow].spec.src];
+        let core = &mut self.parts[p];
+        core.timers.cancel_all(&mut core.events, flow);
+    }
+
     fn handle_flow_stop(&mut self, flow: FlowId) {
         if self.flows[flow].phase == FlowPhase::Active {
             self.flows[flow].phase = FlowPhase::Stopped;
@@ -579,7 +854,7 @@ impl Network {
             }
             // Structural cancellation: a stopped flow leaves no timers
             // behind to fire into the dispatch path.
-            self.timers.cancel_all(&mut self.events, flow);
+            self.cancel_flow_timers(flow);
         }
     }
 
@@ -593,8 +868,7 @@ impl Network {
             }
         };
         if let Some(delay) = next {
-            self.events
-                .schedule(self.clock + delay, Event::LinkTimer { link, tag });
+            self.schedule_event(self.clock + delay, Event::LinkTimer { link, tag });
         }
     }
 
@@ -652,13 +926,14 @@ impl Network {
                 for &l in self.routes.links(route) {
                     self.links[l].queue.release_flow(flow);
                 }
-                self.timers.cancel_all(&mut self.events, flow);
+                self.cancel_flow_timers(flow);
             }
         }
     }
 
     fn dispatch_timer(&mut self, flow: FlowId, tag: u64, id: EventId) {
-        self.timers.fired(flow, id);
+        let p = self.node_part[self.flows[flow].spec.src];
+        self.parts[p].timers.fired(flow, id);
         // Stop/completion cancels outstanding timers structurally; this
         // guard is defence in depth, not the cancellation mechanism.
         if self.flows[flow].phase != FlowPhase::Active {
@@ -712,7 +987,9 @@ impl Network {
     }
 
     fn try_transmit(&mut self, link: LinkId) {
+        let rng_part = self.link_part[link];
         let (packet, tx_time, delay, lost, jitter) = {
+            let rng = &mut self.parts[rng_part].rng;
             let lr = &mut self.links[link];
             if lr.busy || !lr.health.up {
                 return;
@@ -740,27 +1017,37 @@ impl Network {
             // stream and stay bit-identical with pre-impairment builds.
             let health = lr.health;
             let delay = lr.delay;
-            let lost = health.loss > 0.0 && splitmix64_unit(&mut self.rng) < health.loss;
+            let lost = health.loss > 0.0 && splitmix64_unit(rng) < health.loss;
             let jitter = if !lost && !health.jitter.is_zero() {
-                let unit = splitmix64_unit(&mut self.rng);
+                let unit = splitmix64_unit(rng);
                 SimDuration::from_nanos((health.jitter.as_nanos() as f64 * unit) as u64)
             } else {
                 SimDuration::ZERO
             };
             (packet, tx_time, delay, lost, jitter)
         };
-        self.events
-            .schedule(self.clock + tx_time, Event::TransmitComplete { link });
+        self.schedule_event(self.clock + tx_time, Event::TransmitComplete { link });
         if lost {
             // Corrupted on the wire: it occupied the link for its full
             // serialization time but never arrives.
             self.links[link].stats.packets_dropped += 1;
             self.flows[packet.flow].stats.packets_dropped += 1;
         } else {
-            self.events.schedule(
-                self.clock + tx_time + delay + jitter,
-                Event::Arrival { link, packet },
-            );
+            let at = self.clock + tx_time + delay + jitter;
+            let event = Event::Arrival { link, packet };
+            if self.link_cut[link] {
+                // Boundary message: the arrival belongs to the partition on
+                // the far side of the cut. It is buffered (with its global
+                // sequence number already stamped) and drained into that
+                // partition's wheel at the next epoch barrier — safe because
+                // `at >= barrier`: the cut link's propagation delay is at
+                // least the lookahead window by construction.
+                let seq = self.alloc_seq();
+                let dest = self.node_part[self.topo.links()[link].to];
+                self.parts[dest].inbox.push((at, seq, event));
+            } else {
+                self.schedule_event(at, event);
+            }
         }
     }
 }
@@ -887,21 +1174,30 @@ impl AgentCtx<'_> {
     /// stops or completes, every outstanding timer is cancelled
     /// automatically.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerHandle {
-        self.net
-            .timers
-            .arm(&mut self.net.events, self.flow, delay, tag)
+        // Anchor at the engine's global clock (a partition wheel's own clock
+        // may lag between barriers) and stamp the shared sequence number so
+        // the timer merges deterministically across partitions.
+        let p = self.net.node_part[self.net.flows[self.flow].spec.src];
+        let seq = self.net.alloc_seq();
+        let now = self.net.clock;
+        let core = &mut self.net.parts[p];
+        core.timers
+            .arm_seeded(&mut core.events, now, seq, self.flow, delay, tag)
     }
 
     /// Cancel a timer previously armed with [`Self::set_timer`]. Returns
     /// `true` if the timer was still pending, `false` if it already fired
     /// or was already cancelled.
     pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
-        self.net.timers.cancel(&mut self.net.events, handle)
+        let p = self.net.node_part[self.net.flows[handle.flow()].spec.src];
+        let core = &mut self.net.parts[p];
+        core.timers.cancel(&mut core.events, handle)
     }
 
     /// Number of this flow's armed, un-fired timers.
     pub fn pending_timers(&self) -> usize {
-        self.net.timers.pending_count(self.flow)
+        let p = self.net.node_part[self.net.flows[self.flow].spec.src];
+        self.net.parts[p].timers.pending_count(self.flow)
     }
 }
 
@@ -1287,6 +1583,58 @@ mod tests {
         // the flow kept making progress across the whole flap.
         assert_eq!(net.flow_spec(flow).route, original);
         assert!(net.flow_stats(flow).bytes_delivered > delivered_at_2ms);
+    }
+
+    #[test]
+    fn down_fwd_reroutes_only_the_dead_direction() {
+        // Two ECMP-pinned flows crossing the same cable in opposite
+        // directions: h0 -> h4 climbs leaf0 -> spine0, h4 -> h0 descends
+        // spine0 -> leaf0 (the twin). An asymmetric failure of the uplink
+        // must move only the climbing flow; a symmetric one moves both.
+        let run = |change: LinkChange| {
+            let mut net = small_net();
+            let hosts: Vec<_> = net.topology().hosts().to_vec();
+            let fwd_flow = net.add_flow(
+                hosts[0],
+                hosts[4],
+                None,
+                SimTime::ZERO,
+                0,
+                None,
+                Box::new(SimpleWindowAgent::new(16)),
+            );
+            let rev_flow = net.add_flow(
+                hosts[4],
+                hosts[0],
+                None,
+                SimTime::ZERO,
+                0,
+                None,
+                Box::new(SimpleWindowAgent::new(16)),
+            );
+            let dead = uplink(&net, 0);
+            let fwd_route = net.flow_spec(fwd_flow).route;
+            let rev_route = net.flow_spec(rev_flow).route;
+            net.schedule_link_change(SimTime::from_millis(1), dead, change);
+            net.run_until(SimTime::from_millis(2));
+            assert!(!net.link_is_up(dead));
+            let fwd_moved = net.flow_spec(fwd_flow).route != fwd_route;
+            let rev_moved = net.flow_spec(rev_flow).route != rev_route;
+            assert!(fwd_moved, "the dead direction is always avoided");
+            assert!(!net
+                .route(net.flow_spec(fwd_flow).route)
+                .links
+                .contains(&dead));
+            rev_moved
+        };
+        assert!(
+            !run(LinkChange::DownFwd),
+            "down-fwd must leave the live twin direction routable"
+        );
+        assert!(
+            run(LinkChange::Down),
+            "a symmetric down bans the whole cable"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! share a handful of leaf-spine paths, so the arena stays tiny even for
 //! very large workloads.
 
-use crate::topology::{LinkId, Route};
+use crate::topology::{LinkId, Partitioning, Route, Topology};
 use std::collections::HashMap;
 
 /// A copyable handle to a route interned in a [`RouteTable`].
@@ -79,6 +79,28 @@ impl RouteTable {
     pub fn is_empty(&self) -> bool {
         self.routes.is_empty()
     }
+
+    /// The hop indices of `route` that cross a partition boundary under
+    /// `parts` — the hops where a packet following this route becomes a
+    /// boundary message between per-partition event cores. An empty result
+    /// means the whole path stays inside one partition (always the case for
+    /// a single-partition network).
+    pub fn crossing_hops(
+        &self,
+        route: RouteId,
+        topo: &Topology,
+        parts: &Partitioning,
+    ) -> Vec<usize> {
+        self.links(route)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| {
+                let spec = &topo.links()[l];
+                parts.of(spec.from) != parts.of(spec.to)
+            })
+            .map(|(hop, _)| hop)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -111,5 +133,28 @@ mod tests {
             assert_eq!(id.index(), i);
         }
         assert_eq!(table.len(), 10);
+    }
+
+    #[test]
+    fn crossing_hops_marks_exactly_the_boundary_links() {
+        use crate::topology::LeafSpineConfig;
+        let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));
+        let hosts = topo.hosts().to_vec();
+        let mut table = RouteTable::new();
+        // Inter-rack: host in rack 0 to host in rack 1, via a spine.
+        let inter = table.intern(topo.host_route(hosts[0], hosts[7], 0));
+        // Intra-rack: both endpoints under leaf 0.
+        let intra = table.intern(topo.host_route(hosts[0], hosts[1], 0));
+        let one = topo.partition(1);
+        assert!(table.crossing_hops(inter, &topo, &one).is_empty());
+        let two = topo.partition(2);
+        assert!(table.crossing_hops(intra, &topo, &two).is_empty());
+        let crossings = table.crossing_hops(inter, &topo, &two);
+        assert!(!crossings.is_empty(), "inter-rack route must cross the cut");
+        for hop in crossings {
+            let l = table.links(inter)[hop];
+            let spec = &topo.links()[l];
+            assert_ne!(two.of(spec.from), two.of(spec.to));
+        }
     }
 }

@@ -22,7 +22,7 @@
 
 use crate::event::{Event, EventId, EventQueue};
 use crate::packet::FlowId;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 
 /// A handle to one armed flow timer. Obtained from
 /// [`crate::network::AgentCtx::set_timer`]; remains valid until the timer
@@ -78,6 +78,28 @@ impl TimerService {
     ) -> TimerHandle {
         let at = events.now() + delay;
         let id = events.schedule_cancellable(at, Event::FlowTimer { flow, tag });
+        self.pending[flow].push(id);
+        TimerHandle { flow, id }
+    }
+
+    /// [`Self::arm`] under an external clock and sequence number. The
+    /// partitioned network uses this: a partition's wheel clock lags the
+    /// global clock between barriers (and an agent may arm a timer while an
+    /// event of *another* partition is being handled), so the delay is
+    /// anchored at the engine's global `now`, and `seq` comes from the
+    /// engine's shared counter so the timer merges deterministically.
+    #[allow(clippy::too_many_arguments)]
+    pub fn arm_seeded(
+        &mut self,
+        events: &mut EventQueue,
+        now: SimTime,
+        seq: u64,
+        flow: FlowId,
+        delay: SimDuration,
+        tag: u64,
+    ) -> TimerHandle {
+        let at = now + delay;
+        let id = events.schedule_cancellable_seeded(at, Event::FlowTimer { flow, tag }, seq);
         self.pending[flow].push(id);
         TimerHandle { flow, id }
     }

@@ -97,12 +97,12 @@ impl ImpairmentSchedule {
         }
     }
 
-    /// The earliest `Down` instant, if the schedule fails anything — the
-    /// reference point recovery metrics measure from.
+    /// The earliest `Down`/`DownFwd` instant, if the schedule fails anything
+    /// — the reference point recovery metrics measure from.
     pub fn first_failure_at(&self) -> Option<SimTime> {
         self.events
             .iter()
-            .filter(|e| e.change == LinkChange::Down)
+            .filter(|e| matches!(e.change, LinkChange::Down | LinkChange::DownFwd))
             .map(|e| e.at)
             .min()
     }
@@ -117,8 +117,9 @@ impl fmt::Display for InvalidImpairment {
         write!(
             f,
             "invalid impairment `{}`; expected comma-separated \
-             `down@<usec>:<link>`, `up@<usec>:<link>`, `loss@<usec>:<link>=<prob>`, \
-             `jitter@<usec>:<link>=<usec>` or `speed@<usec>:<link>=<bps>`",
+             `down@<usec>:<link>`, `down-fwd@<usec>:<link>`, `up@<usec>:<link>`, \
+             `loss@<usec>:<link>=<prob>`, `jitter@<usec>:<link>=<usec>` or \
+             `speed@<usec>:<link>=<bps>`",
             self.0
         )
     }
@@ -132,6 +133,9 @@ impl FromStr for ImpairmentSchedule {
     /// Parse the compact CLI spelling: comma-separated
     /// `kind@usec:link[=value]` entries, e.g.
     /// `down@500:12,up@1500:12,loss@0:7=0.01,jitter@0:3=5`.
+    /// `down-fwd@usec:link` is the asymmetric variant: only the given
+    /// direction of the cable fails, and reroute avoids only that dead
+    /// direction (`down` conservatively reroutes around the whole cable).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || InvalidImpairment(s.to_string());
         let mut schedule = ImpairmentSchedule::new();
@@ -146,6 +150,7 @@ impl FromStr for ImpairmentSchedule {
             let link: LinkId = link_str.parse().map_err(|_| err())?;
             let change = match (kind, value) {
                 ("down", None) => LinkChange::Down,
+                ("down-fwd", None) => LinkChange::DownFwd,
                 ("up", None) => LinkChange::Up,
                 ("loss", Some(v)) => {
                     let p: f64 = v.parse().map_err(|_| err())?;
@@ -339,6 +344,15 @@ mod tests {
         );
         assert_eq!(s.events[2].change, LinkChange::Speed(1e9));
         assert_eq!(s.first_failure_at(), None);
+
+        let s: ImpairmentSchedule = "down-fwd@250:9,up@750:9".parse().unwrap();
+        assert_eq!(s.events[0].change, LinkChange::DownFwd);
+        assert_eq!(s.events[0].link, 9);
+        assert_eq!(
+            s.first_failure_at(),
+            Some(SimTime::from_micros(250)),
+            "an asymmetric failure is still a failure"
+        );
     }
 
     #[test]
@@ -348,6 +362,9 @@ mod tests {
             "down:12",
             "down@500",
             "down@500:12=1",
+            "down-fwd@500:12=1",
+            "down-fwd:12",
+            "down-rev@500:12",
             "up@x:12",
             "loss@0:7",
             "loss@0:7=1.5",

@@ -325,6 +325,155 @@ fn impairment_seed_actually_drives_the_loss_and_jitter_draws() {
     assert_ne!(trace_a, trace_b, "impairment seed has no effect");
 }
 
+/// [`run_pairs_scenario`] with the network domain-decomposed into
+/// `partitions` per-partition event cores. The partition-conformance
+/// contract: the trace and the byte counters are a pure function of the
+/// seed, so *any* partition count must reproduce the single-queue run
+/// bit-for-bit.
+fn run_pairs_partitioned(
+    topo: Topology,
+    pairs: &[PathSpec],
+    size_bytes: u64,
+    partitions: usize,
+) -> (Vec<TracePoint>, Vec<(u64, u64)>) {
+    let config = NumFabricConfig::paper_default();
+    let mut net = numfabric_network(topo, &config);
+    net.set_partitions(partitions);
+    let ids: Vec<FlowId> = pairs
+        .iter()
+        .map(|p| {
+            net.add_flow(
+                p.src,
+                p.dst,
+                Some(size_bytes),
+                SimTime::ZERO,
+                p.spine_choice,
+                None,
+                Box::new(NumFabricAgent::new(config.clone(), LogUtility::new())),
+            )
+        })
+        .collect();
+    let mut trace = Vec::new();
+    sample_rates(&mut net, &ids, &mut trace);
+    let bytes = ids
+        .iter()
+        .map(|&f| {
+            let st = net.flow_stats(f);
+            (st.bytes_sent, st.bytes_acked)
+        })
+        .collect();
+    (trace, bytes)
+}
+
+#[test]
+fn partition_count_never_changes_a_leaf_spine_report() {
+    let run = |partitions| {
+        let topo = Topology::leaf_spine(&LeafSpineConfig::small(16, 2, 2));
+        let pairs = incast_pairs(&topo, 8, 5);
+        run_pairs_partitioned(topo, &pairs, 120_000, partitions)
+    };
+    let (trace_1, bytes_1) = run(1);
+    assert!(bytes_1.iter().all(|&(sent, _)| sent > 0));
+    for partitions in [2, 4] {
+        let (trace_n, bytes_n) = run(partitions);
+        assert_eq!(
+            trace_1, trace_n,
+            "leaf-spine trace diverged at {partitions} partitions"
+        );
+        assert_eq!(
+            bytes_1, bytes_n,
+            "leaf-spine byte counters diverged at {partitions} partitions"
+        );
+    }
+}
+
+#[test]
+fn partition_count_never_changes_a_fat_tree_report() {
+    let run = |partitions| {
+        let topo = Topology::fat_tree(&FatTreeConfig::new(4));
+        let pairs = shuffle_pairs(&topo, Some(6), 11);
+        run_pairs_partitioned(topo, &pairs, 60_000, partitions)
+    };
+    let (trace_1, bytes_1) = run(1);
+    assert!(bytes_1.iter().all(|&(sent, _)| sent > 0));
+    for partitions in [2, 4] {
+        let (trace_n, bytes_n) = run(partitions);
+        assert_eq!(
+            trace_1, trace_n,
+            "fat-tree trace diverged at {partitions} partitions"
+        );
+        assert_eq!(
+            bytes_1, bytes_n,
+            "fat-tree byte counters diverged at {partitions} partitions"
+        );
+    }
+}
+
+/// A cable-cut run on a fat-tree, decomposed into `partitions` cores: the
+/// busiest-cable flap (down + restore, both directions) drains queues,
+/// reroutes ECMP flows and crosses partition boundaries — and, being a
+/// *deterministic* impairment, must stay bit-identical for every partition
+/// count (randomized loss/jitter legitimately depend on the stream split
+/// and are exercised by the replay pins above instead).
+fn run_cable_cut_partitioned(partitions: usize) -> (Vec<TracePoint>, Vec<(u64, u64)>) {
+    use numfabric::sim::LinkChange;
+    use numfabric::workloads::impairments::fabric_cables;
+    use numfabric::workloads::stride_pairs;
+
+    let topo = Topology::fat_tree(&FatTreeConfig::new(4));
+    let pairs = stride_pairs(&topo, 8, 3);
+    let (cut_fwd, cut_rev) = fabric_cables(&topo)[0];
+
+    let config = NumFabricConfig::paper_default();
+    let mut net = numfabric_network(topo, &config);
+    net.set_partitions(partitions);
+    for link in [cut_fwd, cut_rev] {
+        net.schedule_link_change(SimTime::from_micros(500), link, LinkChange::Down);
+        net.schedule_link_change(SimTime::from_micros(1_500), link, LinkChange::Up);
+    }
+    let ids: Vec<FlowId> = pairs
+        .iter()
+        .map(|p| {
+            net.add_flow(
+                p.src,
+                p.dst,
+                None,
+                SimTime::ZERO,
+                p.spine_choice,
+                None,
+                Box::new(NumFabricAgent::new(config.clone(), LogUtility::new())),
+            )
+        })
+        .collect();
+    let mut trace = Vec::new();
+    sample_rates(&mut net, &ids, &mut trace);
+    let bytes = ids
+        .iter()
+        .map(|&f| {
+            let st = net.flow_stats(f);
+            (st.bytes_sent, st.bytes_acked)
+        })
+        .collect();
+    (trace, bytes)
+}
+
+#[test]
+fn partition_count_never_changes_a_cable_cut_run() {
+    let (trace_1, bytes_1) = run_cable_cut_partitioned(1);
+    assert!(bytes_1.iter().all(|&(sent, _)| sent > 0));
+    for partitions in [2, 4] {
+        let (trace_n, bytes_n) = run_cable_cut_partitioned(partitions);
+        assert_eq!(
+            trace_1, trace_n,
+            "cable-cut trace diverged at {partitions} partitions"
+        );
+        assert_eq!(
+            bytes_1, bytes_n,
+            "cable-cut byte counters diverged at {partitions} partitions"
+        );
+    }
+}
+
 /// Replay a seeded workload through pFabric's tombstone priority queue with
 /// buffers shallow enough that the worst-drop (evict) path fires constantly;
 /// drop decisions feed back into retransmission timing, so any
