@@ -10,7 +10,7 @@
 //! flow start).
 
 use numfabric_sim::network::{AgentCtx, Network};
-use numfabric_sim::packet::{Packet, PacketKind, DEFAULT_PAYLOAD_BYTES, MTU_BYTES};
+use numfabric_sim::packet::{Packet, DEFAULT_PAYLOAD_BYTES, MTU_BYTES};
 use numfabric_sim::queue::EcnFifo;
 use numfabric_sim::topology::Topology;
 use numfabric_sim::transport::FlowAgent;
@@ -119,19 +119,6 @@ impl FlowAgent for DctcpAgent {
         self.window_end_seq = 0;
         self.send_available(ctx);
         self.window_end_seq = self.next_seq;
-    }
-
-    fn on_data(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>) {
-        if packet.kind != PacketKind::Data {
-            return;
-        }
-        let delivered = ctx.stats().bytes_delivered;
-        let marked = packet.header.ecn_marked;
-        ctx.send_ack(|h| {
-            h.ack_bytes = delivered;
-            h.ack_seq = packet.seq + packet.payload_bytes as u64;
-            h.ecn_echo = marked;
-        });
     }
 
     fn on_ack(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>) {

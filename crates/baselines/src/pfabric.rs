@@ -15,11 +15,11 @@
 //! long flows, which does not influence the workloads reproduced here.
 
 use numfabric_sim::network::{AgentCtx, Network};
-use numfabric_sim::packet::{Packet, PacketKind, DEFAULT_PAYLOAD_BYTES, MTU_BYTES};
+use numfabric_sim::packet::{Packet, DEFAULT_PAYLOAD_BYTES, MTU_BYTES};
 use numfabric_sim::queue::PfabricQueue;
 use numfabric_sim::timer::TimerHandle;
 use numfabric_sim::topology::Topology;
-use numfabric_sim::transport::FlowAgent;
+use numfabric_sim::transport::{AckMode, FlowAgent};
 use numfabric_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -147,16 +147,10 @@ impl FlowAgent for PfabricAgent {
         self.send_new_data(ctx);
     }
 
-    fn on_data(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>) {
-        if packet.kind != PacketKind::Data {
-            return;
-        }
-        let delivered = ctx.stats().bytes_delivered;
-        // Selective per-packet ACK: acknowledge exactly this packet.
-        ctx.send_ack(|h| {
-            h.ack_seq = packet.seq;
-            h.ack_bytes = delivered;
-        });
+    fn ack_mode(&self) -> AckMode {
+        // Selective per-packet ACK: the receiver echoes exactly the
+        // delivered packet's sequence number.
+        AckMode::PerPacket
     }
 
     fn on_ack(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>) {

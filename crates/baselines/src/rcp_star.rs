@@ -15,7 +15,7 @@
 //! unacknowledged bytes.
 
 use numfabric_sim::network::{AgentCtx, Network};
-use numfabric_sim::packet::{Packet, PacketKind, DEFAULT_PAYLOAD_BYTES, MTU_BYTES};
+use numfabric_sim::packet::{Packet, DEFAULT_PAYLOAD_BYTES, MTU_BYTES};
 use numfabric_sim::queue::DropTailFifo;
 use numfabric_sim::timer::TimerHandle;
 use numfabric_sim::topology::Topology;
@@ -221,21 +221,6 @@ impl FlowAgent for RcpStarAgent {
         self.unacked_cap_bytes =
             ((bdp * self.config.unacked_cap_bdp) as u64).max(2 * MTU_BYTES as u64);
         self.send_one_and_reschedule(ctx);
-    }
-
-    fn on_data(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>) {
-        if packet.kind != PacketKind::Data {
-            return;
-        }
-        let delivered = ctx.stats().bytes_delivered;
-        let feedback = packet.header.rcp_feedback;
-        let len = packet.header.path_len;
-        ctx.send_ack(|h| {
-            h.ack_bytes = delivered;
-            h.ack_seq = packet.seq + packet.payload_bytes as u64;
-            h.reflected_rcp_feedback = feedback;
-            h.reflected_path_len = len;
-        });
     }
 
     fn on_ack(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>) {

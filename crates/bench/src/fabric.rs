@@ -73,14 +73,16 @@ pub fn run_transfers(
         &ImpairmentSchedule::new(),
         0,
         1,
+        1,
     )
 }
 
 /// [`run_transfers`] with an [`ImpairmentSchedule`] injected before the run
 /// starts; `impair_seed` seeds the network's loss/jitter draws so impaired
 /// replays stay bit-identical. `partitions` decomposes the network into
-/// per-partition event cores — with deterministic impairments the report is
-/// bit-identical for every partition count.
+/// per-partition event cores and `partition_threads` runs them on that many
+/// worker threads — with per-link impairment streams the report is
+/// bit-identical for every partition and thread count.
 #[allow(clippy::too_many_arguments)]
 pub fn run_transfers_impaired(
     protocol: &Protocol,
@@ -91,10 +93,12 @@ pub fn run_transfers_impaired(
     impairments: &ImpairmentSchedule,
     impair_seed: u64,
     partitions: usize,
+    partition_threads: usize,
 ) -> TransferSummary {
     let utility = Arc::new(LogUtility::new());
     let mut net = protocol.build_network(topo);
     net.set_partitions(partitions);
+    net.set_partition_threads(partition_threads);
     net.set_impairment_seed(impair_seed);
     impairments.apply(&mut net);
     let ids: Vec<_> = pairs
@@ -179,6 +183,7 @@ pub fn run_steady_state(
         &ImpairmentSchedule::new(),
         0,
         1,
+        1,
     )
 }
 
@@ -186,9 +191,11 @@ pub fn run_steady_state(
 /// run starts. The oracle is still the *healthy* fluid allocation — under a
 /// persistent impairment the measured rates document the concession, and the
 /// dedicated `recovery` scenario compares against the post-failure oracle.
-/// `partitions` decomposes the network into per-partition event cores — with
-/// deterministic impairments the report is bit-identical for every partition
-/// count.
+/// `partitions` decomposes the network into per-partition event cores and
+/// `partition_threads` runs them on that many worker threads — with per-link
+/// impairment streams the report is bit-identical for every partition and
+/// thread count.
+#[allow(clippy::too_many_arguments)]
 pub fn run_steady_state_impaired(
     protocol: &Protocol,
     topo: Topology,
@@ -197,10 +204,12 @@ pub fn run_steady_state_impaired(
     impairments: &ImpairmentSchedule,
     impair_seed: u64,
     partitions: usize,
+    partition_threads: usize,
 ) -> SteadyStateSummary {
     let utility = Arc::new(LogUtility::new());
     let mut net = protocol.build_network(topo.clone());
     net.set_partitions(partitions);
+    net.set_partition_threads(partition_threads);
     net.set_impairment_seed(impair_seed);
     impairments.apply(&mut net);
     let ids: Vec<_> = pairs
@@ -244,13 +253,25 @@ fn spec_from_options(opts: &ScenarioOptions) -> TopologySpec {
 
 /// Parse `--partitions` (default 1): the number of per-partition event cores
 /// the network is decomposed into. Zero is rejected; the knob never changes
-/// report bytes (deterministic impairments), so any value is safe for replay.
+/// report bytes — including randomized impairment draws, which are keyed per
+/// link — so any value is safe for replay.
 pub(crate) fn partitions_from_options(opts: &ScenarioOptions) -> usize {
     let partitions: usize = opts.parsed_or("--partitions", 1);
     if partitions == 0 {
         cli_error("--partitions must be at least 1");
     }
     partitions
+}
+
+/// Parse `--partition-threads` (default 1): the number of worker threads the
+/// per-partition event cores run on each epoch. Zero is rejected; like
+/// `--partitions`, the knob never changes report bytes.
+pub(crate) fn partition_threads_from_options(opts: &ScenarioOptions) -> usize {
+    let threads: usize = opts.parsed_or("--partition-threads", 1);
+    if threads == 0 {
+        cli_error("--partition-threads must be at least 1");
+    }
+    threads
 }
 
 /// Parse `--impair` into an [`ImpairmentSchedule`] (empty when absent) and
@@ -375,6 +396,7 @@ pub fn incast(opts: &ScenarioOptions) {
     let pairs = incast_pairs(&topo, fan_in, seed);
     let impairments = impairments_from_options(opts, &topo);
     let partitions = partitions_from_options(opts);
+    let partition_threads = partition_threads_from_options(opts);
     let host_bps = topo.links()[0].capacity_bps;
     let topology = spec.describe(&topo);
     if !json {
@@ -395,6 +417,7 @@ pub fn incast(opts: &ScenarioOptions) {
         &impairments,
         seed,
         partitions,
+        partition_threads,
     );
     if json {
         println!(
@@ -441,6 +464,7 @@ pub fn shuffle(opts: &ScenarioOptions) {
     let pairs = shuffle_pairs(&topo, Some(participants), seed);
     let impairments = impairments_from_options(opts, &topo);
     let partitions = partitions_from_options(opts);
+    let partition_threads = partition_threads_from_options(opts);
     let host_bps = topo.links()[0].capacity_bps;
     let topology = spec.describe(&topo);
     if !json {
@@ -465,6 +489,7 @@ pub fn shuffle(opts: &ScenarioOptions) {
         &impairments,
         seed,
         partitions,
+        partition_threads,
     );
     if json {
         println!(
@@ -512,6 +537,7 @@ pub fn stride(opts: &ScenarioOptions) {
     let pairs = stride_pairs(&topo, stride_by, seed);
     let impairments = impairments_from_options(opts, &topo);
     let partitions = partitions_from_options(opts);
+    let partition_threads = partition_threads_from_options(opts);
     let topology = spec.describe(&topo);
     if !json {
         println!(
@@ -529,6 +555,7 @@ pub fn stride(opts: &ScenarioOptions) {
         &impairments,
         seed,
         partitions,
+        partition_threads,
     );
     if json {
         println!(

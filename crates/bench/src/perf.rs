@@ -22,10 +22,12 @@ use crate::fabric::{run_steady_state, run_transfers, transfer_deadline};
 use crate::protocols::Protocol;
 use crate::report::Json;
 use numfabric_core::NumFabricConfig;
+use numfabric_num::utility::LogUtility;
 use numfabric_sim::topology::{LeafSpineConfig, Topology};
 use numfabric_sim::{Event, EventQueue, SimDuration, SimTime};
 use numfabric_workloads::registry::ScenarioOptions;
 use numfabric_workloads::scenarios::{incast_pairs, stride_pairs};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One timed section: how many units of work, how long they took.
@@ -84,6 +86,42 @@ pub fn event_core_timing(events: u64) -> Timing {
     }
 }
 
+/// Time the partitioned network's event cores end to end: a stride
+/// steady-state run decomposed into `partitions` cores advancing on
+/// `threads` epoch workers. Units are *simulation events processed*, so
+/// [`Timing::per_second`] is the threaded event-core throughput. The event
+/// count itself is deterministic — identical for every
+/// `partitions × threads` combination — which is what lets successive
+/// `BENCH_<rev>.json` snapshots compare throughput across revisions;
+/// speedup is only measurable on multicore hosts.
+pub fn threaded_event_core_timing(partitions: usize, threads: usize) -> Timing {
+    let topo = Topology::leaf_spine(&LeafSpineConfig::small(16, 2, 2));
+    let pairs = stride_pairs(&topo, 8, 1);
+    let protocol = Protocol::NumFabric(NumFabricConfig::default());
+    let utility = Arc::new(LogUtility::new());
+    let mut net = protocol.build_network(topo);
+    net.set_partitions(partitions);
+    net.set_partition_threads(threads);
+    for p in &pairs {
+        net.add_flow(
+            p.src,
+            p.dst,
+            None,
+            SimTime::ZERO,
+            p.spine_choice,
+            None,
+            protocol.make_agent(utility.clone()),
+        );
+    }
+    let started = Instant::now();
+    net.run_until(SimTime::from_millis(4));
+    Timing {
+        name: "partitioned-cores",
+        units: net.events_processed(),
+        seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
 /// Time the small incast scenario end to end (build network, inject flows,
 /// run to the deadline). Returns the timing plus the number of completed
 /// transfers, which the report records to prove the run did real work.
@@ -124,7 +162,12 @@ pub fn stride_timing() -> (Timing, u64) {
 /// Split out from [`bench()`] so tests can pin the report shape with
 /// synthetic timings instead of re-running the (machine-dependent)
 /// measurement.
-pub fn bench_report_json(rev: &str, event_core: &Timing, scenarios: &[(Timing, u64)]) -> Json {
+pub fn bench_report_json(
+    rev: &str,
+    event_core: &Timing,
+    threaded: &[(usize, usize, Timing)],
+    scenarios: &[(Timing, u64)],
+) -> Json {
     Json::Obj(vec![
         ("rev", Json::str(rev)),
         (
@@ -135,6 +178,23 @@ pub fn bench_report_json(rev: &str, event_core: &Timing, scenarios: &[(Timing, u
                 ("events_per_sec", Json::Num(event_core.per_second())),
                 ("ns_per_event", Json::Num(event_core.ns_per_unit())),
             ]),
+        ),
+        (
+            "threaded_event_core",
+            Json::Arr(
+                threaded
+                    .iter()
+                    .map(|(partitions, threads, t)| {
+                        Json::Obj(vec![
+                            ("partitions", Json::Int(*partitions as u64)),
+                            ("threads", Json::Int(*threads as u64)),
+                            ("events", Json::Int(t.units)),
+                            ("wall_seconds", Json::Num(t.seconds)),
+                            ("events_per_sec", Json::Num(t.per_second())),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
         (
             "scenarios",
@@ -164,8 +224,12 @@ pub fn bench(opts: &ScenarioOptions) {
     let json = opts.flag("--json");
 
     let event_core = event_core_timing(events);
+    let threaded: Vec<(usize, usize, Timing)> = [(1, 1), (2, 2), (4, 4)]
+        .into_iter()
+        .map(|(p, t)| (p, t, threaded_event_core_timing(p, t)))
+        .collect();
     let scenarios = vec![incast_timing(), stride_timing()];
-    let report = bench_report_json(&rev, &event_core, &scenarios);
+    let report = bench_report_json(&rev, &event_core, &threaded, &scenarios);
     let rendered = report.render();
 
     let path = format!("BENCH_{rev}.json");
@@ -183,6 +247,14 @@ pub fn bench(opts: &ScenarioOptions) {
             event_core.per_second() / 1e6,
             event_core.ns_per_unit()
         );
+        for (p, workers, t) in &threaded {
+            println!(
+                "Partition cores {p}x{workers}: {} events in {:.3} s = {:.2} M events/s",
+                t.units,
+                t.seconds,
+                t.per_second() / 1e6
+            );
+        }
         for (t, completed) in &scenarios {
             println!(
                 "Scenario {:>7}: {} flows ({} completed) in {:.3} s wall-clock",
@@ -228,17 +300,37 @@ mod tests {
             units: 8,
             seconds: 0.25,
         };
-        let json = bench_report_json("abc123", &core, &[(incast, 8)]).render();
+        let threaded = Timing {
+            name: "partitioned-cores",
+            units: 4000,
+            seconds: 0.002,
+        };
+        let json = bench_report_json("abc123", &core, &[(2, 2, threaded)], &[(incast, 8)]).render();
         for needle in [
             r#""rev":"abc123""#,
             r#""events":1000"#,
             r#""events_per_sec":1000000.0"#,
             r#""ns_per_event":1000.0"#,
+            r#""threaded_event_core""#,
+            r#""partitions":2"#,
+            r#""threads":2"#,
+            r#""events":4000"#,
             r#""name":"incast""#,
             r#""completed":8"#,
             r#""wall_seconds":0.25"#,
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    #[test]
+    fn threaded_event_core_counts_are_thread_invariant() {
+        let sequential = threaded_event_core_timing(1, 1);
+        let threaded = threaded_event_core_timing(2, 2);
+        assert!(sequential.units > 0, "run processed no events");
+        assert_eq!(
+            sequential.units, threaded.units,
+            "event count must not depend on partitions or threads"
+        );
     }
 }

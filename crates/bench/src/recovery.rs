@@ -17,7 +17,9 @@
 //! routes, ties to the lowest link id — so a `recovery` run is a pure
 //! function of its options, like every other scenario.
 
-use crate::fabric::{cli_error, exit_if_wedged, partitions_from_options};
+use crate::fabric::{
+    cli_error, exit_if_wedged, partition_threads_from_options, partitions_from_options,
+};
 use crate::protocols::Protocol;
 use crate::report::{print_table, Json};
 use numfabric_num::utility::{LogUtility, UtilityRef};
@@ -55,6 +57,9 @@ pub struct RecoveryConfig {
     /// A cable cut is a deterministic impairment, so the report is
     /// bit-identical for every partition count.
     pub partitions: usize,
+    /// Number of worker threads the partition cores run on each epoch.
+    /// Like `partitions`, never changes a report byte.
+    pub partition_threads: usize,
 }
 
 impl Default for RecoveryConfig {
@@ -70,6 +75,7 @@ impl Default for RecoveryConfig {
             quorum: 0.75,
             sustain: 3,
             partitions: 1,
+            partition_threads: 1,
         }
     }
 }
@@ -200,6 +206,7 @@ pub fn run_recovery(
 
     let mut net = protocol.build_network(topo);
     net.set_partitions(config.partitions);
+    net.set_partition_threads(config.partition_threads);
     schedule.apply(&mut net);
     let ids: Vec<_> = pairs
         .iter()
@@ -372,6 +379,7 @@ pub fn recovery(opts: &ScenarioOptions) {
         restore_at: restore_us.map(SimTime::from_micros),
         run_for: SimDuration::from_millis(millis),
         partitions: partitions_from_options(opts),
+        partition_threads: partition_threads_from_options(opts),
         ..RecoveryConfig::default()
     };
     if config.fail_at + config.sample_every * config.sustain as u64 > SimTime::ZERO + config.run_for

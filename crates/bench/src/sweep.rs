@@ -109,15 +109,19 @@ impl CellResult {
 /// Errors only on an unknown protocol name — everything else about a cell
 /// is valid by construction of [`SweepSpec::expand`].
 pub fn run_cell(cell: &SweepCell) -> Result<CellResult, String> {
-    run_cell_partitioned(cell, 1)
+    run_cell_partitioned(cell, 1, 1)
 }
 
 /// [`run_cell`] with the cell's network decomposed into `partitions` event
-/// cores. Like `--threads`, the partition count is an execution knob: with
-/// deterministic impairment profiles the cell result is bit-identical for
-/// every value (randomized loss/jitter profiles draw from per-partition
-/// streams, so each partition count is its own fully-replayable sequence).
-pub fn run_cell_partitioned(cell: &SweepCell, partitions: usize) -> Result<CellResult, String> {
+/// cores running on `partition_threads` worker threads. Like `--threads`,
+/// both are pure execution knobs: the cell result is bit-identical for
+/// every value — including under randomized loss/jitter profiles, whose
+/// draws come from per-*link* streams.
+pub fn run_cell_partitioned(
+    cell: &SweepCell,
+    partitions: usize,
+    partition_threads: usize,
+) -> Result<CellResult, String> {
     let protocol = Protocol::from_name(&cell.protocol).ok_or_else(|| {
         format!(
             "unknown protocol `{}` in sweep cell {}",
@@ -142,6 +146,7 @@ pub fn run_cell_partitioned(cell: &SweepCell, partitions: usize) -> Result<CellR
                 &impairments,
                 cell.seed,
                 partitions,
+                partition_threads,
             );
             CellResult::from_transfers(cell.clone(), &summary)
         }
@@ -163,6 +168,7 @@ pub fn run_cell_partitioned(cell: &SweepCell, partitions: usize) -> Result<CellR
                 &impairments,
                 cell.seed,
                 partitions,
+                partition_threads,
             );
             CellResult::from_transfers(cell.clone(), &summary)
         }
@@ -177,6 +183,7 @@ pub fn run_cell_partitioned(cell: &SweepCell, partitions: usize) -> Result<CellR
                 &impairments,
                 cell.seed,
                 partitions,
+                partition_threads,
             );
             CellResult::from_steady_state(cell.clone(), &summary)
         }
@@ -191,17 +198,52 @@ pub fn run_cell_partitioned(cell: &SweepCell, partitions: usize) -> Result<CellR
 /// `threads` is clamped to `1..=cells.len()`; with one thread the cells run
 /// inline on the caller's thread through the identical per-cell path.
 pub fn execute_cells(cells: Vec<SweepCell>, threads: usize) -> Result<Vec<CellResult>, String> {
-    execute_cells_partitioned(cells, threads, 1)
+    execute_cells_partitioned(cells, threads, 1, 1)
+}
+
+/// Extract a human-readable message from a caught panic payload (the two
+/// shapes `panic!` produces in practice: `&str` and `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+/// Run one cell with panics converted into structured errors that name the
+/// cell and its scenario. Without this, a panicking cell unwinds its worker
+/// mid-`lock()` and poisons the shared work deques — every *other* worker
+/// then dies with an opaque "queue poisoned" panic and the identity of the
+/// cell that actually failed is lost.
+fn run_cell_caught(
+    cell: &SweepCell,
+    partitions: usize,
+    partition_threads: usize,
+) -> Result<CellResult, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_cell_partitioned(cell, partitions, partition_threads)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(format!(
+            "sweep cell {} ({}) panicked: {}",
+            cell.index,
+            cell.scenario,
+            panic_message(payload.as_ref())
+        ))
+    })
 }
 
 /// [`execute_cells`] with every cell's network decomposed into `partitions`
-/// event cores — the two parallelism knobs compose: `--threads` spreads
-/// whole cells across workers, `--partitions` decomposes each cell's fabric,
-/// and neither changes a byte of the aggregate for deterministic profiles.
+/// event cores on `partition_threads` worker threads — the parallelism
+/// knobs compose: `--threads` spreads whole cells across workers,
+/// `--partitions`/`--partition-threads` decompose each cell's fabric, and
+/// none of them changes a byte of the aggregate.
 pub fn execute_cells_partitioned(
     cells: Vec<SweepCell>,
     threads: usize,
     partitions: usize,
+    partition_threads: usize,
 ) -> Result<Vec<CellResult>, String> {
     if cells.is_empty() {
         return Ok(Vec::new());
@@ -213,7 +255,7 @@ pub fn execute_cells_partitioned(
         let mut results = Vec::with_capacity(cells.len());
         let mut first_error = None;
         for cell in &cells {
-            match run_cell_partitioned(cell, partitions) {
+            match run_cell_caught(cell, partitions, partition_threads) {
                 Ok(r) => results.push(r),
                 Err(e) => {
                     first_error.get_or_insert(e);
@@ -229,7 +271,13 @@ pub fn execute_cells_partitioned(
     // One deque per worker, cells dealt round-robin. Workers pop their own
     // deque from the front and steal from the back of the others, so an
     // expensive cell at one worker's front doesn't strand the cells queued
-    // behind it.
+    // behind it. Cell panics are caught in `run_cell_caught`, so a deque
+    // mutex can only be poisoned by a panic in this pool code itself;
+    // recovering the guard keeps the other workers draining rather than
+    // cascading an unrelated failure.
+    fn unpoisoned(q: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+        q.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
     let queues: Vec<Arc<Mutex<VecDeque<usize>>>> = (0..threads)
         .map(|w| {
             Arc::new(Mutex::new(
@@ -248,17 +296,13 @@ pub fn execute_cells_partitioned(
             std::thread::spawn(move || {
                 loop {
                     // Own work first (front), then steal (back).
-                    let job = queues[me].lock().expect("queue poisoned").pop_front();
+                    let job = unpoisoned(&queues[me]).pop_front();
                     let job = job.or_else(|| {
-                        (1..queues.len()).find_map(|d| {
-                            queues[(me + d) % queues.len()]
-                                .lock()
-                                .expect("queue poisoned")
-                                .pop_back()
-                        })
+                        (1..queues.len())
+                            .find_map(|d| unpoisoned(&queues[(me + d) % queues.len()]).pop_back())
                     });
                     let Some(index) = job else { return };
-                    let result = run_cell_partitioned(&cells[index], partitions);
+                    let result = run_cell_caught(&cells[index], partitions, partition_threads);
                     if tx.send((index, result)).is_err() {
                         return;
                     }
@@ -284,7 +328,12 @@ pub fn execute_cells_partitioned(
         }
     }
     for worker in workers {
-        worker.join().map_err(|_| "sweep worker panicked")?;
+        if let Err(payload) = worker.join() {
+            return Err(format!(
+                "sweep pool worker panicked: {}",
+                panic_message(payload.as_ref())
+            ));
+        }
     }
     if let Some((_, e)) = first_error {
         return Err(e);
@@ -438,6 +487,7 @@ pub fn sweep(opts: &ScenarioOptions) {
     let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads: usize = opts.parsed_or("--threads", default_threads);
     let partitions = crate::fabric::partitions_from_options(opts);
+    let partition_threads = crate::fabric::partition_threads_from_options(opts);
     let json = opts.flag("--json");
     if !json {
         println!(
@@ -454,7 +504,7 @@ pub fn sweep(opts: &ScenarioOptions) {
         );
     }
     let start = Instant::now();
-    let results = execute_cells_partitioned(cells, threads, partitions)
+    let results = execute_cells_partitioned(cells, threads, partitions, partition_threads)
         .unwrap_or_else(|e| crate::fabric::cli_error(e));
     let wall = start.elapsed();
     if json {
@@ -463,9 +513,9 @@ pub fn sweep(opts: &ScenarioOptions) {
         print!("{}", markdown_table(&results));
         println!(
             "\n{} cells in {:.2} s wall-clock. The table and the --json report are\n\
-             bit-identical for any --threads value and, for deterministic impairment\n\
-             profiles, for any --partitions value; only this timing line and the\n\
-             thread count in the header vary.",
+             bit-identical for any --threads, --partitions and --partition-threads\n\
+             value — including under randomized loss/jitter profiles; only this\n\
+             timing line and the thread count in the header vary.",
             results.len(),
             wall.as_secs_f64(),
         );
@@ -550,6 +600,30 @@ mod tests {
         // And the pool surfaces it instead of hanging.
         let err = execute_cells(vec![cell], 4).unwrap_err();
         assert!(err.contains("tcp-reno"));
+    }
+
+    #[test]
+    fn a_panicking_cell_reports_its_own_identity_not_a_poisoned_queue() {
+        // FatTree{k:3} passes cell construction but panics inside the
+        // topology builder ("fat-tree arity must be even"), exercising the
+        // real unwind path through a running cell. The failure must name
+        // the guilty cell and scenario — and the innocent cells around it
+        // must still run to completion on every thread count.
+        let mut cells: Vec<SweepCell> = (0..4)
+            .map(|i| mini_cell(SweepScenario::Incast, i))
+            .collect();
+        cells[2].topology = TopologySpec::FatTree { k: 3 };
+        for threads in [1, 2, 4] {
+            let err = execute_cells(cells.clone(), threads).unwrap_err();
+            assert!(
+                err.contains("sweep cell 2") && err.contains("incast") && err.contains("panicked"),
+                "threads={threads}: {err}"
+            );
+            assert!(
+                !err.contains("queue poisoned"),
+                "threads={threads}: a bystander worker reported the failure: {err}"
+            );
+        }
     }
 
     #[test]

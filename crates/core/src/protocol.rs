@@ -26,11 +26,11 @@ use crate::swift::{SwiftRateEstimator, SwiftWindow};
 use crate::xwi::XwiPriceController;
 use numfabric_num::utility::{Utility, UtilityRef};
 use numfabric_sim::network::{AgentCtx, Network};
-use numfabric_sim::packet::{Packet, PacketKind, DEFAULT_PAYLOAD_BYTES, MTU_BYTES};
+use numfabric_sim::packet::{Packet, DEFAULT_PAYLOAD_BYTES, MTU_BYTES};
 use numfabric_sim::queue::StfqQueue;
 use numfabric_sim::topology::Topology;
 use numfabric_sim::transport::FlowAgent;
-use numfabric_sim::{SimDuration, SimTime};
+use numfabric_sim::SimDuration;
 use std::sync::Arc;
 
 /// Weights are clamped into this range to keep STFQ virtual times well
@@ -60,9 +60,6 @@ pub struct NumFabricAgent {
     next_seq: u64,
     highest_ack: u64,
     started: bool,
-
-    // ---- receiver state ----
-    last_data_arrival: Option<SimTime>,
 }
 
 impl NumFabricAgent {
@@ -87,7 +84,6 @@ impl NumFabricAgent {
             next_seq: 0,
             highest_ack: 0,
             started: false,
-            last_data_arrival: None,
         }
     }
 
@@ -270,26 +266,6 @@ impl FlowAgent for NumFabricAgent {
         }
     }
 
-    fn on_data(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>) {
-        if packet.kind != PacketKind::Data {
-            return;
-        }
-        let now = ctx.now();
-        let inter_packet = self.last_data_arrival.map(|last| now.duration_since(last));
-        self.last_data_arrival = Some(now);
-
-        let delivered = ctx.stats().bytes_delivered;
-        let fwd_price = packet.header.path_price;
-        let fwd_len = packet.header.path_len;
-        ctx.send_ack(|h| {
-            h.ack_bytes = delivered;
-            h.ack_seq = packet.seq + packet.payload_bytes as u64;
-            h.reflected_path_price = fwd_price;
-            h.reflected_path_len = fwd_len;
-            h.inter_packet_time = inter_packet;
-        });
-    }
-
     fn on_ack(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>) {
         let previous_ack = self.highest_ack;
         self.highest_ack = self.highest_ack.max(packet.header.ack_bytes);
@@ -341,9 +317,6 @@ impl FlowAgent for NumFabricAgent {
         // the new route.
         self.next_seq = self.highest_ack;
         ctx.rewind_sent(self.highest_ack);
-        // The receiver's next arrival opens a fresh inter-packet sequence;
-        // a gap spanning the outage is not a rate sample.
-        self.last_data_arrival = None;
         self.send_available(ctx);
     }
 
@@ -375,7 +348,7 @@ mod tests {
     use numfabric_num::utility::{AlphaFair, FctUtility, LogUtility};
     use numfabric_num::{FluidNetwork, Oracle};
     use numfabric_sim::topology::{LeafSpineConfig, NodeKind};
-    use numfabric_sim::{FlowPhase, SimDuration};
+    use numfabric_sim::{FlowPhase, SimDuration, SimTime};
 
     fn small_numfabric_net() -> Network {
         let topo = Topology::leaf_spine(&LeafSpineConfig::small(8, 2, 2));

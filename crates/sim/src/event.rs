@@ -339,8 +339,10 @@ impl EventQueue {
             // counter `seq` is always the largest so far and this is a plain
             // append; externally seeded sequence numbers (boundary messages
             // drained at a barrier) may be smaller than a direct insert that
-            // raced ahead, so insert at the seq-sorted position.
-            let pos = self.batch.partition_point(|k| k.seq < seq);
+            // raced ahead, so insert at the seq-sorted position — *after*
+            // any equal seq, so content-keyed duplicates pop in FIFO
+            // (schedule) order.
+            let pos = self.batch.partition_point(|k| k.seq <= seq);
             self.batch.insert(pos, key);
         } else if t < self.cursor {
             // Behind the wheel cursor (which may have advanced during a
@@ -832,9 +834,11 @@ impl EventQueue {
             }
             // Bucket FIFO == seq FIFO: direct inserts and cascades may have
             // interleaved, so restore the heap's (time, seq) order within
-            // the same-timestamp batch. Nearly always already sorted.
+            // the same-timestamp batch. Nearly always already sorted. The
+            // sort must be *stable*: seeded (content-derived) keys may
+            // repeat, and equal keys keep their schedule order.
             self.batch_time = tick;
-            self.batch.make_contiguous().sort_unstable_by_key(|k| k.seq);
+            self.batch.make_contiguous().sort_by_key(|k| k.seq);
             return true;
         }
     }

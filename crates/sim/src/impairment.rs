@@ -13,23 +13,20 @@
 //!
 //! Randomized impairments (per-packet loss, delay jitter) draw from
 //! self-contained SplitMix64 streams owned by the `Network` — one stream
-//! per partition, derived from the seed passed to
-//! [`crate::network::Network::set_impairment_seed`] via
-//! [`derive_partition_seed`]. Each link draws from the stream of the
-//! partition that owns it, the streams advance only when an impaired link
-//! actually transmits, and event dispatch order is deterministic, so the
-//! draw sequence — and with it every loss decision and jitter offset — is a
-//! pure function of the seed and the scenario. Partition 0's stream *is*
-//! the raw seed, so a single-partition network reproduces the historical
-//! single-stream draws bit-for-bit. The engine keeps its
-//! no-ambient-randomness property: an unimpaired simulation never touches
-//! any stream.
+//! **per link**, derived from the seed passed to
+//! [`crate::network::Network::set_impairment_seed`] via [`derive_link_seed`].
+//! A link's stream advances only when that link transmits while impaired,
+//! and a link's transmissions are serialized by its own queue regardless of
+//! how the fabric is partitioned, so the draw sequence — and with it every
+//! loss decision and jitter offset — is a pure function of the seed and the
+//! scenario for **any** partition count and any worker-thread count. The
+//! engine keeps its no-ambient-randomness property: an unimpaired
+//! simulation never touches any stream.
 //!
-//! One caveat worth stating precisely: *deterministic* impairments (down,
-//! up, speed, cable cuts) draw nothing and are therefore bit-identical for
-//! any partition count, but the sampled values of *randomized* loss/jitter
-//! legitimately depend on how links are divided among streams — each
-//! partition count is its own (fully replayable) draw sequence.
+//! (Earlier revisions keyed the streams per *partition*, which made
+//! randomized draws legitimately vary with `--partitions`. Per-link streams
+//! removed that caveat: impaired reports are now bit-identical across
+//! partition counts, and the determinism suite pins it.)
 //!
 //! Schedule construction (which link, when, how long) lives one layer up in
 //! `numfabric-workloads`, next to the other seeded scenario builders; this
@@ -131,19 +128,23 @@ pub(crate) fn splitmix64_unit(state: &mut u64) -> f64 {
     (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
-/// Derive partition `partition`'s impairment-stream seed from the network's
-/// base seed. Partition 0 gets the base seed itself — a single-partition
-/// network reproduces the historical single-stream draw sequence exactly —
-/// and every other partition gets an independent SplitMix64-mixed stream,
-/// so concurrent-by-construction partitions never share RNG state.
-pub fn derive_partition_seed(seed: u64, partition: usize) -> u64 {
-    if partition == 0 {
-        return seed;
-    }
-    // Mix the partition index through one SplitMix64 step of a state offset
-    // by golden-ratio multiples — the same construction the sweep engine
-    // uses for per-cell seeds.
-    let mut state = seed.wrapping_add((partition as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+/// Derive link `link`'s impairment-stream seed from the network's base
+/// seed. Every link gets an independent SplitMix64-mixed stream (including
+/// link 0 — mixing unconditionally keeps the base seed itself out of any
+/// stream, so no two links can collide with each other or with the raw
+/// seed). Because the stream is keyed by the link — not by whichever
+/// partition happens to own it — the draw sequence is invariant under
+/// domain decomposition: `--partitions N` and `--partition-threads T` never
+/// change a loss decision or a jitter offset.
+pub fn derive_link_seed(seed: u64, link: usize) -> u64 {
+    // Mix the link index through one SplitMix64 step of a state offset by
+    // golden-ratio multiples — the same construction the sweep engine uses
+    // for per-cell seeds.
+    let mut state = seed.wrapping_add(
+        (link as u64)
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
     splitmix64(&mut state)
 }
 
@@ -181,16 +182,17 @@ mod tests {
     }
 
     #[test]
-    fn partition_seed_zero_is_the_base_seed_and_others_differ() {
-        assert_eq!(derive_partition_seed(42, 0), 42);
-        let derived: Vec<u64> = (0..8).map(|p| derive_partition_seed(42, p)).collect();
+    fn link_seeds_are_distinct_deterministic_and_seed_sensitive() {
+        let derived: Vec<u64> = (0..64).map(|l| derive_link_seed(42, l)).collect();
         for (i, &a) in derived.iter().enumerate() {
             for &b in &derived[i + 1..] {
-                assert_ne!(a, b, "partition streams must be distinct");
+                assert_ne!(a, b, "link streams must be distinct");
             }
         }
-        assert_eq!(derive_partition_seed(42, 3), derive_partition_seed(42, 3));
-        assert_ne!(derive_partition_seed(42, 3), derive_partition_seed(43, 3));
+        // No link stream may equal the raw base seed either.
+        assert!(derived.iter().all(|&s| s != 42));
+        assert_eq!(derive_link_seed(42, 3), derive_link_seed(42, 3));
+        assert_ne!(derive_link_seed(42, 3), derive_link_seed(43, 3));
     }
 
     #[test]

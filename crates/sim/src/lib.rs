@@ -31,12 +31,15 @@
 //!   or completing a flow structurally cancels whatever is still pending.
 //!
 //! Determinism: given the same inputs the simulation produces bit-identical
-//! results — events are ordered by (time, insertion order) and the engine
-//! itself uses no randomness; the timing wheel preserves the binary heap's
-//! `(time, seq)` pop order exactly (pinned by differential tests against
-//! [`event::HeapEventQueue`]). Workload generators (in
-//! `numfabric-workloads`) inject randomness only through explicitly seeded
-//! RNGs.
+//! results — events are ordered by `(time, key)` where the key is a pure
+//! function of the event's content (flow id, link id, packet rank — see
+//! [`network`]), and the engine itself uses no randomness; the timing wheel
+//! preserves the binary heap's `(time, key)` pop order exactly (pinned by
+//! differential tests against [`event::HeapEventQueue`]). Randomized link
+//! impairments draw from per-*link* SplitMix64 streams
+//! ([`impairment::derive_link_seed`]), so even lossy/jittered runs are a
+//! pure function of the seed. Workload generators (in `numfabric-workloads`)
+//! inject randomness only through explicitly seeded RNGs.
 //!
 //! Parallelism: one [`network::Network`] owns one complete simulation and
 //! is `Send` (every agent, queue and controller trait object carries a
@@ -47,12 +50,14 @@
 //! *Inside* one simulation, the network is domain-decomposed: a
 //! deterministic graph partitioner ([`topology::Topology::partition`])
 //! assigns every node to one of `N` partitions, each partition owns its own
-//! timing wheel, timer service and impairment RNG stream, and cross-cut
-//! packet deliveries travel as boundary messages merged at conservative
-//! time barriers. Events carry globally allocated sequence numbers, so the
-//! merged pop order — and every report byte — is a pure function of the
-//! seed, independent of the partition count
-//! ([`network::Network::set_partitions`]).
+//! timing wheel and timer service, and cross-cut packet deliveries travel
+//! as boundary messages merged at conservative time barriers. Each epoch
+//! the partition cores advance to the barrier **concurrently** on a pool of
+//! worker threads ([`network::Network::set_partition_threads`]); because
+//! event keys are content-derived rather than allocated from any shared
+//! counter, the merged pop order — and every report byte — is a pure
+//! function of the seed, independent of both the partition count and the
+//! thread count ([`network::Network::set_partitions`]).
 //!
 //! ## Quick example
 //!
@@ -95,7 +100,7 @@ pub mod transport;
 
 pub use event::{Event, EventId, EventQueue, HeapEventQueue};
 pub use flow::{FlowPhase, FlowSpec, FlowStats};
-pub use impairment::{derive_partition_seed, LinkChange, LinkHealth};
+pub use impairment::{derive_link_seed, LinkChange, LinkHealth};
 pub use network::{AgentCtx, LinkStats, Network, NetworkConfig};
 pub use packet::{FlowId, Packet, PacketHeader, PacketKind};
 pub use queue::{DropTailFifo, EcnFifo, PfabricQueue, QueueDiscipline, StfqQueue};
@@ -106,4 +111,4 @@ pub use topology::{
     FatTreeConfig, LeafSpineConfig, LinkId, NodeId, NodeKind, Partitioning, Route, Topology,
 };
 pub use tracer::{EwmaRateTracer, RateSeries};
-pub use transport::{FlowAgent, LinkController, NullController};
+pub use transport::{AckMode, FlowAgent, LinkController, NullController};

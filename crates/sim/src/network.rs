@@ -11,9 +11,9 @@
 //! * per-flow and per-link statistics, destination-side EWMA rate tracking,
 //!   and flow-completion-time bookkeeping.
 //!
-//! Every run is deterministic: events are processed in timestamp order with
-//! FIFO tie-breaking, and the engine itself uses no randomness. Flow timers
-//! are first-class: [`AgentCtx::set_timer`] returns a
+//! Every run is deterministic: events are processed in `(time, key)` order
+//! with FIFO tie-breaking, and the engine itself uses no randomness. Flow
+//! timers are first-class: [`AgentCtx::set_timer`] returns a
 //! [`TimerHandle`] that [`AgentCtx::cancel_timer`] revokes, and stopping or
 //! completing a flow structurally cancels its outstanding timers (see
 //! [`crate::timer`]).
@@ -28,13 +28,46 @@
 //!   bidirectional ACK-queueing rate gap. Link controllers still observe
 //!   every dequeued packet, so price stamping on reverse paths is intact.
 //! * **Link impairments.** [`Network::schedule_link_change`] injects
-//!   failures, restorations, speed changes, loss and jitter as ordinary
-//!   scheduled events; see [`crate::impairment`] for the determinism story
-//!   and [`LinkChange`] for per-variant semantics.
+//!   failures, restorations, speed changes, loss and jitter; see
+//!   [`crate::impairment`] for the determinism story and [`LinkChange`] for
+//!   per-variant semantics.
+//!
+//! # Domain decomposition and threading
+//!
+//! Internally the network is **domain-decomposed**:
+//! [`Network::set_partitions`] splits the fabric into spatial partitions
+//! (via [`Topology::partition`]), each owning a disjoint subset of nodes
+//! with its own timing wheel, [`TimerService`], link runtimes and endpoint
+//! state. Cross-partition deliveries travel as boundary messages released
+//! at conservative time barriers (lookahead = the minimum propagation delay
+//! over boundary links), and [`Network::set_partition_threads`] runs the
+//! partitions' epochs concurrently on a pool of long-lived worker threads.
+//!
+//! Determinism does not rest on a shared counter or on any cross-partition
+//! ordering. Instead every event carries a **content-derived key**: a pure
+//! function of *what the event is* (its kind, its link or flow, and a
+//! per-event discriminator — see `event_key`). Within one partition's wheel
+//! the `(time, key)` order plus FIFO tie-breaking reproduces the schedule
+//! order; across partitions no ordering is needed at all, because each
+//! partition touches only state it owns and boundary messages are released
+//! only at barriers both sides have reached. The observable report is
+//! therefore a pure function of the seed for **any** `--partitions N ×
+//! --partition-threads T` combination — threads change wall-clock time,
+//! never a byte of output. The default single partition *is* the historical
+//! single-queue engine; the public API is unchanged either way.
+//!
+//! Link changes are **coordinator-level sync events**: they apply between
+//! epochs, at their scheduled instant, before any same-instant partition
+//! events — never from inside a worker — so reroutes and backlog drops
+//! mutate the shared tables only while every partition is parked at the
+//! barrier. That is also why data races are structurally impossible: during
+//! an epoch workers hold `&mut` to disjoint `PartitionCore`s and `&` to
+//! the frozen `Shared` tables, and the borrow checker enforces exactly
+//! that split.
 
 use crate::event::{Event, EventId, EventQueue};
 use crate::flow::{FlowPhase, FlowSpec, FlowStats};
-use crate::impairment::{derive_partition_seed, splitmix64_unit, LinkChange, LinkHealth};
+use crate::impairment::{derive_link_seed, splitmix64_unit, LinkChange, LinkHealth};
 use crate::packet::{FlowId, Packet, PacketHeader, PacketKind, SeqNo, HEADER_BYTES, MTU_BYTES};
 use crate::queue::QueueDiscipline;
 use crate::routes::{RouteId, RouteTable};
@@ -42,7 +75,8 @@ use crate::time::{SimDuration, SimTime};
 use crate::timer::{TimerHandle, TimerService};
 use crate::topology::{LinkId, NodeId, Route, Topology};
 use crate::tracer::EwmaRateTracer;
-use crate::transport::{FlowAgent, LinkController};
+use crate::transport::{AckMode, FlowAgent, LinkController};
+use std::collections::VecDeque;
 
 /// Snapshot of one link's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -59,25 +93,633 @@ pub struct LinkStats {
     pub queue_packets: usize,
 }
 
-struct LinkRuntime {
-    capacity_bps: f64,
-    delay: SimDuration,
+// ---- content-derived event keys -------------------------------------------
+//
+// Each event's wheel key encodes what the event *is*, not when it was
+// allocated: `(kind << 61) | (primary << 39) | secondary`. Keys need not be
+// unique (except flow timers, whose cancellation set is keyed by seq):
+// events with equal `(time, key)` can only originate from the same owning
+// partition in a deterministic schedule order, and the wheel's FIFO
+// tie-break preserves that order. Because the key is derived from content,
+// it is identical whichever partition schedules it and whether the epoch
+// ran inline or on a worker thread — this is what replaced the globally
+// shared sequence counter.
+
+const KIND_FLOW_START: u64 = 0;
+const KIND_FLOW_STOP: u64 = 1;
+// kind 2 is reserved for link changes, which never enter a wheel: they are
+// coordinator-level sync events (see `GlobalEvent`).
+const KIND_LINK_TIMER: u64 = 3;
+const KIND_FLOW_TIMER: u64 = 4;
+const KIND_TRANSMIT_COMPLETE: u64 = 5;
+const KIND_ARRIVAL: u64 = 6;
+
+const KEY_SECONDARY_BITS: u32 = 39;
+const KEY_PRIMARY_BITS: u32 = 22;
+
+fn event_key(kind: u64, primary: u64, secondary: u64) -> u64 {
+    debug_assert!(kind < 8, "event kind out of range");
+    debug_assert!(primary < (1 << KEY_PRIMARY_BITS), "primary id out of range");
+    debug_assert!(
+        secondary < (1 << KEY_SECONDARY_BITS),
+        "secondary id out of range"
+    );
+    (kind << (KEY_PRIMARY_BITS + KEY_SECONDARY_BITS)) | (primary << KEY_SECONDARY_BITS) | secondary
+}
+
+/// The wheel key of an arrival: keyed by the link plus a packet
+/// discriminator (kind rank, flow, low sequence bits). Collisions are
+/// harmless — equal-key arrivals on one link leave its serializing queue in
+/// a deterministic order and FIFO-tie-break in that order.
+fn arrival_key(link: LinkId, packet: &Packet) -> u64 {
+    let rank: u64 = match packet.kind {
+        PacketKind::Syn => 0,
+        PacketKind::Data => 1,
+        PacketKind::Ack => 2,
+    };
+    let ident = match packet.kind {
+        PacketKind::Ack => packet.header.ack_bytes,
+        _ => packet.seq,
+    };
+    let secondary = (rank << 37) | ((packet.flow as u64 & 0x3F_FFFF) << 15) | (ident & 0x7FFF);
+    event_key(KIND_ARRIVAL, link as u64, secondary)
+}
+
+// ---- state layout ---------------------------------------------------------
+
+/// The read-only-during-epochs tables every partition shares: topology,
+/// routes, flow specs, ownership maps and link health/capacity. The
+/// coordinator holds `&mut` and mutates these only *between* epochs (at
+/// setup time or at a link-change sync point); during an epoch workers see
+/// `&Shared`, so a data race on them is a compile error, not a test
+/// failure.
+struct Shared {
+    topo: Topology,
+    routes: RouteTable,
+    specs: Vec<FlowSpec>,
+    /// Partition owning each node.
+    node_part: Vec<usize>,
+    /// Partition owning each link's runtime state (its tail node's).
+    link_part: Vec<usize>,
+    /// Whether each link crosses a partition boundary (its endpoints live
+    /// in different partitions) — the links whose deliveries become
+    /// boundary messages.
+    link_cut: Vec<bool>,
+    /// Current capacity of each link in bits/s.
+    link_caps: Vec<f64>,
+    /// Current impairment state of each link.
+    link_health: Vec<LinkHealth>,
+}
+
+/// One link's mutable runtime, owned by the partition of its tail node.
+struct LinkState {
     queue: Box<dyn QueueDiscipline>,
     /// Strict-priority lane for non-data packets (ACKs, SYNs): never
     /// dropped by a discipline, always served before the data queue.
-    control_lane: std::collections::VecDeque<Packet>,
+    control_lane: VecDeque<Packet>,
     controller: Option<Box<dyn LinkController>>,
     busy: bool,
-    health: LinkHealth,
+    /// SplitMix64 state for randomized impairments (loss, jitter) on this
+    /// link, derived from `(impairment_seed, link)`. The stream advances
+    /// only when this link transmits while impaired, and a link's
+    /// transmissions are serialized by its own queue, so the draw sequence
+    /// is invariant under partitioning and threading.
+    rng: u64,
     stats: LinkStats,
 }
 
-struct FlowRuntime {
-    spec: FlowSpec,
+impl LinkState {
+    fn new(queue: Box<dyn QueueDiscipline>, rng: u64) -> Self {
+        Self {
+            queue,
+            control_lane: VecDeque::new(),
+            controller: None,
+            busy: false,
+            rng,
+            stats: LinkStats::default(),
+        }
+    }
+}
+
+/// A flow's sender-side endpoint state, owned by the source host's
+/// partition.
+struct SenderState {
     agent: Option<Box<dyn FlowAgent>>,
     phase: FlowPhase,
-    stats: FlowStats,
+    bytes_sent: u64,
+    packets_sent: u64,
+    bytes_acked: u64,
+    started_at: Option<SimTime>,
+    /// Monotone counter giving each armed flow timer a unique wheel key
+    /// (the timer cancellation set is keyed by seq, so flow-timer keys
+    /// must never repeat within a flow).
+    timer_arms: u64,
+}
+
+/// A flow's receiver-side endpoint state, owned by the destination host's
+/// partition. The receiver is universal (see [`crate::transport::AckMode`]):
+/// it counts delivery, tracks the EWMA rate, detects completion and
+/// reflects an ACK per data packet.
+struct ReceiverState {
+    bytes_delivered: u64,
+    packets_delivered: u64,
+    completed_at: Option<SimTime>,
     tracer: EwmaRateTracer,
+    /// Arrival instant of the previous data packet, echoed to the sender
+    /// as `inter_packet_time` (NUMFabric's Swift estimator reads it).
+    /// Reset when the flow is rerouted.
+    last_data_arrival: Option<SimTime>,
+    ack_mode: AckMode,
+}
+
+/// Boundary traffic addressed to one destination partition, accumulated
+/// during an epoch and exchanged at the barrier.
+#[derive(Default)]
+struct OutBundle {
+    /// Cross-cut arrivals, stamped `(deliver_time, key)` at creation. The
+    /// conservative lookahead guarantees every deliver time is at or past
+    /// the barrier that releases it.
+    events: Vec<(SimTime, u64, Event)>,
+    /// Per-queue flow-state releases for links owned by the destination
+    /// partition (a flow that stopped or completed sheds its WFQ state on
+    /// every link of its route). Releases are idempotent and commutative,
+    /// so applying them at the barrier is order-insensitive.
+    releases: Vec<(LinkId, FlowId)>,
+}
+
+impl OutBundle {
+    fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.releases.is_empty()
+    }
+}
+
+/// A link change waiting to apply at coordinator level. Not a wheel event:
+/// the coordinator runs every partition up to (excluding) the change's
+/// instant, applies the change while all partitions are parked, then
+/// resumes. `order` preserves schedule order among same-instant changes.
+struct GlobalEvent {
+    at: SimTime,
+    order: u64,
+    link: LinkId,
+    change: LinkChange,
+}
+
+/// One spatial partition's event core: its own timing wheel, timer
+/// bookkeeping, link runtimes, endpoint state and boundary mailboxes.
+/// `Send` (asserted at compile time below) so an epoch can run on a worker
+/// thread.
+struct PartitionCore {
+    index: usize,
+    events: EventQueue,
+    timers: TimerService,
+    /// Runtime state of the links this partition owns (`None` elsewhere).
+    links: Vec<Option<LinkState>>,
+    /// Sender endpoints of flows whose source host lives here.
+    senders: Vec<Option<SenderState>>,
+    /// Receiver endpoints of flows whose destination host lives here.
+    receivers: Vec<Option<ReceiverState>>,
+    /// Per-flow drop counts charged by *this* partition (a flow's packets
+    /// can be dropped far from its endpoints; report totals sum cores).
+    flow_drops: Vec<u64>,
+    /// Per-link drop counts charged by this partition for links it does
+    /// *not* own (in-flight packets lost at a downed link's head end).
+    link_drops: Vec<u64>,
+    /// Boundary messages addressed *to* this partition, delivered into the
+    /// wheel at the next barrier.
+    inbox: Vec<(SimTime, u64, Event)>,
+    inbox_releases: Vec<(LinkId, FlowId)>,
+    /// Boundary traffic produced by this partition this epoch, per
+    /// destination partition.
+    outbound: Vec<OutBundle>,
+    /// This partition's local clock (the time of its last handled event,
+    /// or the last sync point).
+    clock: SimTime,
+    events_processed: u64,
+    /// When enabled, every handled event is recorded as `(time, key)` —
+    /// the conformance trace the determinism proptests compare across
+    /// partition/thread counts.
+    trace: Option<Vec<(SimTime, u64)>>,
+}
+
+impl PartitionCore {
+    fn new(index: usize, partitions: usize, num_links: usize) -> Self {
+        Self {
+            index,
+            events: EventQueue::new(),
+            timers: TimerService::new(),
+            links: (0..num_links).map(|_| None).collect(),
+            senders: Vec::new(),
+            receivers: Vec::new(),
+            flow_drops: Vec::new(),
+            link_drops: vec![0; num_links],
+            inbox: Vec::new(),
+            inbox_releases: Vec::new(),
+            outbound: (0..partitions).map(|_| OutBundle::default()).collect(),
+            clock: SimTime::ZERO,
+            events_processed: 0,
+            trace: None,
+        }
+    }
+}
+
+// ---- per-partition event handling -----------------------------------------
+//
+// Everything below runs with `&Shared` + `&mut PartitionCore`: the exact
+// capability a worker thread holds during an epoch. The inline (single
+// thread) and threaded paths call the same functions, which is the whole
+// equivalence argument for thread-count invariance.
+
+/// `true` when `t` lies outside the stretch bound.
+fn beyond(t: SimTime, bound: SimTime, inclusive: bool) -> bool {
+    t > bound || (!inclusive && t == bound)
+}
+
+/// Merge this partition's released boundary messages into its wheel.
+fn deliver_boundary(core: &mut PartitionCore) {
+    for (link, flow) in std::mem::take(&mut core.inbox_releases) {
+        if let Some(ls) = core.links[link].as_mut() {
+            ls.queue.release_flow(flow);
+        }
+    }
+    for (at, seq, event) in std::mem::take(&mut core.inbox) {
+        core.events.schedule_seeded(at, event, seq);
+    }
+}
+
+/// Run one partition up to the epoch barrier (exclusive) and the stretch
+/// bound. Returns the time of the next pending event, if any.
+fn advance_core(
+    shared: &Shared,
+    core: &mut PartitionCore,
+    barrier: Option<SimTime>,
+    bound: SimTime,
+    inclusive: bool,
+) -> Option<SimTime> {
+    loop {
+        let (t, _) = core.events.peek_key()?;
+        if beyond(t, bound, inclusive) || barrier.is_some_and(|b| t >= b) {
+            return Some(t);
+        }
+        let (time, id, event) = core.events.pop_entry().expect("peeked event must exist");
+        core.clock = time;
+        core.events_processed += 1;
+        if let Some(trace) = &mut core.trace {
+            trace.push((time, id.as_u64()));
+        }
+        handle_event(shared, core, id, event);
+    }
+}
+
+fn handle_event(shared: &Shared, core: &mut PartitionCore, id: EventId, event: Event) {
+    match event {
+        Event::FlowStart { flow } => handle_flow_start(shared, core, flow),
+        Event::FlowStop { flow } => handle_flow_stop(shared, core, flow),
+        Event::FlowTimer { flow, tag } => dispatch_timer(shared, core, flow, tag, id),
+        Event::LinkTimer { link, tag } => handle_link_timer(core, link, tag),
+        Event::TransmitComplete { link } => {
+            core.links[link]
+                .as_mut()
+                .expect("transmit-complete on owning core")
+                .busy = false;
+            try_transmit(shared, core, link);
+        }
+        Event::Arrival { link, packet } => handle_arrival(shared, core, link, packet),
+        Event::LinkChange { .. } => {
+            unreachable!("link changes are coordinator-level sync events, never wheel events")
+        }
+    }
+}
+
+fn handle_flow_start(shared: &Shared, core: &mut PartitionCore, flow: FlowId) {
+    {
+        let sender = core.senders[flow].as_mut().expect("sender on source core");
+        if sender.phase != FlowPhase::Pending {
+            return;
+        }
+        sender.phase = FlowPhase::Active;
+        sender.started_at = Some(core.clock);
+    }
+    with_agent(shared, core, flow, |agent, ctx| agent.on_start(ctx));
+}
+
+fn handle_flow_stop(shared: &Shared, core: &mut PartitionCore, flow: FlowId) {
+    {
+        let sender = core.senders[flow].as_mut().expect("sender on source core");
+        if sender.phase != FlowPhase::Active {
+            return;
+        }
+        sender.phase = FlowPhase::Stopped;
+    }
+    queue_releases(shared, core, flow);
+    // Structural cancellation: a stopped flow leaves no timers behind to
+    // fire into the dispatch path.
+    core.timers.cancel_all(&mut core.events, flow);
+}
+
+/// Shed a flow's per-queue state on every link of its forward route:
+/// locally for links this partition owns, via a boundary release otherwise.
+fn queue_releases(shared: &Shared, core: &mut PartitionCore, flow: FlowId) {
+    for &l in shared.routes.links(shared.specs[flow].route) {
+        let owner = shared.link_part[l];
+        if owner == core.index {
+            if let Some(ls) = core.links[l].as_mut() {
+                ls.queue.release_flow(flow);
+            }
+        } else {
+            core.outbound[owner].releases.push((l, flow));
+        }
+    }
+}
+
+fn dispatch_timer(shared: &Shared, core: &mut PartitionCore, flow: FlowId, tag: u64, id: EventId) {
+    core.timers.fired(flow, id);
+    // Stop/completion cancels outstanding timers structurally; this guard
+    // is defence in depth, not the cancellation mechanism.
+    if core.senders[flow]
+        .as_ref()
+        .is_none_or(|s| s.phase != FlowPhase::Active)
+    {
+        return;
+    }
+    with_agent(shared, core, flow, |agent, ctx| agent.on_timer(tag, ctx));
+}
+
+fn handle_link_timer(core: &mut PartitionCore, link: LinkId, tag: u64) {
+    let next = {
+        let ls = core.links[link]
+            .as_mut()
+            .expect("link timer on owning core");
+        let backlog = ls.queue.backlog_bytes();
+        match &mut ls.controller {
+            Some(ctrl) => ctrl.on_timer(core.clock, backlog),
+            None => None,
+        }
+    };
+    if let Some(delay) = next {
+        let seq = event_key(KIND_LINK_TIMER, link as u64, tag & 0x7F_FFFF_FFFF);
+        core.events
+            .schedule_seeded(core.clock + delay, Event::LinkTimer { link, tag }, seq);
+    }
+}
+
+fn enqueue_on_link(shared: &Shared, core: &mut PartitionCore, link: LinkId, mut packet: Packet) {
+    debug_assert_eq!(
+        shared.link_part[link], core.index,
+        "enqueue must run on the link's owning partition"
+    );
+    if !shared.link_health[link].up {
+        // Forwarding onto a failed link drops the packet at the port.
+        core.links[link]
+            .as_mut()
+            .expect("owned link")
+            .stats
+            .packets_dropped += 1;
+        core.flow_drops[packet.flow] += 1;
+        return;
+    }
+    {
+        let ls = core.links[link].as_mut().expect("owned link");
+        if packet.is_data() {
+            if let Some(ctrl) = &mut ls.controller {
+                ctrl.on_enqueue(&mut packet, core.clock);
+            }
+            let outcome = ls.queue.enqueue(packet, core.clock);
+            if let Some(dropped) = outcome.dropped() {
+                ls.stats.packets_dropped += 1;
+                core.flow_drops[dropped.flow] += 1;
+            }
+        } else {
+            // ACKs and SYNs ride the strict-priority control lane: they
+            // skip the data discipline entirely and are never dropped by
+            // buffer pressure.
+            ls.control_lane.push_back(packet);
+        }
+    }
+    try_transmit(shared, core, link);
+}
+
+fn try_transmit(shared: &Shared, core: &mut PartitionCore, link: LinkId) {
+    let now = core.clock;
+    let health = shared.link_health[link];
+    let (packet, tx_time, lost, jitter) = {
+        let ls = core.links[link].as_mut().expect("transmit on owning core");
+        if ls.busy || !health.up {
+            return;
+        }
+        // Price controllers see the *data* backlog, control lane excluded:
+        // control bytes are invisible to the queue-based price signal,
+        // exactly like a separate hardware class.
+        let backlog = ls.queue.backlog_bytes();
+        let mut packet = match ls.control_lane.pop_front() {
+            Some(p) => p,
+            None => match ls.queue.dequeue(now) {
+                Some(p) => p,
+                None => return,
+            },
+        };
+        if let Some(ctrl) = &mut ls.controller {
+            ctrl.on_dequeue(&mut packet, now, backlog);
+        }
+        ls.busy = true;
+        ls.stats.bytes_transmitted += packet.wire_bytes as u64;
+        ls.stats.packets_transmitted += 1;
+        let tx_time = SimDuration::transmission(packet.wire_bytes as u64, shared.link_caps[link]);
+        // Randomized impairments: one draw per decision from this link's
+        // own stream, taken only while the link is impaired — unimpaired
+        // runs never touch the stream, and the draw sequence follows the
+        // link's serialization order, which no partitioning can change.
+        let lost = health.loss > 0.0 && splitmix64_unit(&mut ls.rng) < health.loss;
+        let jitter = if !lost && !health.jitter.is_zero() {
+            let unit = splitmix64_unit(&mut ls.rng);
+            SimDuration::from_nanos((health.jitter.as_nanos() as f64 * unit) as u64)
+        } else {
+            SimDuration::ZERO
+        };
+        (packet, tx_time, lost, jitter)
+    };
+    core.events.schedule_seeded(
+        now + tx_time,
+        Event::TransmitComplete { link },
+        event_key(KIND_TRANSMIT_COMPLETE, link as u64, 0),
+    );
+    if lost {
+        // Corrupted on the wire: it occupied the link for its full
+        // serialization time but never arrives.
+        core.links[link]
+            .as_mut()
+            .expect("owned link")
+            .stats
+            .packets_dropped += 1;
+        core.flow_drops[packet.flow] += 1;
+    } else {
+        let at = now + tx_time + shared.topo.links()[link].delay + jitter;
+        let seq = arrival_key(link, &packet);
+        let event = Event::Arrival { link, packet };
+        if shared.link_cut[link] {
+            // Boundary message: the arrival belongs to the partition on
+            // the far side of the cut. It is buffered with its key and
+            // released into that partition's wheel at the next barrier —
+            // safe because `at >= barrier`: the cut link's propagation
+            // delay is at least the lookahead window by construction.
+            let dest = shared.node_part[shared.topo.links()[link].to];
+            core.outbound[dest].events.push((at, seq, event));
+        } else {
+            core.events.schedule_seeded(at, event, seq);
+        }
+    }
+}
+
+fn handle_arrival(shared: &Shared, core: &mut PartitionCore, link: LinkId, mut packet: Packet) {
+    // A packet in flight is delivered unless its cable is down at the
+    // arrival instant: failing a link loses whatever was on the wire. The
+    // drop is charged to the (possibly remote) link via this core's
+    // per-link delta, summed into `link_stats`.
+    if !shared.link_health[link].up {
+        core.link_drops[link] += 1;
+        core.flow_drops[packet.flow] += 1;
+        return;
+    }
+    packet.advance_hop();
+    if let Some(next) = packet.next_link(&shared.routes) {
+        enqueue_on_link(shared, core, next, packet);
+        return;
+    }
+    // Delivered to the end host.
+    match packet.kind {
+        PacketKind::Data | PacketKind::Syn => receiver_deliver(shared, core, packet),
+        PacketKind::Ack => sender_ack(shared, core, packet),
+    }
+}
+
+/// The universal receiver: count delivery, track the rate, detect
+/// completion, and reflect an ACK echoing the data packet's feedback
+/// fields. SYNs are delivered silently (no payload, no ACK).
+fn receiver_deliver(shared: &Shared, core: &mut PartitionCore, packet: Packet) {
+    if !packet.is_data() {
+        return;
+    }
+    let flow = packet.flow;
+    let now = core.clock;
+    let (delivered, inter, ack_seq) = {
+        let rx = core.receivers[flow]
+            .as_mut()
+            .expect("receiver on destination core");
+        rx.bytes_delivered += packet.payload_bytes as u64;
+        rx.packets_delivered += 1;
+        rx.tracer.on_arrival(packet.payload_bytes as u64, now);
+        let inter = rx.last_data_arrival.map(|last| now.duration_since(last));
+        rx.last_data_arrival = Some(now);
+        if rx.completed_at.is_none()
+            && shared.specs[flow]
+                .size_bytes
+                .is_some_and(|size| rx.bytes_delivered >= size)
+        {
+            rx.completed_at = Some(now);
+        }
+        let ack_seq = match rx.ack_mode {
+            AckMode::Cumulative => packet.seq + packet.payload_bytes as u64,
+            AckMode::PerPacket => packet.seq,
+        };
+        (rx.bytes_delivered, inter, ack_seq)
+    };
+    let reverse = shared.specs[flow].reverse_route;
+    let mut ack = Packet::ack(flow, reverse);
+    ack.header.sent_time = now;
+    ack.header.ack_bytes = delivered;
+    ack.header.ack_seq = ack_seq;
+    ack.header.reflected_path_price = packet.header.path_price;
+    ack.header.reflected_path_len = packet.header.path_len;
+    ack.header.reflected_rcp_feedback = packet.header.rcp_feedback;
+    ack.header.ecn_echo = packet.header.ecn_marked;
+    ack.header.inter_packet_time = inter;
+    let first = shared.routes.links(reverse)[0];
+    enqueue_on_link(shared, core, first, ack);
+}
+
+/// An ACK reached the source host: advance the acked high-water mark,
+/// detect sender-side completion, and otherwise hand the ACK to the agent.
+fn sender_ack(shared: &Shared, core: &mut PartitionCore, packet: Packet) {
+    let flow = packet.flow;
+    let completed_now = {
+        let sender = core.senders[flow].as_mut().expect("sender on source core");
+        sender.bytes_acked = sender.bytes_acked.max(packet.header.ack_bytes);
+        if sender.phase != FlowPhase::Active {
+            return;
+        }
+        let done = shared.specs[flow]
+            .size_bytes
+            .is_some_and(|size| sender.bytes_acked >= size);
+        if done {
+            sender.phase = FlowPhase::Completed;
+        }
+        done
+    };
+    if completed_now {
+        // The completing ACK is consumed by the engine, not the agent —
+        // the flow is over; shed queue state and outstanding timers.
+        queue_releases(shared, core, flow);
+        core.timers.cancel_all(&mut core.events, flow);
+    } else {
+        with_agent(shared, core, flow, |agent, ctx| agent.on_ack(&packet, ctx));
+    }
+}
+
+/// Temporarily detach a flow's agent, run `f` with an [`AgentCtx`], and
+/// reattach. No-op if the agent is already detached (re-entrancy guard).
+fn with_agent(
+    shared: &Shared,
+    core: &mut PartitionCore,
+    flow: FlowId,
+    f: impl FnOnce(&mut Box<dyn FlowAgent>, &mut AgentCtx<'_>),
+) {
+    let Some(mut agent) = core.senders[flow].as_mut().and_then(|s| s.agent.take()) else {
+        return;
+    };
+    {
+        let mut ctx = AgentCtx {
+            shared,
+            core: &mut *core,
+            flow,
+        };
+        f(&mut agent, &mut ctx);
+    }
+    core.senders[flow]
+        .as_mut()
+        .expect("sender on source core")
+        .agent = Some(agent);
+}
+
+// ---- the coordinator ------------------------------------------------------
+
+/// The packet-level network simulator.
+///
+/// A `Network` owns every piece of its simulation state and is `Send`
+/// (asserted at compile time below): move it to a worker thread and run it
+/// there. Concurrent sweeps exploit this — one fully-owned `Network` per
+/// thread — and [`Network::set_partition_threads`] additionally threads the
+/// inside of a single simulation, without any change to the determinism
+/// contract (see the module docs).
+pub struct Network {
+    shared: Shared,
+    /// The per-partition event cores. Always at least one; index 0 is the
+    /// whole network until [`Network::set_partitions`] says otherwise.
+    parts: Vec<PartitionCore>,
+    /// Conservative lookahead: the minimum propagation delay over boundary
+    /// links. `None` when no link crosses a cut (single partition), in
+    /// which case an epoch spans the whole stretch.
+    lookahead: Option<SimDuration>,
+    /// Worker threads for epoch execution (1 = inline).
+    threads: usize,
+    clock: SimTime,
+    config: NetworkConfig,
+    /// The base impairment seed; per-link streams derive from it.
+    impair_seed: u64,
+    /// Pending coordinator-level link changes.
+    globals: Vec<GlobalEvent>,
+    global_order: u64,
+    /// Link changes applied so far (counted into `events_processed`).
+    sync_events: u64,
+    trace_enabled: bool,
 }
 
 /// Configuration knobs of the engine itself (not of any protocol).
@@ -95,88 +737,6 @@ impl Default for NetworkConfig {
     }
 }
 
-/// One spatial partition's event core: its own timing wheel, its own timer
-/// bookkeeping, its own impairment RNG stream, and a boundary inbox for
-/// cross-partition packet deliveries produced during the current epoch.
-struct PartitionCore {
-    events: EventQueue,
-    timers: TimerService,
-    /// SplitMix64 state for randomized impairments (loss, jitter) on links
-    /// owned by this partition. Advances only when an impaired link
-    /// transmits; see [`crate::impairment`].
-    rng: u64,
-    /// Boundary messages addressed *to* this partition: cross-cut packet
-    /// arrivals stamped `(deliver_time, seq)` at creation and merged into
-    /// the wheel at the next time barrier. The conservative lookahead
-    /// guarantees every entry's deliver time is at or past that barrier.
-    inbox: Vec<(SimTime, u64, Event)>,
-}
-
-impl PartitionCore {
-    fn new(seed: u64, partition: usize) -> Self {
-        Self {
-            events: EventQueue::new(),
-            timers: TimerService::new(),
-            rng: derive_partition_seed(seed, partition),
-            inbox: Vec::new(),
-        }
-    }
-}
-
-/// The packet-level network simulator.
-///
-/// A `Network` owns every piece of its simulation state and is `Send`
-/// (asserted at compile time below): move it to a worker thread and run it
-/// there. Concurrent sweeps exploit this — one fully-owned `Network` per
-/// thread — without any change to the single-threaded event core or its
-/// determinism contract.
-///
-/// # Partitions
-///
-/// Internally the network is **domain-decomposed**: [`Network::set_partitions`]
-/// splits the fabric into spatial partitions (via [`Topology::partition`]),
-/// each owning a disjoint subset of nodes with its own timing wheel,
-/// [`TimerService`] and impairment RNG stream. Cross-partition deliveries
-/// travel as boundary messages released at conservative time barriers
-/// (lookahead = the minimum propagation delay over boundary links), and the
-/// run loop merges partition wheels by a **globally shared** `(time, seq)`
-/// key — so the observable pop order, and therefore every report byte, is
-/// identical for any partition count. The default single partition *is* the
-/// historical single-queue engine, bit for bit; the public API is unchanged
-/// either way. Execution is still sequential — the partition structure is
-/// the groundwork for intra-simulation threading, not yet the threads.
-pub struct Network {
-    topo: Topology,
-    links: Vec<LinkRuntime>,
-    flows: Vec<FlowRuntime>,
-    routes: RouteTable,
-    /// The per-partition event cores. Always at least one; index 0 is the
-    /// whole network until [`Network::set_partitions`] says otherwise.
-    parts: Vec<PartitionCore>,
-    /// Partition owning each node.
-    node_part: Vec<usize>,
-    /// Partition owning each link's runtime state (its tail node's).
-    link_part: Vec<usize>,
-    /// Whether each link crosses a partition boundary (its endpoints live
-    /// in different partitions) — the links whose deliveries become
-    /// boundary messages.
-    link_cut: Vec<bool>,
-    /// Conservative lookahead: the minimum propagation delay over boundary
-    /// links. `None` when no link crosses a cut (single partition), in
-    /// which case an epoch spans the whole run.
-    lookahead: Option<SimDuration>,
-    clock: SimTime,
-    config: NetworkConfig,
-    events_processed: u64,
-    /// The globally shared event sequence counter. Every event in every
-    /// partition's wheel draws from this one counter at schedule time, so
-    /// the cross-partition `(time, seq)` merge reproduces the single-queue
-    /// pop order exactly.
-    next_seq: u64,
-    /// The base impairment seed; per-partition streams derive from it.
-    impair_seed: u64,
-}
-
 impl Network {
     /// Build a network from a topology, creating one queue per link with
     /// `queue_factory`.
@@ -190,47 +750,47 @@ impl Network {
         queue_factory: impl Fn(LinkId) -> Box<dyn QueueDiscipline>,
         config: NetworkConfig,
     ) -> Self {
-        let links = topo
-            .links()
-            .iter()
-            .enumerate()
-            .map(|(id, spec)| LinkRuntime {
-                capacity_bps: spec.capacity_bps,
-                delay: spec.delay,
-                queue: queue_factory(id),
-                control_lane: std::collections::VecDeque::new(),
-                controller: None,
-                busy: false,
-                health: LinkHealth::default(),
-                stats: LinkStats::default(),
-            })
-            .collect();
         let num_nodes = topo.nodes().len();
         let num_links = topo.links().len();
-        Self {
+        let link_caps = topo.links().iter().map(|s| s.capacity_bps).collect();
+        let shared = Shared {
             topo,
-            links,
-            flows: Vec::new(),
             routes: RouteTable::new(),
-            parts: vec![PartitionCore::new(0, 0)],
+            specs: Vec::new(),
             node_part: vec![0; num_nodes],
             link_part: vec![0; num_links],
             link_cut: vec![false; num_links],
+            link_caps,
+            link_health: vec![LinkHealth::default(); num_links],
+        };
+        let mut core = PartitionCore::new(0, 1, num_links);
+        for link in 0..num_links {
+            core.links[link] = Some(LinkState::new(
+                queue_factory(link),
+                derive_link_seed(0, link),
+            ));
+        }
+        Self {
+            shared,
+            parts: vec![core],
             lookahead: None,
+            threads: 1,
             clock: SimTime::ZERO,
             config,
-            events_processed: 0,
-            next_seq: 0,
             impair_seed: 0,
+            globals: Vec::new(),
+            global_order: 0,
+            sync_events: 0,
+            trace_enabled: false,
         }
     }
 
     /// Re-split the network into `partitions` spatial domains (see the
-    /// type-level docs). Each partition gets its own timing wheel, timer
-    /// service and impairment stream; events already scheduled (e.g. link
-    /// controller timers installed at construction) migrate to their owning
-    /// partition's wheel with their original sequence numbers, so the
-    /// partition count never perturbs event order.
+    /// module docs). Each partition gets its own timing wheel, timer
+    /// service, link runtimes and endpoint state; events already scheduled
+    /// (e.g. link controller timers installed at construction) migrate to
+    /// their owning partition's wheel with their original content keys, so
+    /// the partition count never perturbs event order.
     ///
     /// Must be called during setup: after construction and controller
     /// installation, before any flow is added or the simulation runs.
@@ -241,51 +801,77 @@ impl Network {
     pub fn set_partitions(&mut self, partitions: usize) {
         assert!(partitions >= 1, "partition count must be at least 1");
         assert!(
-            self.flows.is_empty() && self.events_processed == 0,
+            self.shared.specs.is_empty() && self.events_processed() == 0,
             "set_partitions must be called before flows are added or the simulation runs"
         );
-        let partitioning = self.topo.partition(partitions);
-        self.node_part = partitioning.assignment().to_vec();
-        self.link_part = self
+        let num_links = self.shared.topo.links().len();
+        let partitioning = self.shared.topo.partition(partitions);
+        self.shared.node_part = partitioning.assignment().to_vec();
+        self.shared.link_part = self
+            .shared
             .topo
             .links()
             .iter()
-            .map(|spec| self.node_part[spec.from])
+            .map(|spec| self.shared.node_part[spec.from])
             .collect();
-        self.link_cut = self
+        self.shared.link_cut = self
+            .shared
             .topo
             .links()
             .iter()
-            .map(|spec| self.node_part[spec.from] != self.node_part[spec.to])
+            .map(|spec| self.shared.node_part[spec.from] != self.shared.node_part[spec.to])
             .collect();
         self.lookahead = self
+            .shared
             .topo
             .links()
             .iter()
             .enumerate()
-            .filter(|&(l, _)| self.link_cut[l])
+            .filter(|&(l, _)| self.shared.link_cut[l])
             .map(|(_, spec)| spec.delay.max(SimDuration::from_nanos(1)))
             .min();
-        // Migrate pending events (setup-time controller timers and link
-        // changes) into the new per-partition wheels, keeping their
-        // original global sequence numbers.
+        // Migrate pending events (setup-time controller timers) and link
+        // runtimes into the new per-partition cores, keeping keys intact.
         let mut pending: Vec<(SimTime, u64, Event, bool)> = Vec::new();
+        let mut link_states: Vec<Option<LinkState>> = (0..num_links).map(|_| None).collect();
         for core in &mut self.parts {
             pending.extend(core.events.drain_entries());
+            for (l, slot) in core.links.iter_mut().enumerate() {
+                if let Some(ls) = slot.take() {
+                    link_states[l] = Some(ls);
+                }
+            }
         }
         pending.sort_by_key(|&(t, seq, ..)| (t, seq));
         self.parts = (0..partitions)
-            .map(|p| PartitionCore::new(self.impair_seed, p))
+            .map(|p| {
+                let mut core = PartitionCore::new(p, partitions, num_links);
+                core.trace = self.trace_enabled.then(Vec::new);
+                core
+            })
             .collect();
-        for (at, seq, event, cancellable) in pending {
-            let p = self.event_partition(&event);
-            let core = &mut self.parts[p].events;
-            if cancellable {
-                core.schedule_cancellable_seeded(at, event, seq);
-            } else {
-                core.schedule_seeded(at, event, seq);
+        for (l, slot) in link_states.iter_mut().enumerate() {
+            if let Some(ls) = slot.take() {
+                self.parts[self.shared.link_part[l]].links[l] = Some(ls);
             }
         }
+        for (at, seq, event, cancellable) in pending {
+            let p = event_partition(&self.shared, &event);
+            let wheel = &mut self.parts[p].events;
+            if cancellable {
+                wheel.schedule_cancellable_seeded(at, event, seq);
+            } else {
+                wheel.schedule_seeded(at, event, seq);
+            }
+        }
+    }
+
+    /// Run each epoch's partitions on `threads` worker threads (clamped to
+    /// at least 1; 1 means inline execution on the calling thread). Safe to
+    /// change at any time — thread count affects wall-clock speed only,
+    /// never a byte of output, so there is no setup-phase restriction.
+    pub fn set_partition_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// The number of spatial partitions this network is decomposed into.
@@ -293,51 +879,25 @@ impl Network {
         self.parts.len()
     }
 
-    /// The partition that owns (handles events of) `event`: arrivals belong
-    /// to the receiving end of their link, everything else link-scoped to
-    /// the transmitting end, and flow-scoped events to the source host.
-    fn event_partition(&self, event: &Event) -> usize {
-        match event {
-            Event::Arrival { link, .. } => self.node_part[self.topo.links()[*link].to],
-            Event::TransmitComplete { link }
-            | Event::LinkTimer { link, .. }
-            | Event::LinkChange { link, .. } => self.link_part[*link],
-            Event::FlowStart { flow }
-            | Event::FlowStop { flow }
-            | Event::FlowTimer { flow, .. } => self.node_part[self.flows[*flow].spec.src],
-        }
-    }
-
-    /// Allocate the next globally shared sequence number.
-    fn alloc_seq(&mut self) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        seq
-    }
-
-    /// Schedule `event` into its owning partition's wheel under the global
-    /// sequence counter — the partition-aware replacement for what used to
-    /// be `self.events.schedule(...)`.
-    fn schedule_event(&mut self, at: SimTime, event: Event) -> EventId {
-        let seq = self.alloc_seq();
-        let p = self.event_partition(&event);
-        self.parts[p].events.schedule_seeded(at, event, seq)
+    /// The worker-thread count epochs run on (1 = inline).
+    pub fn partition_threads(&self) -> usize {
+        self.threads
     }
 
     /// The topology this network was built from.
     pub fn topology(&self) -> &Topology {
-        &self.topo
+        &self.shared.topo
     }
 
     /// Resolve an interned route id (from a [`FlowSpec`] or [`Packet`]) to
     /// the route itself.
     pub fn route(&self, id: RouteId) -> &Route {
-        self.routes.get(id)
+        self.shared.routes.get(id)
     }
 
     /// The network's route arena (interned, deduplicated flow routes).
     pub fn routes(&self) -> &RouteTable {
-        &self.routes
+        &self.shared.routes
     }
 
     /// Current simulation time.
@@ -349,9 +909,17 @@ impl Network {
     /// a periodic timer it starts `initial_timer()` from the current time.
     pub fn set_link_controller(&mut self, link: LinkId, controller: Box<dyn LinkController>) {
         let initial = controller.initial_timer();
-        self.links[link].controller = Some(controller);
+        let p = self.shared.link_part[link];
+        self.parts[p].links[link]
+            .as_mut()
+            .expect("link state on owning core")
+            .controller = Some(controller);
         if let Some(delay) = initial {
-            self.schedule_event(self.clock + delay, Event::LinkTimer { link, tag: 0 });
+            self.parts[p].events.schedule_seeded(
+                self.clock + delay,
+                Event::LinkTimer { link, tag: 0 },
+                event_key(KIND_LINK_TIMER, link as u64, 0),
+            );
         }
     }
 
@@ -361,8 +929,8 @@ impl Network {
         &mut self,
         factory: impl Fn(LinkId, f64) -> Box<dyn LinkController>,
     ) {
-        for link in 0..self.links.len() {
-            let capacity = self.links[link].capacity_bps;
+        for link in 0..self.shared.topo.links().len() {
+            let capacity = self.shared.link_caps[link];
             self.set_link_controller(link, factory(link, capacity));
         }
     }
@@ -381,11 +949,11 @@ impl Network {
         group: Option<usize>,
         agent: Box<dyn FlowAgent>,
     ) -> FlowId {
-        let route = self.topo.host_route(src, dst, spine_choice);
+        let route = self.shared.topo.host_route(src, dst, spine_choice);
         let id = self.add_flow_on_route(src, dst, route, size_bytes, start_time, group, agent);
         // Remember the ECMP pin so link failures can re-select the route
         // over the surviving paths; explicit-route flows stay `None`.
-        self.flows[id].spec.ecmp_choice = Some(spine_choice);
+        self.shared.specs[id].ecmp_choice = Some(spine_choice);
         id
     }
 
@@ -405,12 +973,13 @@ impl Network {
             !route.is_empty(),
             "flow route must traverse at least one link"
         );
-        let reverse = self.topo.reverse_route(&route);
+        let reverse = self.shared.topo.reverse_route(&route);
         let base_rtt = self
+            .shared
             .topo
             .base_rtt(&route, MTU_BYTES as u64, HEADER_BYTES as u64);
-        let route = self.routes.intern(route);
-        let reverse_route = self.routes.intern(reverse);
+        let route = self.shared.routes.intern(route);
+        let reverse_route = self.shared.routes.intern(reverse);
         let spec = FlowSpec {
             src,
             dst,
@@ -422,91 +991,343 @@ impl Network {
             group,
             ecmp_choice: None,
         };
-        let id = self.flows.len();
-        self.flows.push(FlowRuntime {
-            spec,
+        let id = self.shared.specs.len();
+        let start = spec.start_time;
+        let txp = self.shared.node_part[src];
+        let rxp = self.shared.node_part[dst];
+        let ack_mode = agent.ack_mode();
+        self.shared.specs.push(spec);
+        let mut sender = Some(SenderState {
             agent: Some(agent),
             phase: FlowPhase::Pending,
-            stats: FlowStats::default(),
-            tracer: EwmaRateTracer::new(self.config.rate_ewma_tau),
+            bytes_sent: 0,
+            packets_sent: 0,
+            bytes_acked: 0,
+            started_at: None,
+            timer_arms: 0,
         });
-        // Dense per-flow timer bookkeeping on every partition: a flow's
-        // timers live only in its owning partition's service, but the flow
-        // id must index into all of them.
-        for core in &mut self.parts {
+        let mut receiver = Some(ReceiverState {
+            bytes_delivered: 0,
+            packets_delivered: 0,
+            completed_at: None,
+            tracer: EwmaRateTracer::new(self.config.rate_ewma_tau),
+            last_data_arrival: None,
+            ack_mode,
+        });
+        // Dense per-flow bookkeeping on every partition: endpoint state
+        // lives only where it is owned, but the flow id must index into
+        // all of them.
+        for (p, core) in self.parts.iter_mut().enumerate() {
+            core.senders
+                .push(if p == txp { sender.take() } else { None });
+            core.receivers
+                .push(if p == rxp { receiver.take() } else { None });
+            core.flow_drops.push(0);
             core.timers.register_flow();
         }
-        let at = self.flows[id].spec.start_time;
-        self.schedule_event(at, Event::FlowStart { flow: id });
+        self.parts[txp].events.schedule_seeded(
+            start,
+            Event::FlowStart { flow: id },
+            event_key(KIND_FLOW_START, id as u64, 0),
+        );
         id
     }
 
     /// Stop an active flow (it stops sending; in-flight packets still drain).
     pub fn stop_flow(&mut self, flow: FlowId) {
-        self.schedule_event(self.clock, Event::FlowStop { flow });
+        let p = self.shared.node_part[self.shared.specs[flow].src];
+        self.parts[p].events.schedule_seeded(
+            self.clock,
+            Event::FlowStop { flow },
+            event_key(KIND_FLOW_STOP, flow as u64, 0),
+        );
     }
 
-    /// The earliest `(time, seq)` key across every partition's wheel, and
-    /// the partition holding it — the cross-partition merge point. Shared
-    /// sequence numbers make the winner unique and identical to what a
-    /// single queue would pop next.
-    fn peek_min(&mut self) -> Option<(SimTime, u64, usize)> {
-        let mut best: Option<(SimTime, u64, usize)> = None;
-        for p in 0..self.parts.len() {
-            if let Some((t, seq)) = self.parts[p].events.peek_key() {
-                if best.is_none_or(|(bt, bs, _)| (t, seq) < (bt, bs)) {
-                    best = Some((t, seq, p));
+    // ---- impairments ------------------------------------------------------
+
+    /// Schedule a [`LinkChange`] to take effect at `at` (clamped to the
+    /// current time). Link changes are coordinator-level sync events: the
+    /// simulation runs every partition up to the change's instant, applies
+    /// it while all partitions are parked at that barrier (before any
+    /// same-instant partition events), then resumes. Impairment schedules
+    /// built by `numfabric-workloads` reduce to a sequence of these calls.
+    pub fn schedule_link_change(&mut self, at: SimTime, link: LinkId, change: LinkChange) {
+        assert!(
+            link < self.shared.topo.links().len(),
+            "no such link: {link}"
+        );
+        let order = self.global_order;
+        self.global_order += 1;
+        self.globals.push(GlobalEvent {
+            at: at.max(self.clock),
+            order,
+            link,
+            change,
+        });
+    }
+
+    /// Seed the impairment streams that randomized [`LinkChange::Loss`] and
+    /// [`LinkChange::Jitter`] draws come from — one stream per **link**,
+    /// derived via [`derive_link_seed`], so the draw sequence is invariant
+    /// under partitioning and threading. Runs that never impair a link
+    /// never touch any stream, so the seed is irrelevant to them.
+    pub fn set_impairment_seed(&mut self, seed: u64) {
+        self.impair_seed = seed;
+        for core in &mut self.parts {
+            for (l, slot) in core.links.iter_mut().enumerate() {
+                if let Some(ls) = slot {
+                    ls.rng = derive_link_seed(seed, l);
                 }
             }
         }
-        best
     }
 
-    /// Release every buffered boundary message into its destination
-    /// partition's wheel — the time-barrier merge. Messages carry the
-    /// `(deliver_time, seq)` stamped at creation, so insertion order here
-    /// cannot perturb pop order.
-    fn drain_inboxes(&mut self) {
-        for p in 0..self.parts.len() {
-            if self.parts[p].inbox.is_empty() {
+    /// Whether a link is currently up.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.shared.link_health[link].up
+    }
+
+    /// A link's current impairment state.
+    pub fn link_health(&self, link: LinkId) -> LinkHealth {
+        self.shared.link_health[link]
+    }
+
+    /// Change a link's capacity at runtime (used by the bandwidth-function
+    /// experiments, where the bottleneck capacity changes mid-run). The
+    /// packet currently being serialized keeps its old transmission time;
+    /// subsequent packets use the new rate.
+    ///
+    /// # Panics
+    /// Panics if the capacity is not strictly positive.
+    pub fn set_link_capacity(&mut self, link: LinkId, capacity_bps: f64) {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "capacity must be positive"
+        );
+        self.shared.link_caps[link] = capacity_bps;
+        let p = self.shared.link_part[link];
+        if let Some(ctrl) = self.parts[p].links[link]
+            .as_mut()
+            .and_then(|ls| ls.controller.as_mut())
+        {
+            ctrl.on_capacity_change(capacity_bps);
+        }
+    }
+
+    /// A link's current capacity in bits per second.
+    pub fn link_capacity_bps(&self, link: LinkId) -> f64 {
+        self.shared.link_caps[link]
+    }
+
+    /// Apply one link change at coordinator level (all partitions parked).
+    fn apply_link_change(&mut self, link: LinkId, change: LinkChange) {
+        match change {
+            LinkChange::Down | LinkChange::DownFwd => {
+                if !self.shared.link_health[link].up {
+                    return;
+                }
+                self.shared.link_health[link].up = false;
+                // An asymmetric failure dies identically at this link but
+                // leaves the reverse twin routable (see `reroute_ecmp_flows`).
+                self.shared.link_health[link].asymmetric_down = change == LinkChange::DownFwd;
+                // Everything queued behind the failed cable is lost,
+                // deterministically (drain order is the discipline's own
+                // dequeue order). Packets already propagating are lost at
+                // their arrival instant (see `handle_arrival`).
+                self.drop_link_backlog(link);
+                self.reroute_ecmp_flows();
+            }
+            LinkChange::Up => {
+                if self.shared.link_health[link].up {
+                    return;
+                }
+                self.shared.link_health[link].up = true;
+                self.shared.link_health[link].asymmetric_down = false;
+                self.reroute_ecmp_flows();
+                let p = self.shared.link_part[link];
+                try_transmit(&self.shared, &mut self.parts[p], link);
+            }
+            LinkChange::Speed(capacity_bps) => self.set_link_capacity(link, capacity_bps),
+            LinkChange::Loss(probability) => {
+                assert!(
+                    (0.0..=1.0).contains(&probability),
+                    "loss probability out of range: {probability}"
+                );
+                self.shared.link_health[link].loss = probability;
+            }
+            LinkChange::Jitter(max_extra) => self.shared.link_health[link].jitter = max_extra,
+        }
+    }
+
+    /// Drop every packet queued on `link` (data queue and control lane),
+    /// with full drop accounting.
+    fn drop_link_backlog(&mut self, link: LinkId) {
+        let p = self.shared.link_part[link];
+        let core = &mut self.parts[p];
+        let now = core.clock;
+        let mut dropped_flows = Vec::new();
+        {
+            let ls = core.links[link]
+                .as_mut()
+                .expect("link state on owning core");
+            while let Some(pkt) = ls.control_lane.pop_front() {
+                dropped_flows.push(pkt.flow);
+            }
+            while let Some(pkt) = ls.queue.dequeue(now) {
+                dropped_flows.push(pkt.flow);
+            }
+            ls.stats.packets_dropped += dropped_flows.len() as u64;
+        }
+        for flow in dropped_flows {
+            core.flow_drops[flow] += 1;
+        }
+    }
+
+    /// Re-select the route of every live ECMP-pinned flow over the links
+    /// that survive the current failure set. Flows whose surviving choice
+    /// is unchanged keep their route (and their in-flight packets); a
+    /// partitioned flow keeps its dead route and stalls until a restore.
+    ///
+    /// Every rerouted *active* flow is then told via
+    /// [`FlowAgent::on_reroute`], with `path_was_lost` reporting whether
+    /// its old path (either direction) crossed a downed link — that is the
+    /// case in which its in-flight window died with the cable and a purely
+    /// ACK-clocked sender must retransmit to restart its clock.
+    fn reroute_ecmp_flows(&mut self) {
+        let down: std::collections::HashSet<LinkId> = self
+            .shared
+            .link_health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !h.up)
+            .map(|(id, _)| id)
+            .collect();
+        // The route-selection ban set: a symmetric failure bans the whole
+        // cable (a flow cannot use a path its ACKs cannot retrace), while an
+        // asymmetric `DownFwd` failure bans only the dead direction — the
+        // routing plane only learned about the direction that went dark.
+        let mut banned = down.clone();
+        for &id in &down {
+            if self.shared.link_health[id].asymmetric_down {
                 continue;
             }
-            let msgs = std::mem::take(&mut self.parts[p].inbox);
-            for (at, seq, event) in msgs {
-                self.parts[p].events.schedule_seeded(at, event, seq);
+            let spec = &self.shared.topo.links()[id];
+            if let Some(twin) = self.shared.topo.link_between(spec.to, spec.from) {
+                banned.insert(twin);
             }
+        }
+        let mut rerouted: Vec<(FlowId, bool)> = Vec::new();
+        for flow in 0..self.shared.specs.len() {
+            let phase = self.flow_phase(flow);
+            if !matches!(phase, FlowPhase::Pending | FlowPhase::Active) {
+                continue;
+            }
+            let spec = &self.shared.specs[flow];
+            let Some(choice) = spec.ecmp_choice else {
+                continue;
+            };
+            let (src, dst, old) = (spec.src, spec.dst, spec.route);
+            let old_reverse = spec.reverse_route;
+            let Some(new_route) = self
+                .shared
+                .topo
+                .host_route_avoiding_directed(src, dst, choice, &banned)
+            else {
+                continue;
+            };
+            if self.shared.routes.links(old) == new_route.links.as_slice() {
+                continue;
+            }
+            // Old in-flight and queued packets carry the old interned
+            // route and keep following it (dying at the failed hop); the
+            // flow's own per-queue state moves to the new path.
+            let old_links: Vec<LinkId> = self.shared.routes.links(old).to_vec();
+            for &l in &old_links {
+                let p = self.shared.link_part[l];
+                if let Some(ls) = self.parts[p].links[l].as_mut() {
+                    ls.queue.release_flow(flow);
+                }
+            }
+            let path_was_lost = old_links
+                .iter()
+                .chain(self.shared.routes.links(old_reverse))
+                .any(|l| down.contains(l));
+            let reverse = self.shared.topo.reverse_route(&new_route);
+            let base_rtt =
+                self.shared
+                    .topo
+                    .base_rtt(&new_route, MTU_BYTES as u64, HEADER_BYTES as u64);
+            let route_id = self.shared.routes.intern(new_route);
+            let reverse_id = self.shared.routes.intern(reverse);
+            let spec = &mut self.shared.specs[flow];
+            spec.base_rtt = base_rtt;
+            spec.route = route_id;
+            spec.reverse_route = reverse_id;
+            if phase == FlowPhase::Active {
+                rerouted.push((flow, path_was_lost));
+            }
+        }
+        for (flow, path_was_lost) in rerouted {
+            // The inter-arrival clock at the receiver restarts on the new
+            // path: the first post-reroute delivery must not report a gap
+            // that straddles the route change.
+            let rxp = self.shared.node_part[self.shared.specs[flow].dst];
+            if let Some(rx) = self.parts[rxp].receivers[flow].as_mut() {
+                rx.last_data_arrival = None;
+            }
+            let txp = self.shared.node_part[self.shared.specs[flow].src];
+            with_agent(&self.shared, &mut self.parts[txp], flow, |agent, ctx| {
+                agent.on_reroute(path_was_lost, ctx)
+            });
+        }
+    }
+
+    // ---- run loops --------------------------------------------------------
+
+    /// The instant of the earliest pending coordinator-level link change.
+    fn next_global_time(&self) -> Option<SimTime> {
+        self.globals.iter().map(|g| g.at).min()
+    }
+
+    /// Apply every pending link change scheduled for instant `g`, in
+    /// schedule order, with all partitions parked at `g`.
+    fn apply_globals_at(&mut self, g: SimTime) {
+        let (mut due, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.globals)
+            .into_iter()
+            .partition(|e| e.at == g);
+        self.globals = rest;
+        due.sort_by_key(|e| e.order);
+        for core in &mut self.parts {
+            core.clock = g;
+        }
+        for e in due {
+            self.sync_events += 1;
+            self.apply_link_change(e.link, e.change);
         }
     }
 
     /// Run the simulation until (and including) time `until`.
     ///
     /// With multiple partitions the loop runs in **epochs**: each epoch
-    /// starts at the earliest pending event time `t`, processes every event
-    /// strictly before the barrier `t + lookahead` in merged `(time, seq)`
-    /// order, then releases the boundary messages produced meanwhile. The
-    /// lookahead (minimum boundary-link propagation delay) guarantees no
-    /// boundary message can be due before the barrier, so the merged order
-    /// — and every observable byte — is independent of the partition count.
+    /// starts at the earliest pending event time `t` across all partitions,
+    /// advances every partition independently through events strictly
+    /// before the barrier `t + lookahead`, then exchanges the boundary
+    /// messages produced meanwhile. The lookahead (minimum boundary-link
+    /// propagation delay) guarantees no boundary message can be due before
+    /// the barrier, so each partition's pop order — and every observable
+    /// byte — is independent of the partition count and the thread count.
     pub fn run_until(&mut self, until: SimTime) {
         loop {
-            self.drain_inboxes();
-            let Some((t, _, _)) = self.peek_min() else {
-                break;
-            };
-            if t > until {
-                break;
-            }
-            let barrier = self.lookahead.map(|la| t + la);
-            while let Some((time, _, p)) = self.peek_min() {
-                if time > until || barrier.is_some_and(|b| time >= b) {
+            match self.next_global_time() {
+                Some(g) if g <= until => {
+                    self.run_stretch(g, false);
+                    self.clock = g;
+                    self.apply_globals_at(g);
+                }
+                _ => {
+                    self.run_stretch(until, true);
                     break;
                 }
-                let (time, id, event) = self.parts[p]
-                    .events
-                    .pop_entry()
-                    .expect("peeked event must exist");
-                self.clock = time;
-                self.handle(id, event);
             }
         }
         self.clock = self.clock.max(until);
@@ -523,22 +1344,186 @@ impl Network {
     /// without the time bound.
     pub fn run_to_completion(&mut self) {
         loop {
-            self.drain_inboxes();
-            let Some((t, _, _)) = self.peek_min() else {
-                break;
-            };
-            let barrier = self.lookahead.map(|la| t + la);
-            while let Some((time, _, p)) = self.peek_min() {
-                if barrier.is_some_and(|b| time >= b) {
+            match self.next_global_time() {
+                Some(g) => {
+                    self.run_stretch(g, false);
+                    self.clock = g;
+                    self.apply_globals_at(g);
+                }
+                None => {
+                    // A far bound used only in comparisons (never added to).
+                    let far = SimTime::ZERO + SimDuration::from_nanos(u64::MAX);
+                    self.run_stretch(far, true);
                     break;
                 }
-                let (time, id, event) = self.parts[p]
-                    .events
-                    .pop_entry()
-                    .expect("peeked event must exist");
-                self.clock = time;
-                self.handle(id, event);
             }
+        }
+        let core_max = self.parts.iter().map(|c| c.clock).max();
+        if let Some(t) = core_max {
+            self.clock = self.clock.max(t);
+        }
+    }
+
+    /// Run every partition through epochs until all pending work lies
+    /// beyond `bound`. A "stretch" is the span between two sync points.
+    fn run_stretch(&mut self, bound: SimTime, inclusive: bool) {
+        // Boundary traffic produced at the previous sync point (restores
+        // re-kicking transmission, reroute-triggered retransmits crossing
+        // cuts) must be visible before the first epoch's min is computed.
+        self.route_outbound();
+        if self.threads > 1 && self.parts.len() > 1 {
+            self.run_stretch_threaded(bound, inclusive);
+        } else {
+            self.run_stretch_inline(bound, inclusive);
+        }
+    }
+
+    /// Move every core's accumulated outbound bundles into the destination
+    /// cores' inboxes.
+    fn route_outbound(&mut self) {
+        let mut moved: Vec<(usize, OutBundle)> = Vec::new();
+        for core in &mut self.parts {
+            for (dest, bundle) in core.outbound.iter_mut().enumerate() {
+                if !bundle.is_empty() {
+                    moved.push((dest, std::mem::take(bundle)));
+                }
+            }
+        }
+        for (dest, bundle) in moved {
+            self.parts[dest].inbox.extend(bundle.events);
+            self.parts[dest].inbox_releases.extend(bundle.releases);
+        }
+    }
+
+    /// The sequential stretch loop: deliver boundary messages, advance
+    /// every partition to the epoch barrier, exchange outbound bundles,
+    /// repeat. The threaded path runs the *same* per-core calls, just on
+    /// workers — that equivalence is the thread-invariance argument.
+    fn run_stretch_inline(&mut self, bound: SimTime, inclusive: bool) {
+        loop {
+            for core in &mut self.parts {
+                deliver_boundary(core);
+            }
+            let mut t_min: Option<SimTime> = None;
+            for core in &mut self.parts {
+                if let Some((t, _)) = core.events.peek_key() {
+                    t_min = Some(t_min.map_or(t, |m: SimTime| m.min(t)));
+                }
+            }
+            let Some(t) = t_min else {
+                break;
+            };
+            if beyond(t, bound, inclusive) {
+                break;
+            }
+            let barrier = self.lookahead.map(|la| t + la);
+            for core in &mut self.parts {
+                advance_core(&self.shared, core, barrier, bound, inclusive);
+            }
+            self.route_outbound();
+        }
+    }
+
+    /// The threaded stretch loop: long-lived workers each own a contiguous
+    /// chunk of partitions; per epoch the coordinator hands every worker a
+    /// command (barrier + that chunk's boundary deliveries), the workers
+    /// advance their cores concurrently, and replies are merged in worker
+    /// order — a deterministic rendezvous, so the merge order never depends
+    /// on thread scheduling.
+    fn run_stretch_threaded(&mut self, bound: SimTime, inclusive: bool) {
+        let nparts = self.parts.len();
+        let workers = self.threads.min(nparts);
+        let chunk_size = nparts.div_ceil(workers);
+        let lookahead = self.lookahead;
+        let shared = &self.shared;
+        let parts: &mut [PartitionCore] = &mut self.parts;
+        // Undelivered boundary traffic per destination partition, held by
+        // the coordinator between epochs.
+        let mut pending: Vec<OutBundle> = parts
+            .iter_mut()
+            .map(|core| OutBundle {
+                events: std::mem::take(&mut core.inbox),
+                releases: std::mem::take(&mut core.inbox_releases),
+            })
+            .collect();
+        let mut next_times: Vec<Option<SimTime>> = parts
+            .iter_mut()
+            .map(|core| core.events.peek_key().map(|(t, _)| t))
+            .collect();
+        let part_worker: Vec<usize> = (0..nparts).map(|p| p / chunk_size).collect();
+        std::thread::scope(|scope| {
+            let mut channels: Vec<(
+                std::sync::mpsc::Sender<EpochCmd>,
+                std::sync::mpsc::Receiver<EpochReply>,
+            )> = Vec::with_capacity(workers);
+            let mut rest = parts;
+            while !rest.is_empty() {
+                let take = chunk_size.min(rest.len());
+                let (chunk, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let (cmd_tx, cmd_rx) = std::sync::mpsc::channel::<EpochCmd>();
+                let (reply_tx, reply_rx) = std::sync::mpsc::channel::<EpochReply>();
+                channels.push((cmd_tx, reply_rx));
+                scope.spawn(move || worker_loop(shared, chunk, cmd_rx, reply_tx));
+            }
+            loop {
+                // The earliest actionable instant: pending wheel heads plus
+                // boundary events not yet delivered.
+                let mut t_min: Option<SimTime> = None;
+                for t in next_times.iter().flatten() {
+                    t_min = Some(t_min.map_or(*t, |m: SimTime| m.min(*t)));
+                }
+                for bundle in &pending {
+                    for (at, _, _) in &bundle.events {
+                        t_min = Some(t_min.map_or(*at, |m: SimTime| m.min(*at)));
+                    }
+                }
+                let Some(t) = t_min else {
+                    break;
+                };
+                if beyond(t, bound, inclusive) {
+                    break;
+                }
+                let barrier = lookahead.map(|la| t + la);
+                let mut deliveries: Vec<Vec<(usize, OutBundle)>> =
+                    (0..channels.len()).map(|_| Vec::new()).collect();
+                for (p, bundle) in pending.iter_mut().enumerate() {
+                    if !bundle.is_empty() {
+                        deliveries[part_worker[p]].push((p, std::mem::take(bundle)));
+                    }
+                }
+                for (w, (cmd_tx, _)) in channels.iter().enumerate() {
+                    cmd_tx
+                        .send(EpochCmd::Epoch {
+                            barrier,
+                            bound,
+                            inclusive,
+                            deliveries: std::mem::take(&mut deliveries[w]),
+                        })
+                        .expect("partition worker exited unexpectedly");
+                }
+                for (w, (_, reply_rx)) in channels.iter().enumerate() {
+                    let reply = reply_rx
+                        .recv()
+                        .unwrap_or_else(|_| panic!("partition worker {w} panicked"));
+                    for (p, next) in reply.next_times {
+                        next_times[p] = next;
+                    }
+                    for (dest, bundle) in reply.outbound {
+                        pending[dest].events.extend(bundle.events);
+                        pending[dest].releases.extend(bundle.releases);
+                    }
+                }
+            }
+            for (cmd_tx, _) in &channels {
+                let _ = cmd_tx.send(EpochCmd::Done);
+            }
+        });
+        // Re-deposit boundary traffic that lies beyond the bound for the
+        // next stretch; losing it here would silently drop packets.
+        for (p, bundle) in pending.into_iter().enumerate() {
+            self.parts[p].inbox.extend(bundle.events);
+            self.parts[p].inbox_releases.extend(bundle.releases);
         }
     }
 
@@ -546,523 +1531,249 @@ impl Network {
 
     /// Number of flows added so far.
     pub fn num_flows(&self) -> usize {
-        self.flows.len()
+        self.shared.specs.len()
     }
 
     /// A flow's static description.
     pub fn flow_spec(&self, flow: FlowId) -> &FlowSpec {
-        &self.flows[flow].spec
+        &self.shared.specs[flow]
     }
 
-    /// A flow's counters.
-    pub fn flow_stats(&self, flow: FlowId) -> &FlowStats {
-        &self.flows[flow].stats
+    fn sender(&self, flow: FlowId) -> &SenderState {
+        let p = self.shared.node_part[self.shared.specs[flow].src];
+        self.parts[p].senders[flow]
+            .as_ref()
+            .expect("sender on source core")
     }
 
-    /// A flow's lifecycle phase.
+    fn receiver(&self, flow: FlowId) -> &ReceiverState {
+        let p = self.shared.node_part[self.shared.specs[flow].dst];
+        self.parts[p].receivers[flow]
+            .as_ref()
+            .expect("receiver on destination core")
+    }
+
+    /// A flow's counters, assembled from its sender and receiver endpoints
+    /// plus per-partition drop deltas.
+    pub fn flow_stats(&self, flow: FlowId) -> FlowStats {
+        let tx = self.sender(flow);
+        let rx = self.receiver(flow);
+        FlowStats {
+            bytes_sent: tx.bytes_sent,
+            bytes_acked: tx.bytes_acked,
+            bytes_delivered: rx.bytes_delivered,
+            packets_sent: tx.packets_sent,
+            packets_delivered: rx.packets_delivered,
+            packets_dropped: self.parts.iter().map(|c| c.flow_drops[flow]).sum(),
+            started_at: tx.started_at,
+            completed_at: rx.completed_at,
+        }
+    }
+
+    /// A flow's lifecycle phase: completed once the receiver has taken
+    /// delivery of the full size, otherwise whatever the sender says.
     pub fn flow_phase(&self, flow: FlowId) -> FlowPhase {
-        self.flows[flow].phase
+        if self.receiver(flow).completed_at.is_some() {
+            FlowPhase::Completed
+        } else {
+            self.sender(flow).phase
+        }
     }
 
     /// The destination-side EWMA rate estimate for a flow, in bits/s.
     pub fn flow_rate_estimate(&self, flow: FlowId) -> f64 {
-        self.flows[flow].tracer.rate_bps(self.clock)
+        self.receiver(flow).tracer.rate_bps(self.clock)
     }
 
     /// Ids of flows currently in the [`FlowPhase::Active`] phase.
     pub fn active_flows(&self) -> Vec<FlowId> {
-        (0..self.flows.len())
-            .filter(|&f| self.flows[f].phase == FlowPhase::Active)
+        (0..self.shared.specs.len())
+            .filter(|&f| self.flow_phase(f) == FlowPhase::Active)
             .collect()
     }
 
-    /// Change a link's capacity at runtime (used by the bandwidth-function
-    /// experiments, where the bottleneck capacity changes mid-run). The
-    /// packet currently being serialized keeps its old transmission time;
-    /// subsequent packets use the new rate.
-    ///
-    /// # Panics
-    /// Panics if the capacity is not strictly positive.
-    pub fn set_link_capacity(&mut self, link: LinkId, capacity_bps: f64) {
-        assert!(
-            capacity_bps.is_finite() && capacity_bps > 0.0,
-            "capacity must be positive"
-        );
-        self.links[link].capacity_bps = capacity_bps;
-        if let Some(ctrl) = &mut self.links[link].controller {
-            ctrl.on_capacity_change(capacity_bps);
-        }
-    }
-
-    /// A link's current capacity in bits per second.
-    pub fn link_capacity_bps(&self, link: LinkId) -> f64 {
-        self.links[link].capacity_bps
-    }
-
-    // ---- impairments ------------------------------------------------------
-
-    /// Schedule a [`LinkChange`] to take effect at `at` (clamped to the
-    /// current time), as an ordinary event in the wheel. Impairment
-    /// schedules built by `numfabric-workloads` reduce to a sequence of
-    /// these calls.
-    pub fn schedule_link_change(&mut self, at: SimTime, link: LinkId, change: LinkChange) {
-        assert!(link < self.links.len(), "no such link: {link}");
-        self.schedule_event(at.max(self.clock), Event::LinkChange { link, change });
-    }
-
-    /// Seed the impairment streams that randomized [`LinkChange::Loss`] and
-    /// [`LinkChange::Jitter`] draws come from — one stream per partition,
-    /// derived via [`derive_partition_seed`] (partition 0 gets `seed`
-    /// itself, so a single-partition network reproduces the historical
-    /// single-stream draws exactly). Runs that never impair a link never
-    /// touch any stream, so the seed is irrelevant to them.
-    pub fn set_impairment_seed(&mut self, seed: u64) {
-        self.impair_seed = seed;
-        for (p, core) in self.parts.iter_mut().enumerate() {
-            core.rng = derive_partition_seed(seed, p);
-        }
-    }
-
-    /// Whether a link is currently up.
-    pub fn link_is_up(&self, link: LinkId) -> bool {
-        self.links[link].health.up
-    }
-
-    /// A link's current impairment state.
-    pub fn link_health(&self, link: LinkId) -> LinkHealth {
-        self.links[link].health
-    }
-
-    /// Counters for a link. Backlog counts include the control lane.
+    /// Counters for a link. Backlog counts include the control lane;
+    /// arrival-side drops charged by other partitions are summed in.
     pub fn link_stats(&self, link: LinkId) -> LinkStats {
-        let lr = &self.links[link];
-        let lane_bytes: usize = lr.control_lane.iter().map(|p| p.wire_bytes as usize).sum();
+        let p = self.shared.link_part[link];
+        let ls = self.parts[p].links[link]
+            .as_ref()
+            .expect("link state on owning core");
+        let lane_bytes: usize = ls
+            .control_lane
+            .iter()
+            .map(|pk| pk.wire_bytes as usize)
+            .sum();
+        let arrival_drops: u64 = self.parts.iter().map(|c| c.link_drops[link]).sum();
         LinkStats {
-            queue_bytes: lr.queue.backlog_bytes() + lane_bytes,
-            queue_packets: lr.queue.backlog_packets() + lr.control_lane.len(),
-            ..lr.stats
+            packets_dropped: ls.stats.packets_dropped + arrival_drops,
+            queue_bytes: ls.queue.backlog_bytes() + lane_bytes,
+            queue_packets: ls.queue.backlog_packets() + ls.control_lane.len(),
+            ..ls.stats
         }
     }
 
     /// Number of links.
     pub fn num_links(&self) -> usize {
-        self.links.len()
+        self.shared.topo.links().len()
     }
 
-    /// Total number of events dispatched so far (the `event_core` benchmark
-    /// divides this by wall time to report events/sec).
+    /// Total number of events dispatched so far, coordinator-level link
+    /// changes included (the `event_core` benchmark divides this by wall
+    /// time to report events/sec).
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.sync_events + self.parts.iter().map(|c| c.events_processed).sum::<u64>()
     }
 
-    /// Number of events currently pending across every partition's wheel
-    /// and boundary inbox. Structurally cancelled timers (see
-    /// [`AgentCtx::cancel_timer`]) do not count.
+    /// Number of events currently pending across every partition's wheel,
+    /// boundary mailboxes, and the coordinator's link-change schedule.
+    /// Structurally cancelled timers (see [`AgentCtx::cancel_timer`]) do
+    /// not count.
     pub fn pending_events(&self) -> usize {
-        self.parts
-            .iter()
-            .map(|c| c.events.len() + c.inbox.len())
-            .sum()
+        self.globals.len()
+            + self
+                .parts
+                .iter()
+                .map(|c| {
+                    c.events.len()
+                        + c.inbox.len()
+                        + c.outbound.iter().map(|b| b.events.len()).sum::<usize>()
+                })
+                .sum::<usize>()
     }
 
     /// Number of armed, un-fired timers of `flow`. Stopping or completing a
     /// flow cancels all of them, so this drops to zero structurally — the
     /// regression surface for the stale-RTX-timer bug.
     pub fn pending_timer_count(&self, flow: FlowId) -> usize {
-        let p = self.node_part[self.flows[flow].spec.src];
+        let p = self.shared.node_part[self.shared.specs[flow].src];
         self.parts[p].timers.pending_count(flow)
     }
 
-    // ---- event handling ---------------------------------------------------
-
-    fn handle(&mut self, id: EventId, event: Event) {
-        self.events_processed += 1;
-        match event {
-            Event::FlowStart { flow } => self.handle_flow_start(flow),
-            Event::FlowStop { flow } => self.handle_flow_stop(flow),
-            Event::FlowTimer { flow, tag } => self.dispatch_timer(flow, tag, id),
-            Event::LinkTimer { link, tag } => self.handle_link_timer(link, tag),
-            Event::TransmitComplete { link } => {
-                self.links[link].busy = false;
-                self.try_transmit(link);
-            }
-            Event::Arrival { link, packet } => self.handle_arrival(link, packet),
-            Event::LinkChange { link, change } => self.handle_link_change(link, change),
+    /// Record every handled event as a `(time, key)` pair, per partition —
+    /// the conformance trace the determinism proptests compare across
+    /// partition and thread counts. Clears any previously recorded trace.
+    pub fn set_event_trace(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+        for core in &mut self.parts {
+            core.trace = enabled.then(Vec::new);
         }
     }
 
-    fn handle_link_change(&mut self, link: LinkId, change: LinkChange) {
-        match change {
-            LinkChange::Down | LinkChange::DownFwd => {
-                if !self.links[link].health.up {
-                    return;
+    /// Take the per-partition `(time, key)` traces recorded since
+    /// [`Self::set_event_trace`] was enabled (empty for partitions that
+    /// recorded nothing, or when tracing is off).
+    pub fn take_event_traces(&mut self) -> Vec<Vec<(SimTime, u64)>> {
+        self.parts
+            .iter_mut()
+            .map(|c| c.trace.as_mut().map(std::mem::take).unwrap_or_default())
+            .collect()
+    }
+}
+
+/// The partition that owns (handles events of) `event`: arrivals belong to
+/// the receiving end of their link, link-scoped events to the transmitting
+/// end, and flow-scoped events to the source host.
+fn event_partition(shared: &Shared, event: &Event) -> usize {
+    match event {
+        Event::Arrival { link, .. } => shared.node_part[shared.topo.links()[*link].to],
+        Event::TransmitComplete { link }
+        | Event::LinkTimer { link, .. }
+        | Event::LinkChange { link, .. } => shared.link_part[*link],
+        Event::FlowStart { flow } | Event::FlowStop { flow } | Event::FlowTimer { flow, .. } => {
+            shared.node_part[shared.specs[*flow].src]
+        }
+    }
+}
+
+// ---- the worker protocol --------------------------------------------------
+
+/// One epoch's worth of work for a worker: the barrier, the stretch bound,
+/// and the boundary deliveries addressed to the worker's partitions.
+enum EpochCmd {
+    Epoch {
+        barrier: Option<SimTime>,
+        bound: SimTime,
+        inclusive: bool,
+        deliveries: Vec<(usize, OutBundle)>,
+    },
+    Done,
+}
+
+/// A worker's report after one epoch: each owned partition's next pending
+/// event time, and the boundary traffic its partitions produced.
+struct EpochReply {
+    next_times: Vec<(usize, Option<SimTime>)>,
+    outbound: Vec<(usize, OutBundle)>,
+}
+
+/// A long-lived epoch worker: owns a contiguous chunk of partition cores
+/// for the duration of one stretch and advances them on command. Runs the
+/// exact same per-core calls as the inline loop.
+fn worker_loop(
+    shared: &Shared,
+    chunk: &mut [PartitionCore],
+    cmds: std::sync::mpsc::Receiver<EpochCmd>,
+    replies: std::sync::mpsc::Sender<EpochReply>,
+) {
+    let base = chunk[0].index;
+    while let Ok(cmd) = cmds.recv() {
+        match cmd {
+            EpochCmd::Done => break,
+            EpochCmd::Epoch {
+                barrier,
+                bound,
+                inclusive,
+                deliveries,
+            } => {
+                for (part, bundle) in deliveries {
+                    let core = &mut chunk[part - base];
+                    core.inbox.extend(bundle.events);
+                    core.inbox_releases.extend(bundle.releases);
                 }
-                self.links[link].health.up = false;
-                // An asymmetric failure dies identically at this link but
-                // leaves the reverse twin routable (see `reroute_ecmp_flows`).
-                self.links[link].health.asymmetric_down = change == LinkChange::DownFwd;
-                // Everything queued behind the failed cable is lost,
-                // deterministically (drain order is the discipline's own
-                // dequeue order). Packets already propagating are lost at
-                // their arrival instant (see `handle_arrival`).
-                self.drop_link_backlog(link);
-                self.reroute_ecmp_flows();
-            }
-            LinkChange::Up => {
-                if self.links[link].health.up {
-                    return;
+                let mut next_times = Vec::with_capacity(chunk.len());
+                let mut outbound: Vec<(usize, OutBundle)> = Vec::new();
+                for core in chunk.iter_mut() {
+                    deliver_boundary(core);
+                    let next = advance_core(shared, core, barrier, bound, inclusive);
+                    next_times.push((core.index, next));
+                    for (dest, bundle) in core.outbound.iter_mut().enumerate() {
+                        if !bundle.is_empty() {
+                            outbound.push((dest, std::mem::take(bundle)));
+                        }
+                    }
                 }
-                self.links[link].health.up = true;
-                self.links[link].health.asymmetric_down = false;
-                self.reroute_ecmp_flows();
-                self.try_transmit(link);
-            }
-            LinkChange::Speed(capacity_bps) => self.set_link_capacity(link, capacity_bps),
-            LinkChange::Loss(probability) => {
-                assert!(
-                    (0.0..=1.0).contains(&probability),
-                    "loss probability out of range: {probability}"
-                );
-                self.links[link].health.loss = probability;
-            }
-            LinkChange::Jitter(max_extra) => self.links[link].health.jitter = max_extra,
-        }
-    }
-
-    /// Drop every packet queued on `link` (data queue and control lane),
-    /// with full drop accounting.
-    fn drop_link_backlog(&mut self, link: LinkId) {
-        let mut dropped_flows = Vec::new();
-        {
-            let lr = &mut self.links[link];
-            while let Some(p) = lr.control_lane.pop_front() {
-                dropped_flows.push(p.flow);
-            }
-            while let Some(p) = lr.queue.dequeue(self.clock) {
-                dropped_flows.push(p.flow);
-            }
-            lr.stats.packets_dropped += dropped_flows.len() as u64;
-        }
-        for flow in dropped_flows {
-            self.flows[flow].stats.packets_dropped += 1;
-        }
-    }
-
-    /// Re-select the route of every live ECMP-pinned flow over the links
-    /// that survive the current failure set. Flows whose surviving choice
-    /// is unchanged keep their route (and their in-flight packets); a
-    /// partitioned flow keeps its dead route and stalls until a restore.
-    ///
-    /// Every rerouted *active* flow is then told via
-    /// [`FlowAgent::on_reroute`], with `path_was_lost` reporting whether
-    /// its old path (either direction) crossed a downed link — that is the
-    /// case in which its in-flight window died with the cable and a purely
-    /// ACK-clocked sender must retransmit to restart its clock.
-    fn reroute_ecmp_flows(&mut self) {
-        let down: std::collections::HashSet<LinkId> = self
-            .links
-            .iter()
-            .enumerate()
-            .filter(|(_, lr)| !lr.health.up)
-            .map(|(id, _)| id)
-            .collect();
-        // The route-selection ban set: a symmetric failure bans the whole
-        // cable (a flow cannot use a path its ACKs cannot retrace), while an
-        // asymmetric `DownFwd` failure bans only the dead direction — the
-        // routing plane only learned about the direction that went dark.
-        let mut banned = down.clone();
-        for &id in &down {
-            if self.links[id].health.asymmetric_down {
-                continue;
-            }
-            let spec = &self.topo.links()[id];
-            if let Some(twin) = self.topo.link_between(spec.to, spec.from) {
-                banned.insert(twin);
-            }
-        }
-        let mut rerouted: Vec<(FlowId, bool)> = Vec::new();
-        for flow in 0..self.flows.len() {
-            let fr = &self.flows[flow];
-            if !matches!(fr.phase, FlowPhase::Pending | FlowPhase::Active) {
-                continue;
-            }
-            let Some(choice) = fr.spec.ecmp_choice else {
-                continue;
-            };
-            let (src, dst, old) = (fr.spec.src, fr.spec.dst, fr.spec.route);
-            let old_reverse = fr.spec.reverse_route;
-            let Some(new_route) = self
-                .topo
-                .host_route_avoiding_directed(src, dst, choice, &banned)
-            else {
-                continue;
-            };
-            if self.routes.links(old) == new_route.links.as_slice() {
-                continue;
-            }
-            // Old in-flight and queued packets carry the old interned
-            // route and keep following it (dying at the failed hop); the
-            // flow's own per-queue state moves to the new path.
-            for &l in self.routes.links(old) {
-                self.links[l].queue.release_flow(flow);
-            }
-            let path_was_lost = self
-                .routes
-                .links(old)
-                .iter()
-                .chain(self.routes.links(old_reverse))
-                .any(|l| down.contains(l));
-            let reverse = self.topo.reverse_route(&new_route);
-            let base_rtt = self
-                .topo
-                .base_rtt(&new_route, MTU_BYTES as u64, HEADER_BYTES as u64);
-            let active = self.flows[flow].phase == FlowPhase::Active;
-            let fr = &mut self.flows[flow];
-            fr.spec.base_rtt = base_rtt;
-            fr.spec.route = self.routes.intern(new_route);
-            fr.spec.reverse_route = self.routes.intern(reverse);
-            if active {
-                rerouted.push((flow, path_was_lost));
-            }
-        }
-        for (flow, path_was_lost) in rerouted {
-            self.with_agent(flow, |agent, ctx| agent.on_reroute(path_was_lost, ctx));
-        }
-    }
-
-    fn handle_flow_start(&mut self, flow: FlowId) {
-        if self.flows[flow].phase != FlowPhase::Pending {
-            return;
-        }
-        self.flows[flow].phase = FlowPhase::Active;
-        self.flows[flow].stats.started_at = Some(self.clock);
-        self.with_agent(flow, |agent, ctx| agent.on_start(ctx));
-    }
-
-    /// Cancel every outstanding timer of `flow` in its owning partition.
-    fn cancel_flow_timers(&mut self, flow: FlowId) {
-        let p = self.node_part[self.flows[flow].spec.src];
-        let core = &mut self.parts[p];
-        core.timers.cancel_all(&mut core.events, flow);
-    }
-
-    fn handle_flow_stop(&mut self, flow: FlowId) {
-        if self.flows[flow].phase == FlowPhase::Active {
-            self.flows[flow].phase = FlowPhase::Stopped;
-            for &l in self.routes.links(self.flows[flow].spec.route) {
-                self.links[l].queue.release_flow(flow);
-            }
-            // Structural cancellation: a stopped flow leaves no timers
-            // behind to fire into the dispatch path.
-            self.cancel_flow_timers(flow);
-        }
-    }
-
-    fn handle_link_timer(&mut self, link: LinkId, tag: u64) {
-        let next = {
-            let lr = &mut self.links[link];
-            let backlog = lr.queue.backlog_bytes();
-            match &mut lr.controller {
-                Some(ctrl) => ctrl.on_timer(self.clock, backlog),
-                None => None,
-            }
-        };
-        if let Some(delay) = next {
-            self.schedule_event(self.clock + delay, Event::LinkTimer { link, tag });
-        }
-    }
-
-    fn handle_arrival(&mut self, link: LinkId, mut packet: Packet) {
-        // A packet in flight is delivered unless its cable is down at the
-        // arrival instant: failing a link loses whatever was on the wire.
-        if !self.links[link].health.up {
-            self.links[link].stats.packets_dropped += 1;
-            self.flows[packet.flow].stats.packets_dropped += 1;
-            return;
-        }
-        packet.advance_hop();
-        if let Some(next) = packet.next_link(&self.routes) {
-            self.enqueue_on_link(next, packet);
-            return;
-        }
-        // Delivered to the end host.
-        let flow = packet.flow;
-        match packet.kind {
-            PacketKind::Data | PacketKind::Syn => {
-                if packet.is_data() {
-                    let fr = &mut self.flows[flow];
-                    fr.stats.bytes_delivered += packet.payload_bytes as u64;
-                    fr.stats.packets_delivered += 1;
-                    fr.tracer
-                        .on_arrival(packet.payload_bytes as u64, self.clock);
-                }
-                if self.flows[flow].phase == FlowPhase::Active {
-                    self.with_agent(flow, |agent, ctx| agent.on_data(&packet, ctx));
-                }
-                self.check_completion(flow);
-            }
-            PacketKind::Ack => {
+                if replies
+                    .send(EpochReply {
+                        next_times,
+                        outbound,
+                    })
+                    .is_err()
                 {
-                    let fr = &mut self.flows[flow];
-                    fr.stats.bytes_acked = fr.stats.bytes_acked.max(packet.header.ack_bytes);
+                    break;
                 }
-                if self.flows[flow].phase == FlowPhase::Active {
-                    self.with_agent(flow, |agent, ctx| agent.on_ack(&packet, ctx));
-                }
-            }
-        }
-    }
-
-    fn check_completion(&mut self, flow: FlowId) {
-        let fr = &mut self.flows[flow];
-        if fr.phase != FlowPhase::Active {
-            return;
-        }
-        if let Some(size) = fr.spec.size_bytes {
-            if fr.stats.bytes_delivered >= size {
-                fr.phase = FlowPhase::Completed;
-                fr.stats.completed_at = Some(self.clock);
-                let route = fr.spec.route;
-                for &l in self.routes.links(route) {
-                    self.links[l].queue.release_flow(flow);
-                }
-                self.cancel_flow_timers(flow);
-            }
-        }
-    }
-
-    fn dispatch_timer(&mut self, flow: FlowId, tag: u64, id: EventId) {
-        let p = self.node_part[self.flows[flow].spec.src];
-        self.parts[p].timers.fired(flow, id);
-        // Stop/completion cancels outstanding timers structurally; this
-        // guard is defence in depth, not the cancellation mechanism.
-        if self.flows[flow].phase != FlowPhase::Active {
-            return;
-        }
-        self.with_agent(flow, |agent, ctx| agent.on_timer(tag, ctx));
-    }
-
-    fn with_agent(
-        &mut self,
-        flow: FlowId,
-        f: impl FnOnce(&mut Box<dyn FlowAgent>, &mut AgentCtx<'_>),
-    ) {
-        let mut agent = match self.flows[flow].agent.take() {
-            Some(a) => a,
-            None => return,
-        };
-        {
-            let mut ctx = AgentCtx { net: self, flow };
-            f(&mut agent, &mut ctx);
-        }
-        self.flows[flow].agent = Some(agent);
-    }
-
-    fn enqueue_on_link(&mut self, link: LinkId, mut packet: Packet) {
-        if !self.links[link].health.up {
-            // Forwarding onto a failed link drops the packet at the port.
-            self.links[link].stats.packets_dropped += 1;
-            self.flows[packet.flow].stats.packets_dropped += 1;
-            return;
-        }
-        {
-            let lr = &mut self.links[link];
-            if packet.is_data() {
-                if let Some(ctrl) = &mut lr.controller {
-                    ctrl.on_enqueue(&mut packet, self.clock);
-                }
-                let outcome = lr.queue.enqueue(packet, self.clock);
-                if let Some(dropped) = outcome.dropped() {
-                    lr.stats.packets_dropped += 1;
-                    self.flows[dropped.flow].stats.packets_dropped += 1;
-                }
-            } else {
-                // ACKs and SYNs ride the strict-priority control lane:
-                // they skip the data discipline entirely and are never
-                // dropped by buffer pressure.
-                lr.control_lane.push_back(packet);
-            }
-        }
-        self.try_transmit(link);
-    }
-
-    fn try_transmit(&mut self, link: LinkId) {
-        let rng_part = self.link_part[link];
-        let (packet, tx_time, delay, lost, jitter) = {
-            let rng = &mut self.parts[rng_part].rng;
-            let lr = &mut self.links[link];
-            if lr.busy || !lr.health.up {
-                return;
-            }
-            // Price controllers see the *data* backlog, control lane
-            // excluded: control bytes are invisible to the queue-based
-            // price signal, exactly like a separate hardware class.
-            let backlog = lr.queue.backlog_bytes();
-            let mut packet = match lr.control_lane.pop_front() {
-                Some(p) => p,
-                None => match lr.queue.dequeue(self.clock) {
-                    Some(p) => p,
-                    None => return,
-                },
-            };
-            if let Some(ctrl) = &mut lr.controller {
-                ctrl.on_dequeue(&mut packet, self.clock, backlog);
-            }
-            lr.busy = true;
-            lr.stats.bytes_transmitted += packet.wire_bytes as u64;
-            lr.stats.packets_transmitted += 1;
-            let tx_time = SimDuration::transmission(packet.wire_bytes as u64, lr.capacity_bps);
-            // Randomized impairments: one stream draw per decision, taken
-            // only on impaired links, so unimpaired runs never touch the
-            // stream and stay bit-identical with pre-impairment builds.
-            let health = lr.health;
-            let delay = lr.delay;
-            let lost = health.loss > 0.0 && splitmix64_unit(rng) < health.loss;
-            let jitter = if !lost && !health.jitter.is_zero() {
-                let unit = splitmix64_unit(rng);
-                SimDuration::from_nanos((health.jitter.as_nanos() as f64 * unit) as u64)
-            } else {
-                SimDuration::ZERO
-            };
-            (packet, tx_time, delay, lost, jitter)
-        };
-        self.schedule_event(self.clock + tx_time, Event::TransmitComplete { link });
-        if lost {
-            // Corrupted on the wire: it occupied the link for its full
-            // serialization time but never arrives.
-            self.links[link].stats.packets_dropped += 1;
-            self.flows[packet.flow].stats.packets_dropped += 1;
-        } else {
-            let at = self.clock + tx_time + delay + jitter;
-            let event = Event::Arrival { link, packet };
-            if self.link_cut[link] {
-                // Boundary message: the arrival belongs to the partition on
-                // the far side of the cut. It is buffered (with its global
-                // sequence number already stamped) and drained into that
-                // partition's wheel at the next epoch barrier — safe because
-                // `at >= barrier`: the cut link's propagation delay is at
-                // least the lookahead window by construction.
-                let seq = self.alloc_seq();
-                let dest = self.node_part[self.topo.links()[link].to];
-                self.parts[dest].inbox.push((at, seq, event));
-            } else {
-                self.schedule_event(at, event);
             }
         }
     }
 }
 
+// ---- the agent-facing API -------------------------------------------------
+
 /// The interface through which a [`FlowAgent`] interacts with the network
-/// during one of its callbacks.
+/// during one of its callbacks. It carries exactly the capability an epoch
+/// grants: read access to the shared tables and mutable access to the
+/// partition the flow's sender lives on — which is why agent code can run
+/// on a worker thread without further ceremony.
 pub struct AgentCtx<'a> {
-    net: &'a mut Network,
+    shared: &'a Shared,
+    core: &'a mut PartitionCore,
     flow: FlowId,
 }
 
 impl AgentCtx<'_> {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.net.clock
+        self.core.clock
     }
 
     /// The flow this context belongs to.
@@ -1072,21 +1783,38 @@ impl AgentCtx<'_> {
 
     /// The flow's static description.
     pub fn spec(&self) -> &FlowSpec {
-        &self.net.flows[self.flow].spec
+        &self.shared.specs[self.flow]
     }
 
-    /// The flow's counters.
-    pub fn stats(&self) -> &FlowStats {
-        &self.net.flows[self.flow].stats
+    fn sender(&self) -> &SenderState {
+        self.core.senders[self.flow]
+            .as_ref()
+            .expect("agent runs on its sender's core")
+    }
+
+    fn sender_mut(&mut self) -> &mut SenderState {
+        self.core.senders[self.flow]
+            .as_mut()
+            .expect("agent runs on its sender's core")
     }
 
     /// Payload bytes not yet handed to the network (`None` for long-running
     /// flows).
     pub fn remaining_bytes(&self) -> Option<u64> {
-        let fr = &self.net.flows[self.flow];
-        fr.spec
+        let sent = self.sender().bytes_sent;
+        self.shared.specs[self.flow]
             .size_bytes
-            .map(|s| s.saturating_sub(fr.stats.bytes_sent))
+            .map(|s| s.saturating_sub(sent))
+    }
+
+    /// The highest cumulative byte count acknowledged so far.
+    pub fn bytes_acked(&self) -> u64 {
+        self.sender().bytes_acked
+    }
+
+    /// Payload bytes handed to the network so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.sender().bytes_sent
     }
 
     /// Rewind the sent-bytes high-water mark to `to` (typically the highest
@@ -1095,34 +1823,34 @@ impl AgentCtx<'_> {
     /// than treating the dead transmission as spent. A `to` at or beyond
     /// the current mark is a no-op.
     pub fn rewind_sent(&mut self, to: u64) {
-        let stats = &mut self.net.flows[self.flow].stats;
-        stats.bytes_sent = stats.bytes_sent.min(to);
+        let sender = self.sender_mut();
+        sender.bytes_sent = sender.bytes_sent.min(to);
     }
 
     /// The flow's forward route.
     pub fn route(&self) -> &Route {
-        self.net.routes.get(self.net.flows[self.flow].spec.route)
+        self.shared.routes.get(self.shared.specs[self.flow].route)
     }
 
     /// Capacity of the flow's first-hop (host NIC) link, in bits/s.
     pub fn first_hop_capacity_bps(&self) -> f64 {
-        let first = self.net.routes.links(self.net.flows[self.flow].spec.route)[0];
-        self.net.links[first].capacity_bps
+        let first = self.shared.routes.links(self.shared.specs[self.flow].route)[0];
+        self.shared.link_caps[first]
     }
 
     /// The smallest link capacity along the flow's path, in bits/s.
     pub fn bottleneck_capacity_bps(&self) -> f64 {
-        self.net
+        self.shared
             .routes
-            .links(self.net.flows[self.flow].spec.route)
+            .links(self.shared.specs[self.flow].route)
             .iter()
-            .map(|&l| self.net.links[l].capacity_bps)
+            .map(|&l| self.shared.link_caps[l])
             .fold(f64::INFINITY, f64::min)
     }
 
     /// The flow's base (empty-queue) RTT.
     pub fn base_rtt(&self) -> SimDuration {
-        self.net.flows[self.flow].spec.base_rtt
+        self.shared.specs[self.flow].base_rtt
     }
 
     /// Send a data packet of `payload_bytes` starting at byte offset `seq`,
@@ -1133,39 +1861,19 @@ impl AgentCtx<'_> {
         payload_bytes: u32,
         modify: impl FnOnce(&mut PacketHeader),
     ) -> u32 {
-        let route = self.net.flows[self.flow].spec.route;
+        let route = self.shared.specs[self.flow].route;
         let mut packet = Packet::data(self.flow, seq, payload_bytes, route);
-        packet.header.sent_time = self.net.clock;
+        packet.header.sent_time = self.core.clock;
         modify(&mut packet.header);
         let wire = packet.wire_bytes;
         {
-            let stats = &mut self.net.flows[self.flow].stats;
-            stats.bytes_sent += payload_bytes as u64;
-            stats.packets_sent += 1;
+            let sender = self.sender_mut();
+            sender.bytes_sent += payload_bytes as u64;
+            sender.packets_sent += 1;
         }
-        let first = self.net.routes.links(route)[0];
-        self.net.enqueue_on_link(first, packet);
+        let first = self.shared.routes.links(route)[0];
+        enqueue_on_link(self.shared, self.core, first, packet);
         wire
-    }
-
-    /// Send a SYN packet along the forward route.
-    pub fn send_syn(&mut self, modify: impl FnOnce(&mut PacketHeader)) {
-        let route = self.net.flows[self.flow].spec.route;
-        let mut packet = Packet::syn(self.flow, route);
-        packet.header.sent_time = self.net.clock;
-        modify(&mut packet.header);
-        let first = self.net.routes.links(route)[0];
-        self.net.enqueue_on_link(first, packet);
-    }
-
-    /// Send an ACK along the reverse route (receiver side).
-    pub fn send_ack(&mut self, modify: impl FnOnce(&mut PacketHeader)) {
-        let route = self.net.flows[self.flow].spec.reverse_route;
-        let mut packet = Packet::ack(self.flow, route);
-        packet.header.sent_time = self.net.clock;
-        modify(&mut packet.header);
-        let first = self.net.routes.links(route)[0];
-        self.net.enqueue_on_link(first, packet);
     }
 
     /// Arrange for [`FlowAgent::on_timer`] to be called with `tag` after
@@ -1174,13 +1882,18 @@ impl AgentCtx<'_> {
     /// stops or completes, every outstanding timer is cancelled
     /// automatically.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerHandle {
-        // Anchor at the engine's global clock (a partition wheel's own clock
-        // may lag between barriers) and stamp the shared sequence number so
-        // the timer merges deterministically across partitions.
-        let p = self.net.node_part[self.net.flows[self.flow].spec.src];
-        let seq = self.net.alloc_seq();
-        let now = self.net.clock;
-        let core = &mut self.net.parts[p];
+        // Flow-timer keys must be unique (the cancellation set is keyed by
+        // seq), so each arm draws from the sender's monotone counter —
+        // per-flow state, hence partition- and thread-invariant.
+        let arms = {
+            let sender = self.sender_mut();
+            let a = sender.timer_arms;
+            sender.timer_arms += 1;
+            a
+        };
+        let seq = event_key(KIND_FLOW_TIMER, self.flow as u64, arms);
+        let now = self.core.clock;
+        let core = &mut *self.core;
         core.timers
             .arm_seeded(&mut core.events, now, seq, self.flow, delay, tag)
     }
@@ -1189,29 +1902,35 @@ impl AgentCtx<'_> {
     /// `true` if the timer was still pending, `false` if it already fired
     /// or was already cancelled.
     pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
-        let p = self.net.node_part[self.net.flows[handle.flow()].spec.src];
-        let core = &mut self.net.parts[p];
+        let core = &mut *self.core;
         core.timers.cancel(&mut core.events, handle)
     }
 
     /// Number of this flow's armed, un-fired timers.
     pub fn pending_timers(&self) -> usize {
-        let p = self.net.node_part[self.net.flows[self.flow].spec.src];
-        self.net.parts[p].timers.pending_count(self.flow)
+        self.core.timers.pending_count(self.flow)
     }
 }
 
-// The parallel-sweep contract, pinned at compile time: a `Network` owns its
-// entire simulation (topology, route arena, queues, agents, controllers,
-// event wheel, timers — no `Rc`, no interior sharing), so a worker thread
-// can own one outright and independent simulations can run concurrently
-// without touching the event core's determinism. `FlowAgent`,
-// `QueueDiscipline` and `LinkController` carry `Send` bounds for exactly
-// this reason; if a future change smuggles in a non-`Send` field, this is
-// the line that fails to compile.
+// The concurrency contract, pinned at compile time. Two layers:
+//
+// * A `Network` owns its entire simulation (topology, route arena, queues,
+//   agents, controllers, event wheels, timers — no `Rc`, no interior
+//   sharing), so a sweep worker thread can own one outright.
+// * Inside a network, an epoch worker holds `&mut PartitionCore` (must be
+//   `Send`: it moves to the worker for the stretch) and `&Shared` (must be
+//   `Sync`: every worker reads it concurrently). `FlowAgent`,
+//   `QueueDiscipline` and `LinkController` carry `Send` bounds for exactly
+//   this reason; if a future change smuggles in a non-`Send` field, this
+//   is the line that fails to compile.
 const _: () = {
     const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
     assert_send::<Network>();
+    assert_send::<PartitionCore>();
+    assert_sync::<Shared>();
+    assert_send::<EpochCmd>();
+    assert_send::<EpochReply>();
     assert_send::<EventQueue>();
     assert_send::<crate::timer::TimerService>();
     assert_send::<Topology>();
@@ -1440,7 +2159,6 @@ mod tests {
         fn on_start(&mut self, ctx: &mut AgentCtx<'_>) {
             ctx.set_timer(self.delay, 7);
         }
-        fn on_data(&mut self, _packet: &Packet, _ctx: &mut AgentCtx<'_>) {}
         fn on_ack(&mut self, _packet: &Packet, _ctx: &mut AgentCtx<'_>) {}
         fn on_timer(&mut self, tag: u64, _ctx: &mut AgentCtx<'_>) {
             assert_eq!(tag, 7);
@@ -1757,5 +2475,95 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    /// A full cross-rack report: every flow's counters plus FCT, the
+    /// regression surface for partition/thread invariance.
+    fn partitioned_report(partitions: usize, threads: usize) -> Vec<(u64, u64, u64, Option<u64>)> {
+        let mut net = small_net();
+        net.set_partitions(partitions);
+        net.set_partition_threads(threads);
+        let hosts: Vec<_> = net.topology().hosts().to_vec();
+        for i in 0..4 {
+            net.add_flow(
+                hosts[i],
+                hosts[7 - i],
+                Some(50_000 + i as u64 * 10_000),
+                SimTime::from_micros(i as u64 * 10),
+                i,
+                None,
+                Box::new(SimpleWindowAgent::new(8)),
+            );
+        }
+        net.run_until(SimTime::from_millis(10));
+        (0..net.num_flows())
+            .map(|f| {
+                let s = net.flow_stats(f);
+                (
+                    s.packets_sent,
+                    s.bytes_delivered,
+                    s.packets_dropped,
+                    s.fct().map(|d| d.as_nanos()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_partitioned_run_matches_sequential() {
+        let base = partitioned_report(1, 1);
+        for partitions in [2, 4] {
+            for threads in [1, 2, 4] {
+                assert_eq!(
+                    partitioned_report(partitions, threads),
+                    base,
+                    "report differs at partitions={partitions} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn impaired_draws_are_partition_and_thread_invariant() {
+        let run = |partitions: usize, threads: usize| {
+            let mut net = small_net();
+            net.set_partitions(partitions);
+            net.set_partition_threads(threads);
+            net.set_impairment_seed(9);
+            let hosts: Vec<_> = net.topology().hosts().to_vec();
+            let link = uplink(&net, 0);
+            net.schedule_link_change(SimTime::ZERO, link, LinkChange::Loss(0.1));
+            net.schedule_link_change(
+                SimTime::ZERO,
+                link,
+                LinkChange::Jitter(SimDuration::from_micros(5)),
+            );
+            let route = net.topology().host_route(hosts[0], hosts[4], 0);
+            let flow = net.add_flow_on_route(
+                hosts[0],
+                hosts[4],
+                route,
+                None,
+                SimTime::ZERO,
+                None,
+                Box::new(SimpleWindowAgent::new(32)),
+            );
+            net.run_until(SimTime::from_millis(2));
+            let stats = net.flow_stats(flow);
+            (
+                stats.packets_dropped,
+                stats.bytes_delivered,
+                stats.bytes_acked,
+            )
+        };
+        let base = run(1, 1);
+        assert!(base.0 > 0, "10% wire loss must drop something");
+        for (partitions, threads) in [(2, 1), (2, 2), (4, 2), (4, 4)] {
+            assert_eq!(
+                run(partitions, threads),
+                base,
+                "impaired draws differ at partitions={partitions} threads={threads}"
+            );
+        }
     }
 }

@@ -8,7 +8,7 @@
 //! to reason about analytically).
 
 use crate::network::AgentCtx;
-use crate::packet::{Packet, PacketKind, DEFAULT_PAYLOAD_BYTES};
+use crate::packet::{Packet, DEFAULT_PAYLOAD_BYTES};
 use crate::transport::FlowAgent;
 
 /// Fixed-window ACK-clocked transport with no congestion control.
@@ -51,17 +51,6 @@ impl SimpleWindowAgent {
 impl FlowAgent for SimpleWindowAgent {
     fn on_start(&mut self, ctx: &mut AgentCtx<'_>) {
         self.fill_window(ctx);
-    }
-
-    fn on_data(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>) {
-        if packet.kind != PacketKind::Data {
-            return;
-        }
-        let delivered = ctx.stats().bytes_delivered;
-        ctx.send_ack(|h| {
-            h.ack_bytes = delivered;
-            h.ack_seq = packet.seq + packet.payload_bytes as u64;
-        });
     }
 
     fn on_ack(&mut self, _packet: &Packet, ctx: &mut AgentCtx<'_>) {

@@ -82,12 +82,12 @@ impl TimerService {
         TimerHandle { flow, id }
     }
 
-    /// [`Self::arm`] under an external clock and sequence number. The
-    /// partitioned network uses this: a partition's wheel clock lags the
-    /// global clock between barriers (and an agent may arm a timer while an
-    /// event of *another* partition is being handled), so the delay is
-    /// anchored at the engine's global `now`, and `seq` comes from the
-    /// engine's shared counter so the timer merges deterministically.
+    /// [`Self::arm`] under an external clock and event key. The partitioned
+    /// network uses this: a partition's wheel clock lags the global clock
+    /// between barriers, so the delay is anchored at the core's own `now`,
+    /// and `seq` is a content-derived key (flow id plus a per-sender arm
+    /// counter) so the timer merges deterministically for any partition and
+    /// thread count.
     #[allow(clippy::too_many_arguments)]
     pub fn arm_seeded(
         &mut self,

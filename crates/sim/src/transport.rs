@@ -2,12 +2,16 @@
 //!
 //! A transport protocol consists of:
 //!
-//! * a [`FlowAgent`] per flow — the end-host logic. One object handles both
-//!   endpoints: the receiver-side callback ([`FlowAgent::on_data`]) and the
-//!   sender-side callbacks ([`FlowAgent::on_ack`], [`FlowAgent::on_timer`]).
-//!   NUMFabric's Swift/xWI sender and receiver, DGD, RCP*, DCTCP and pFabric
-//!   are all implemented as `FlowAgent`s (in `numfabric-core` and
-//!   `numfabric-baselines`).
+//! * a [`FlowAgent`] per flow — the **sender-side** end-host logic
+//!   ([`FlowAgent::on_ack`], [`FlowAgent::on_timer`]). The receiver side is
+//!   universal and lives in the engine: every data arrival updates delivery
+//!   counters and reflects an ACK carrying the cumulative delivered byte
+//!   count plus every feedback field of the data packet's header (path
+//!   price/length, RCP feedback, ECN mark, inter-packet arrival time). The
+//!   only receiver knob a protocol has is [`FlowAgent::ack_mode`], which
+//!   selects how the echoed `ack_seq` is formed. NUMFabric's Swift/xWI
+//!   sender, DGD, RCP*, DCTCP and pFabric are all implemented as
+//!   `FlowAgent`s (in `numfabric-core` and `numfabric-baselines`).
 //! * optionally a [`LinkController`] per link — the switch-side logic that
 //!   runs at one egress port: xWI's price computation, DGD's price update,
 //!   RCP*'s fair-share update. Controllers see every packet at enqueue and
@@ -27,19 +31,38 @@ use crate::network::AgentCtx;
 use crate::packet::Packet;
 use crate::time::{SimDuration, SimTime};
 
-/// Per-flow transport logic (both endpoints).
+/// How the engine's universal receiver forms the echoed `ack_seq` of the
+/// ACK it reflects for every delivered data packet. (`ack_bytes` is always
+/// the cumulative delivered byte count, whatever the mode.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckMode {
+    /// `ack_seq = packet.seq + payload`: the byte offset one past the
+    /// delivered segment, TCP-style. The default; what window- and
+    /// rate-based senders expect.
+    #[default]
+    Cumulative,
+    /// `ack_seq = packet.seq`: echo the delivered packet's own sequence
+    /// number, SACK-style. pFabric uses this to retire exactly the
+    /// outstanding segment the ACK names.
+    PerPacket,
+}
+
+/// Per-flow transport logic (the sender side; the receiver is universal,
+/// see [`AckMode`]).
 pub trait FlowAgent: Send {
     /// The flow reached its start time. Typically sends a SYN or the initial
     /// burst/window of data.
     fn on_start(&mut self, ctx: &mut AgentCtx<'_>);
 
-    /// A data (or SYN) packet arrived at the destination. Typically updates
-    /// receiver state and sends an ACK with reflected feedback fields.
-    fn on_data(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>);
-
     /// An ACK arrived back at the source. Typically updates rate/window state
     /// and transmits more data.
     fn on_ack(&mut self, packet: &Packet, ctx: &mut AgentCtx<'_>);
+
+    /// How the engine's receiver echoes `ack_seq` for this flow. Captured
+    /// once when the flow is added.
+    fn ack_mode(&self) -> AckMode {
+        AckMode::Cumulative
+    }
 
     /// A timer set via [`AgentCtx::set_timer`] fired. The `tag` is the one
     /// passed at arm time (distinguishing timer kinds — RTX vs pacing,
