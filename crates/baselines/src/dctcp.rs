@@ -317,7 +317,7 @@ mod tests {
         let topo = net.topology().clone();
         let (fwd, rev) = net
             .route(original)
-            .links
+            .links()
             .iter()
             .find_map(|&l| {
                 let spec = &topo.links()[l];

@@ -287,7 +287,7 @@ mod tests {
             0,
             DEFAULT_PAYLOAD_BYTES,
             numfabric_sim::RouteTable::new()
-                .intern(numfabric_sim::topology::Route { links: vec![0] }),
+                .intern(numfabric_sim::topology::Route::from_links(vec![0])),
         );
         ctrl.on_dequeue(&mut p, SimTime::ZERO, 0);
         // Share starts at 10 Gbps → feedback = 10^-2 = 0.01.

@@ -1,0 +1,137 @@
+//! Benchmarks of the two hot paths the SoA/batch event-core round targets:
+//!
+//! * **arrival_batch_dispatch** — drain a tie-heavy 10k-event schedule
+//!   (long same-timestamp runs of same-link arrivals, the incast shape)
+//!   through the batch API (`begin_batch`/`claim`) next to the per-event
+//!   `pop_entry` reference. The spread between the two is the dispatch
+//!   overhead batching removes; both are also end-to-end pinned bit-identical
+//!   by the differential proptests in `crates/sim`.
+//! * **route_intern_churn** — enumerate and re-intern every ECMP host route
+//!   of a fat-tree:k=8 fabric. Fat-tree host routes are at most 6 hops, so
+//!   with the inline route representation interning allocates only on
+//!   first sight of each distinct route, and lookups hash inline arrays
+//!   instead of chasing heap pointers.
+//!
+//! The criterion shim prints mean wall time per iteration; divide the fixed
+//! work counts below by it for events/sec or interns/sec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use numfabric_sim::event::{Event, EventQueue};
+use numfabric_sim::topology::{FatTreeConfig, Topology};
+use numfabric_sim::{BatchTicket, Packet, RouteTable, SimTime};
+use std::hint::black_box;
+
+/// Tie-heavy population: `EVENTS` events over `TIMESTAMPS` distinct times —
+/// every batch drains a long same-timestamp run.
+const EVENTS: u64 = 10_000;
+const TIMESTAMPS: u64 = 40;
+
+/// Build the tie-heavy schedule: same-link arrival runs with interleaved
+/// timer events, all on a handful of shared timestamps.
+fn tie_heavy_queue() -> EventQueue {
+    let mut routes = RouteTable::new();
+    let route = routes.intern(numfabric_sim::Route::from_links(vec![0, 1]));
+    let mut q = EventQueue::new();
+    for i in 0..EVENTS {
+        let at = SimTime::from_nanos(100 + (i % TIMESTAMPS) * 1_000);
+        if i % 8 == 7 {
+            q.schedule(
+                at,
+                Event::FlowTimer {
+                    flow: (i % 16) as usize,
+                    tag: i,
+                },
+            );
+        } else {
+            let link = (i % 4) as usize;
+            q.schedule(
+                at,
+                Event::Arrival {
+                    link,
+                    packet: Packet::data((i % 16) as usize, i, 1460, route),
+                },
+            );
+        }
+    }
+    q
+}
+
+fn bench_arrival_batch_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrival_batch_dispatch");
+    group.sample_size(20);
+    group.bench_function("batched_drain_10k_ties", |b| {
+        b.iter(|| {
+            let mut q = tie_heavy_queue();
+            let mut tickets: Vec<BatchTicket> = Vec::new();
+            let mut drained = 0u64;
+            loop {
+                tickets.clear();
+                if q.begin_batch(&mut tickets).is_none() {
+                    break;
+                }
+                for tk in &tickets {
+                    if let Some((id, event)) = q.claim(*tk) {
+                        black_box((id, &event));
+                        drained += 1;
+                    }
+                }
+                q.end_batch();
+            }
+            assert_eq!(drained, EVENTS);
+            black_box(drained)
+        })
+    });
+    group.bench_function("per_event_drain_10k_ties", |b| {
+        b.iter(|| {
+            let mut q = tie_heavy_queue();
+            let mut drained = 0u64;
+            while let Some((t, id, event)) = q.pop_entry() {
+                black_box((t, id, &event));
+                drained += 1;
+            }
+            assert_eq!(drained, EVENTS);
+            black_box(drained)
+        })
+    });
+    group.finish();
+}
+
+fn bench_route_intern_churn(c: &mut Criterion) {
+    let topo = Topology::fat_tree(&FatTreeConfig::new(8));
+    let hosts = topo.hosts().to_vec();
+    // A representative slice of host pairs: every route set from host 0's
+    // pod corner plus a stride sample across pods.
+    let pairs: Vec<_> = hosts
+        .iter()
+        .step_by(7)
+        .flat_map(|&src| hosts.iter().step_by(13).map(move |&dst| (src, dst)))
+        .filter(|(s, d)| s != d)
+        .collect();
+    let mut group = c.benchmark_group("route_intern_churn");
+    group.sample_size(10);
+    group.bench_function("fat_tree_k8_ecmp_intern", |b| {
+        b.iter(|| {
+            let mut table = RouteTable::new();
+            let mut interned = 0u64;
+            // Two passes: the first populates the table (allocating per
+            // distinct route), the second is pure inline-hash lookups.
+            for _ in 0..2 {
+                for &(src, dst) in &pairs {
+                    for route in topo.host_routes(src, dst) {
+                        black_box(table.intern(route));
+                        interned += 1;
+                    }
+                }
+            }
+            black_box((interned, table.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arrival_batch_dispatch,
+    bench_route_intern_churn
+);
+criterion_main!(benches);

@@ -40,7 +40,7 @@ fn bench_event_queue(c: &mut Criterion) {
 
 fn bench_stfq(c: &mut Criterion) {
     c.bench_function("stfq_enqueue_dequeue_1k_packets_8_flows", |b| {
-        let route = RouteTable::new().intern(Route { links: vec![0] });
+        let route = RouteTable::new().intern(Route::from_links(vec![0]));
         b.iter(|| {
             let mut q = StfqQueue::new(10_000_000);
             for i in 0..1_000u64 {
@@ -99,7 +99,7 @@ fn bench_pfabric_churn(c: &mut Criterion) {
     // The pFabric worst-drop path: a shallow buffer under heavy overload, so
     // almost every enqueue evicts the lowest-priority queued packet.
     c.bench_function("pfabric_worst_drop_churn_10k", |b| {
-        let route = RouteTable::new().intern(Route { links: vec![0] });
+        let route = RouteTable::new().intern(Route::from_links(vec![0]));
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let priorities: Vec<f64> = (0..10_000).map(|_| rng.gen_range(1.0..1e7)).collect();
         b.iter(|| {

@@ -122,7 +122,7 @@ pub fn registry() -> ScenarioRegistry {
     registry.register(ScenarioSpec {
         name: "bench",
         summary: "Perf measurement: event-core throughput and end-to-end scenario wall-clock, written to BENCH_<rev>.json",
-        usage: "[--events N] [--rev REV] [--json]",
+        usage: "[--events N] [--rev REV] [--compare OLD.json: print per-metric deltas, exit 1 on >15% gated events/sec regression] [--json]",
         run: crate::perf::bench,
     });
     registry.register(ScenarioSpec {

@@ -20,7 +20,7 @@
 
 use crate::fabric::{run_steady_state, run_transfers, transfer_deadline};
 use crate::protocols::Protocol;
-use crate::report::Json;
+use crate::report::{Json, ParsedJson};
 use numfabric_core::NumFabricConfig;
 use numfabric_num::utility::LogUtility;
 use numfabric_sim::topology::{LeafSpineConfig, Topology};
@@ -215,9 +215,117 @@ pub fn bench_report_json(
     ])
 }
 
+/// The maximum tolerated drop in the gated events/sec metric before
+/// `bench --compare` exits non-zero: 15%, chosen well above timing noise on
+/// a warm machine but well below any real dispatch-path regression.
+pub const REGRESSION_THRESHOLD: f64 = 0.15;
+
+/// One metric's baseline-vs-current comparison row.
+#[derive(Debug)]
+pub struct MetricDelta {
+    /// Metric label (e.g. `event_core events/s`).
+    pub name: String,
+    /// Baseline value from the committed document.
+    pub old: f64,
+    /// Freshly measured value.
+    pub new: f64,
+    /// Whether a >threshold regression of this metric fails the run. Only
+    /// the single-thread micro-bench gates: wall-clock scenario timings and
+    /// multi-worker cells are too noisy on shared 1-core CI runners.
+    pub gated: bool,
+}
+
+impl MetricDelta {
+    /// Relative change, positive = improvement for throughput metrics.
+    pub fn ratio(&self) -> f64 {
+        if self.old <= 0.0 {
+            return 0.0;
+        }
+        self.new / self.old - 1.0
+    }
+
+    /// Whether this row trips the regression gate.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.gated && self.ratio() < -threshold
+    }
+}
+
+/// Diff a fresh measurement against a parsed baseline `BENCH_*.json`.
+///
+/// Throughput rows (events/sec — higher is better) compare directly;
+/// scenario rows compare wall-clock seconds, flipped so a positive ratio
+/// still means "faster". Metrics missing from the baseline are skipped —
+/// older documents may predate a bench section.
+pub fn baseline_deltas(
+    old: &ParsedJson,
+    event_core: &Timing,
+    threaded: &[(usize, usize, Timing)],
+    scenarios: &[(Timing, u64)],
+) -> Vec<MetricDelta> {
+    let mut rows = Vec::new();
+    if let Some(rate) = old
+        .get("event_core")
+        .and_then(|c| c.get("events_per_sec"))
+        .and_then(ParsedJson::as_f64)
+    {
+        rows.push(MetricDelta {
+            name: "event_core events/s".into(),
+            old: rate,
+            new: event_core.per_second(),
+            gated: true,
+        });
+    }
+    let old_threaded = old.get("threaded_event_core").and_then(ParsedJson::as_arr);
+    for (partitions, threads, timing) in threaded {
+        let baseline = old_threaded.and_then(|cells| {
+            cells
+                .iter()
+                .find(|c| {
+                    c.get("partitions").and_then(ParsedJson::as_f64) == Some(*partitions as f64)
+                        && c.get("threads").and_then(ParsedJson::as_f64) == Some(*threads as f64)
+                })
+                .and_then(|c| c.get("events_per_sec"))
+                .and_then(ParsedJson::as_f64)
+        });
+        if let Some(rate) = baseline {
+            rows.push(MetricDelta {
+                name: format!("partition cores {partitions}x{threads} events/s"),
+                old: rate,
+                new: timing.per_second(),
+                gated: false,
+            });
+        }
+    }
+    let old_scenarios = old.get("scenarios").and_then(ParsedJson::as_arr);
+    for (timing, _) in scenarios {
+        let baseline = old_scenarios.and_then(|cells| {
+            cells
+                .iter()
+                .find(|c| c.get("name").and_then(ParsedJson::as_str) == Some(timing.name))
+                .and_then(|c| c.get("wall_seconds"))
+                .and_then(ParsedJson::as_f64)
+        });
+        if let Some(seconds) = baseline {
+            // Flip so positive ratio = faster, like the throughput rows.
+            rows.push(MetricDelta {
+                name: format!("scenario {} speed", timing.name),
+                old: 1.0 / seconds.max(1e-12),
+                new: 1.0 / timing.seconds.max(1e-12),
+                gated: false,
+            });
+        }
+    }
+    rows
+}
+
 /// The `bench` scenario: measure event-core throughput and end-to-end
 /// scenario wall-clock, write `BENCH_<rev>.json`, and print the document
 /// with `--json` (or a human table without).
+///
+/// With `--compare OLD.json` the run additionally diffs itself against the
+/// committed baseline document, prints per-metric deltas (to stderr, so
+/// `--json` stdout stays machine-parseable) and exits 1 when the gated
+/// single-thread micro-bench regressed more than [`REGRESSION_THRESHOLD`].
 pub fn bench(opts: &ScenarioOptions) {
     let events: u64 = opts.parsed_or("--events", 2_000_000);
     let rev = opts.value("--rev").unwrap_or("local").to_string();
@@ -235,6 +343,44 @@ pub fn bench(opts: &ScenarioOptions) {
     let path = format!("BENCH_{rev}.json");
     if let Err(e) = std::fs::write(&path, format!("{rendered}\n")) {
         crate::fabric::cli_error(format!("cannot write {path}: {e}"));
+    }
+
+    if let Some(old_path) = opts.value("--compare") {
+        let old_text = match std::fs::read_to_string(old_path) {
+            Ok(text) => text,
+            Err(e) => crate::fabric::cli_error(format!("cannot read {old_path}: {e}")),
+        };
+        let old = match ParsedJson::parse(&old_text) {
+            Ok(doc) => doc,
+            Err(e) => crate::fabric::cli_error(format!("cannot parse {old_path}: {e}")),
+        };
+        let old_rev = old
+            .get("rev")
+            .and_then(ParsedJson::as_str)
+            .unwrap_or("<unknown>");
+        eprintln!("Perf vs baseline {old_path} (rev {old_rev}):");
+        let rows = baseline_deltas(&old, &event_core, &threaded, &scenarios);
+        let mut regressed = false;
+        for row in &rows {
+            let gate = if row.gated { " [gated]" } else { "" };
+            eprintln!(
+                "  {:<38} {:>14.0} -> {:>14.0}  {:>+7.1}%{gate}",
+                row.name,
+                row.old,
+                row.new,
+                row.ratio() * 100.0
+            );
+            if row.regressed(REGRESSION_THRESHOLD) {
+                regressed = true;
+            }
+        }
+        if regressed {
+            eprintln!(
+                "FAIL: gated events/sec metric regressed more than {:.0}%",
+                REGRESSION_THRESHOLD * 100.0
+            );
+            std::process::exit(1);
+        }
     }
 
     if json {
@@ -321,6 +467,72 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    fn timing(name: &'static str, units: u64, seconds: f64) -> Timing {
+        Timing {
+            name,
+            units,
+            seconds,
+        }
+    }
+
+    /// Build a baseline document through the real renderer + parser, so the
+    /// comparison is tested against exactly what lands in BENCH_*.json.
+    fn baseline_doc(core_rate: f64, threaded_rate: f64, stride_secs: f64) -> ParsedJson {
+        let core = timing("event-core", 1_000_000, 1_000_000.0 / core_rate);
+        let threaded = timing("partitioned-cores", 1_000_000, 1_000_000.0 / threaded_rate);
+        let stride = timing("stride", 16, stride_secs);
+        let doc = bench_report_json("seed", &core, &[(1, 1, threaded)], &[(stride, 16)]);
+        ParsedJson::parse(&doc.render()).expect("rendered baseline must parse")
+    }
+
+    #[test]
+    fn compare_passes_on_improvement_and_fails_on_gated_regression() {
+        let old = baseline_doc(1_000_000.0, 5_000_000.0, 0.150);
+        // 2x faster micro-bench: no row regressed.
+        let fast = timing("event-core", 2_000_000, 1.0);
+        let rows = baseline_deltas(&old, &fast, &[], &[]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].gated && rows[0].ratio() > 0.9);
+        assert!(!rows[0].regressed(REGRESSION_THRESHOLD));
+
+        // 20% slower micro-bench: gated row trips the threshold.
+        let slow = timing("event-core", 800_000, 1.0);
+        let rows = baseline_deltas(&old, &slow, &[], &[]);
+        assert!(rows[0].regressed(REGRESSION_THRESHOLD));
+
+        // 10% slower: within tolerance.
+        let ok = timing("event-core", 900_000, 1.0);
+        let rows = baseline_deltas(&old, &ok, &[], &[]);
+        assert!(!rows[0].regressed(REGRESSION_THRESHOLD));
+    }
+
+    #[test]
+    fn compare_reports_ungated_rows_without_failing() {
+        let old = baseline_doc(1_000_000.0, 5_000_000.0, 0.150);
+        let core = timing("event-core", 1_000_000, 1.0);
+        // Both wall-clock rows 2x slower — reported, but never gated.
+        let threaded = vec![(1usize, 1usize, timing("partitioned-cores", 1_000_000, 0.4))];
+        let scenarios = vec![(timing("stride", 16, 0.300), 16u64)];
+        let rows = baseline_deltas(&old, &core, &threaded, &scenarios);
+        assert_eq!(rows.len(), 3);
+        let threaded_row = &rows[1];
+        assert!(threaded_row.name.contains("1x1"));
+        assert!(!threaded_row.gated && threaded_row.ratio() < -0.15);
+        assert!(!threaded_row.regressed(REGRESSION_THRESHOLD));
+        let stride_row = &rows[2];
+        assert!(stride_row.name.contains("stride"));
+        assert!((stride_row.ratio() + 0.5).abs() < 1e-9, "2x slower = -50%");
+        assert!(!stride_row.regressed(REGRESSION_THRESHOLD));
+    }
+
+    #[test]
+    fn compare_skips_metrics_missing_from_the_baseline() {
+        let old = ParsedJson::parse(r#"{"rev":"ancient"}"#).unwrap();
+        let core = timing("event-core", 1_000_000, 1.0);
+        let rows = baseline_deltas(&old, &core, &[], &[]);
+        assert!(rows.is_empty(), "nothing to compare against");
     }
 
     #[test]

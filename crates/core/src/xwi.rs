@@ -135,7 +135,7 @@ mod tests {
     }
 
     fn data_packet(residual: f64) -> Packet {
-        let route = RouteTable::new().intern(Route { links: vec![0] });
+        let route = RouteTable::new().intern(Route::from_links(vec![0]));
         let mut p = Packet::data(0, 0, DEFAULT_PAYLOAD_BYTES, route);
         p.header.normalized_residual = residual;
         p
@@ -237,7 +237,7 @@ mod tests {
     #[test]
     fn control_packets_do_not_affect_the_minimum_residual() {
         let mut ctrl = controller();
-        let mut ack = Packet::ack(0, RouteTable::new().intern(Route { links: vec![0] }));
+        let mut ack = Packet::ack(0, RouteTable::new().intern(Route::from_links(vec![0])));
         ack.header.normalized_residual = -100.0;
         ctrl.on_enqueue(&mut ack, SimTime::ZERO);
         run_interval(&mut ctrl, 25, 0.4);

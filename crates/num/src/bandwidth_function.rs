@@ -247,6 +247,10 @@ pub fn network_allocation(
     let mut frozen = vec![false; n];
     let mut alloc = vec![0.0_f64; n];
     let mut remaining: Vec<f64> = capacities.to_vec();
+    // Round workspaces, hoisted so the filling loop allocates nothing per
+    // round (the inner vectors keep their capacity across `clear`).
+    let mut link_flows: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut to_freeze = vec![false; n];
 
     // Progressive filling over fair shares: in each round, find the smallest
     // fair share at which some link saturates considering only unfrozen flows,
@@ -256,7 +260,9 @@ pub fn network_allocation(
             break;
         }
         // For each link, the unfrozen flows crossing it.
-        let mut link_flows: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for lf in &mut link_flows {
+            lf.clear();
+        }
         for (i, path) in paths.iter().enumerate() {
             if frozen[i] {
                 continue;
@@ -316,7 +322,7 @@ pub fn network_allocation(
         }
 
         // Freeze flows that cross any link saturated at f_star.
-        let mut to_freeze = vec![false; n];
+        to_freeze.iter_mut().for_each(|t| *t = false);
         for l in 0..m {
             if link_flows[l].is_empty() {
                 continue;

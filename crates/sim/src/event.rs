@@ -33,11 +33,16 @@
 //!   panics) are kept in a small `(time, seq)`-ordered side heap that is
 //!   always drained first; this is what lets scenario drivers peek ahead,
 //!   stop, and then add flows at the current wall-clock time.
-//! * **Slab payloads.** [`Event`]s are large (a [`Packet`] rides inline).
-//!   They are written once into a free-listed slab at schedule time and read
-//!   once at pop time; everything that moves through wheel slots, cascades
-//!   and heaps is a 24-byte key `(time, seq, slab index)`, keeping the churn
-//!   path memcpy-light and cache-dense.
+//! * **SoA payload pools.** [`Event`]s are large (a [`Packet`] rides
+//!   inline), and an `enum` slab would pad every timer to packet size. The
+//!   payloads are split structure-of-arrays style into two free-listed
+//!   pools: a dense arrival pool (`(LinkId, Packet)` — the dominant hot
+//!   path) and a compact pool for everything else (timers, transmit
+//!   completions, flow starts/stops, link changes — a few words each). The
+//!   pool is encoded in the top bit of the payload index, so everything
+//!   that moves through wheel slots, cascades and heaps is still a 24-byte
+//!   key `(time, seq, packed pool index)`, and popping a timer no longer
+//!   drags a cacheline-spanning union through memory.
 //!
 //! # Determinism contract: bucket FIFO == seq FIFO
 //!
@@ -128,13 +133,80 @@ impl EventId {
 }
 
 /// What moves through wheel slots, cascades and the side heaps: the
-/// ordering key plus the slab index of the payload.
+/// ordering key plus the packed pool index of the payload (see
+/// [`POOL_ARRIVAL`]).
 #[derive(Clone, Copy)]
 struct Key {
     time: u64,
     seq: u64,
     idx: u32,
     cancellable: bool,
+}
+
+/// An opaque claim on one event of an open dispatch batch (see
+/// [`EventQueue::begin_batch`]). Redeem with [`EventQueue::claim`]; the
+/// embedded sequence number is exposed for merge ordering against rejoins.
+#[derive(Clone, Copy)]
+pub struct BatchTicket(Key);
+
+impl BatchTicket {
+    /// The `(time, seq)` tie-breaking sequence number of the claimed event.
+    pub fn seq(&self) -> u64 {
+        self.0.seq
+    }
+
+    /// The kind/payload discriminant without claiming: `true` if this
+    /// ticket's payload is a packet arrival (the groupable hot path).
+    pub fn is_arrival(&self) -> bool {
+        self.0.idx & POOL_ARRIVAL != 0
+    }
+}
+
+/// Top bit of [`Key::idx`]: set for the arrival pool, clear for the small
+/// pool. The low 31 bits are the index within the pool.
+const POOL_ARRIVAL: u32 = 1 << 31;
+/// Mask extracting the within-pool index from a packed [`Key::idx`].
+const POOL_IDX_MASK: u32 = POOL_ARRIVAL - 1;
+
+/// The non-arrival event payloads, a few words each. Splitting these off
+/// from [`Event::Arrival`] (which carries a whole [`Packet`]) keeps the
+/// timer/transmit pool entries small and dense.
+#[derive(Debug, Clone, Copy)]
+enum SmallEvent {
+    TransmitComplete {
+        link: LinkId,
+    },
+    FlowTimer {
+        flow: FlowId,
+        tag: u64,
+    },
+    LinkTimer {
+        link: LinkId,
+        tag: u64,
+    },
+    FlowStart {
+        flow: FlowId,
+    },
+    FlowStop {
+        flow: FlowId,
+    },
+    LinkChange {
+        link: LinkId,
+        change: crate::impairment::LinkChange,
+    },
+}
+
+impl SmallEvent {
+    fn into_event(self) -> Event {
+        match self {
+            SmallEvent::TransmitComplete { link } => Event::TransmitComplete { link },
+            SmallEvent::FlowTimer { flow, tag } => Event::FlowTimer { flow, tag },
+            SmallEvent::LinkTimer { link, tag } => Event::LinkTimer { link, tag },
+            SmallEvent::FlowStart { flow } => Event::FlowStart { flow },
+            SmallEvent::FlowStop { flow } => Event::FlowStop { flow },
+            SmallEvent::LinkChange { link, change } => Event::LinkChange { link, change },
+        }
+    }
 }
 
 impl PartialEq for Key {
@@ -187,10 +259,17 @@ pub struct EventQueue {
     slot_min: Vec<[u64; SLOTS]>,
     /// Total keys across all wheel levels (excludes overflow/early/batch).
     wheel_count: usize,
-    /// Event payloads, written at schedule time and taken at pop time.
-    slab: Vec<Option<Event>>,
-    /// Free slab indices.
-    free: Vec<u32>,
+    /// Arrival payloads (the hot path), written at schedule time and taken
+    /// at pop time. Indexed by `Key::idx & POOL_IDX_MASK` when the
+    /// `POOL_ARRIVAL` bit is set.
+    arrivals: Vec<Option<(LinkId, Packet)>>,
+    /// Free arrival-pool indices.
+    arrivals_free: Vec<u32>,
+    /// All other payloads (timers, transmit completions, flow/link control),
+    /// each a few words. Indexed by `Key::idx` when `POOL_ARRIVAL` is clear.
+    small: Vec<Option<SmallEvent>>,
+    /// Free small-pool indices.
+    small_free: Vec<u32>,
     /// Events beyond the wheel horizon, ordered by `(time, seq)`.
     overflow: BinaryHeap<Key>,
     /// Events scheduled behind the cursor (but at/after `now`), ordered by
@@ -200,6 +279,16 @@ pub struct EventQueue {
     batch: VecDeque<Key>,
     /// Timestamp shared by every entry in `batch`.
     batch_time: u64,
+    /// Whether a dispatch batch opened by [`Self::begin_batch`] is active.
+    batch_open: bool,
+    /// Timestamp of the open dispatch batch (only meaningful while
+    /// `batch_open`; independent of `batch_time`, because the open batch
+    /// may have been drained from the early heap while the wheel batch
+    /// holds later entries).
+    open_time: u64,
+    /// Same-timestamp events scheduled while the dispatch batch was open,
+    /// sorted by `seq`; the dispatcher interleaves them with its tickets.
+    rejoins: VecDeque<Key>,
     /// Sequence numbers of cancellable events that are still pending (not
     /// fired, not cancelled) — what makes [`Self::cancel`] O(1).
     cancellable_pending: HashSet<u64>,
@@ -232,12 +321,17 @@ impl EventQueue {
             occupancy: [0; LEVELS],
             slot_min: vec![[u64::MAX; SLOTS]; LEVELS],
             wheel_count: 0,
-            slab: Vec::new(),
-            free: Vec::new(),
+            arrivals: Vec::new(),
+            arrivals_free: Vec::new(),
+            small: Vec::new(),
+            small_free: Vec::new(),
             overflow: BinaryHeap::new(),
             early: BinaryHeap::new(),
             batch: VecDeque::new(),
             batch_time: 0,
+            batch_open: false,
+            open_time: 0,
+            rejoins: VecDeque::new(),
             cancellable_pending: HashSet::new(),
             cancelled: HashSet::new(),
             scratch: Vec::new(),
@@ -251,6 +345,138 @@ impl EventQueue {
     /// The current simulation time (the timestamp of the last popped event).
     pub fn now(&self) -> SimTime {
         SimTime::from_nanos(self.now)
+    }
+
+    /// Remove every pending event and rewind the clock to zero, retaining
+    /// every internal allocation (wheel slots, payload pools, free lists,
+    /// heaps) at peak capacity. This is what lets one queue be reused across
+    /// sweep cells or repartitions with zero steady-state allocation —
+    /// before this existed, callers dropped the queue and re-grew a fresh
+    /// one from empty every cell.
+    pub fn reset(&mut self) {
+        for level in &mut self.levels {
+            for slot in level {
+                slot.clear();
+            }
+        }
+        self.occupancy = [0; LEVELS];
+        for sm in &mut self.slot_min {
+            *sm = [u64::MAX; SLOTS];
+        }
+        self.wheel_count = 0;
+        self.arrivals.clear();
+        self.arrivals_free.clear();
+        self.small.clear();
+        self.small_free.clear();
+        self.overflow.clear();
+        self.early.clear();
+        self.batch.clear();
+        self.batch_time = 0;
+        self.batch_open = false;
+        self.open_time = 0;
+        self.rejoins.clear();
+        self.cancellable_pending.clear();
+        self.cancelled.clear();
+        self.scratch.clear();
+        self.cursor = 0;
+        self.now = 0;
+        self.next_seq = 0;
+        self.live = 0;
+    }
+
+    /// `(arrival pool entries, small pool entries)` currently allocated —
+    /// the memory footprint of the payload stores, free or live. Test-only
+    /// diagnostic for the bounded-memory regression tests.
+    #[doc(hidden)]
+    pub fn debug_pool_sizes(&self) -> (usize, usize) {
+        (self.arrivals.len(), self.small.len())
+    }
+
+    /// Park `event` in its pool and return the packed index.
+    fn store_payload(&mut self, event: Event) -> u32 {
+        match event {
+            Event::Arrival { link, packet } => {
+                let idx = match self.arrivals_free.pop() {
+                    Some(idx) => {
+                        self.arrivals[idx as usize] = Some((link, packet));
+                        idx
+                    }
+                    None => {
+                        let idx = u32::try_from(self.arrivals.len())
+                            .expect("more than 2^31 pending arrivals");
+                        assert!(idx < POOL_ARRIVAL, "more than 2^31 pending arrivals");
+                        self.arrivals.push(Some((link, packet)));
+                        idx
+                    }
+                };
+                idx | POOL_ARRIVAL
+            }
+            Event::TransmitComplete { link } => {
+                self.store_small(SmallEvent::TransmitComplete { link })
+            }
+            Event::FlowTimer { flow, tag } => self.store_small(SmallEvent::FlowTimer { flow, tag }),
+            Event::LinkTimer { link, tag } => self.store_small(SmallEvent::LinkTimer { link, tag }),
+            Event::FlowStart { flow } => self.store_small(SmallEvent::FlowStart { flow }),
+            Event::FlowStop { flow } => self.store_small(SmallEvent::FlowStop { flow }),
+            Event::LinkChange { link, change } => {
+                self.store_small(SmallEvent::LinkChange { link, change })
+            }
+        }
+    }
+
+    fn store_small(&mut self, ev: SmallEvent) -> u32 {
+        match self.small_free.pop() {
+            Some(idx) => {
+                self.small[idx as usize] = Some(ev);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.small.len()).expect("more than 2^31 pending events");
+                assert!(idx < POOL_ARRIVAL, "more than 2^31 pending events");
+                self.small.push(Some(ev));
+                idx
+            }
+        }
+    }
+
+    /// Take the payload behind a packed index out of its pool, freeing the
+    /// slot.
+    fn take_payload(&mut self, idx: u32) -> Event {
+        if idx & POOL_ARRIVAL != 0 {
+            let i = (idx & POOL_IDX_MASK) as usize;
+            let (link, packet) = self.arrivals[i].take().expect("pending key has a payload");
+            self.arrivals_free.push(idx & POOL_IDX_MASK);
+            Event::Arrival { link, packet }
+        } else {
+            let ev = self.small[idx as usize]
+                .take()
+                .expect("pending key has a payload");
+            self.small_free.push(idx);
+            ev.into_event()
+        }
+    }
+
+    /// Free the pool slot behind a packed index without materializing the
+    /// event (cancelled tombstones).
+    fn drop_payload(&mut self, idx: u32) {
+        if idx & POOL_ARRIVAL != 0 {
+            let i = (idx & POOL_IDX_MASK) as usize;
+            self.arrivals[i] = None;
+            self.arrivals_free.push(idx & POOL_IDX_MASK);
+        } else {
+            self.small[idx as usize] = None;
+            self.small_free.push(idx);
+        }
+    }
+
+    /// Whether the pool slot behind a packed index holds a payload
+    /// (diagnostics only).
+    fn payload_exists(&self, idx: u32) -> bool {
+        if idx & POOL_ARRIVAL != 0 {
+            self.arrivals[(idx & POOL_IDX_MASK) as usize].is_some()
+        } else {
+            self.small[idx as usize].is_some()
+        }
     }
 
     /// Schedule `event` at absolute time `at`. Returns the event's identity
@@ -314,17 +540,7 @@ impl EventQueue {
             self.now()
         );
         self.live += 1;
-        let idx = match self.free.pop() {
-            Some(idx) => {
-                self.slab[idx as usize] = Some(event);
-                idx
-            }
-            None => {
-                let idx = u32::try_from(self.slab.len()).expect("more than 2^32 pending events");
-                self.slab.push(Some(event));
-                idx
-            }
-        };
+        let idx = self.store_payload(event);
         let key = Key {
             time: t,
             seq,
@@ -334,7 +550,14 @@ impl EventQueue {
         if cancellable {
             self.cancellable_pending.insert(seq);
         }
-        if !self.batch.is_empty() && t == self.batch_time {
+        if self.batch_open && t == self.open_time {
+            // A mid-dispatch handler scheduled back into the open batch:
+            // park it in the rejoin queue at its seq-sorted position (after
+            // any equal seq, for FIFO among content-keyed duplicates); the
+            // dispatcher interleaves rejoins with its remaining tickets.
+            let pos = self.rejoins.partition_point(|k| k.seq <= seq);
+            self.rejoins.insert(pos, key);
+        } else if !self.batch.is_empty() && t == self.batch_time {
             // Joins the batch currently being drained. With the queue's own
             // counter `seq` is always the largest so far and this is a plain
             // append; externally seeded sequence numbers (boundary messages
@@ -376,8 +599,7 @@ impl EventQueue {
     /// `true`.
     fn reap_if_cancelled(&mut self, key: &Key) -> bool {
         if key.cancellable && !self.cancelled.is_empty() && self.cancelled.remove(&key.seq) {
-            self.slab[key.idx as usize] = None;
-            self.free.push(key.idx);
+            self.drop_payload(key.idx);
             true
         } else {
             false
@@ -421,11 +643,119 @@ impl EventQueue {
             }
             self.live -= 1;
             self.now = key.time;
-            let event = self.slab[key.idx as usize]
-                .take()
-                .expect("pending key has a payload");
-            self.free.push(key.idx);
+            let event = self.take_payload(key.idx);
             return Some((SimTime::from_nanos(key.time), EventId(key.seq), event));
+        }
+    }
+
+    /// Open a same-timestamp dispatch batch: move *every* pending entry at
+    /// the next event time into `out` as opaque [`BatchTicket`]s, sorted by
+    /// sequence number, and return that time. Returns `None` (leaving `out`
+    /// empty) when the queue is exhausted.
+    ///
+    /// The tickets are claims, not pops: the clock, the live count and the
+    /// cancellation bookkeeping are untouched until [`Self::claim`] redeems
+    /// a ticket, so a handler running mid-batch can still [`Self::cancel`]
+    /// a later ticket of the same batch and observe exactly the per-event
+    /// semantics. Events scheduled *at the batch time* while the batch is
+    /// open rejoin through the queue (see [`Self::rejoin_front_seq`] /
+    /// [`Self::claim_rejoin`]); the dispatcher merges tickets and rejoins by
+    /// sequence number, which reproduces the per-event pop order exactly.
+    /// Close with [`Self::end_batch`].
+    pub fn begin_batch(&mut self, out: &mut Vec<BatchTicket>) -> Option<SimTime> {
+        debug_assert!(!self.batch_open, "begin_batch while a batch is open");
+        debug_assert!(out.is_empty());
+        let t = self.peek_time()?.as_nanos();
+        // After peek_time the live head sits at the front of the early heap
+        // or the wheel batch. The two never split one timestamp: early
+        // entries are strictly behind the cursor and the wheel batch is at
+        // or ahead of it, so the time-`t` group lives wholly in one of them.
+        let early_first = self.early.peek().is_some_and(|e| e.time == t);
+        if early_first {
+            while let Some(e) = self.early.peek() {
+                if e.time != t {
+                    break;
+                }
+                let key = self.early.pop().expect("peeked entry exists");
+                if self.reap_if_cancelled(&key) {
+                    continue;
+                }
+                out.push(BatchTicket(key));
+            }
+            // The early heap yields (time, seq) order directly.
+        } else {
+            debug_assert_eq!(self.batch_time, t);
+            while let Some(b) = self.batch.front() {
+                debug_assert_eq!(b.time, t);
+                let key = self.batch.pop_front().expect("front entry exists");
+                if self.reap_if_cancelled(&key) {
+                    continue;
+                }
+                out.push(BatchTicket(key));
+            }
+        }
+        if out.is_empty() {
+            // Every entry at `t` was a tombstone; recurse for the next time.
+            return self.begin_batch(out);
+        }
+        debug_assert!(out.windows(2).all(|w| w[0].0.seq < w[1].0.seq));
+        self.batch_open = true;
+        self.open_time = t;
+        Some(SimTime::from_nanos(t))
+    }
+
+    /// Redeem a ticket from the open batch: exactly the effect of
+    /// [`Self::pop_entry`] returning this entry, or `None` if the entry was
+    /// cancelled after the batch opened.
+    pub fn claim(&mut self, ticket: BatchTicket) -> Option<(EventId, Event)> {
+        let key = ticket.0;
+        if self.reap_if_cancelled(&key) {
+            return None;
+        }
+        if key.cancellable {
+            self.cancellable_pending.remove(&key.seq);
+        }
+        self.live -= 1;
+        self.now = key.time;
+        let event = self.take_payload(key.idx);
+        Some((EventId(key.seq), event))
+    }
+
+    /// The sequence number of the earliest not-yet-claimed event that joined
+    /// the open batch after it was opened (a same-timestamp schedule by a
+    /// mid-batch handler), if any.
+    pub fn rejoin_front_seq(&self) -> Option<u64> {
+        debug_assert!(self.batch_open);
+        self.rejoins.front().map(|k| k.seq)
+    }
+
+    /// Claim the earliest rejoin of the open batch (see
+    /// [`Self::rejoin_front_seq`]); `None` if it was cancelled in the
+    /// meantime.
+    pub fn claim_rejoin(&mut self) -> Option<(EventId, Event)> {
+        debug_assert!(self.batch_open);
+        let key = self
+            .rejoins
+            .pop_front()
+            .expect("claim_rejoin on empty rejoin queue");
+        self.claim(BatchTicket(key))
+    }
+
+    /// Close the batch opened by [`Self::begin_batch`]. Unclaimed rejoins
+    /// (the dispatcher normally drains them all) re-enter the queue through
+    /// the ordinary insertion path and pop normally.
+    pub fn end_batch(&mut self) {
+        debug_assert!(self.batch_open);
+        self.batch_open = false;
+        while let Some(key) = self.rejoins.pop_front() {
+            if !self.batch.is_empty() && key.time == self.batch_time {
+                let pos = self.batch.partition_point(|k| k.seq <= key.seq);
+                self.batch.insert(pos, key);
+            } else if key.time < self.cursor {
+                self.early.push(key);
+            } else {
+                self.insert_into_wheel(key);
+            }
         }
     }
 
@@ -524,10 +854,7 @@ impl EventQueue {
             }
             self.live -= 1;
             self.now = key.time;
-            let event = self.slab[key.idx as usize]
-                .take()
-                .expect("pending key has a payload");
-            self.free.push(key.idx);
+            let event = self.take_payload(key.idx);
             out.push((
                 SimTime::from_nanos(key.time),
                 key.seq,
@@ -596,8 +923,8 @@ impl EventQueue {
                         self.cursor
                     );
                     assert!(
-                        self.slab[k.idx as usize].is_some(),
-                        "key seq={} points at an empty slab slot",
+                        self.payload_exists(k.idx),
+                        "key seq={} points at an empty pool slot",
                         k.seq
                     );
                 }
@@ -1196,6 +1523,96 @@ mod tests {
         }
         assert!(q.is_empty());
         q.debug_validate();
+    }
+
+    /// The payload-pool twin of `queue::pfabric_tombstones_stay_bounded`:
+    /// on a long schedule/cancel/pop churn the SoA pools must stay sized to
+    /// the peak *live* population, not the total event count — a free-list
+    /// leak would grow them monotonically.
+    #[test]
+    fn payload_pools_stay_bounded_under_churn() {
+        let mut q = EventQueue::new();
+        let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut step = move || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        let route =
+            crate::routes::RouteTable::new().intern(crate::topology::Route::from_links(vec![0]));
+        let mut live_peak = 0usize;
+        for round in 0..2000u64 {
+            let base = q.now().as_nanos();
+            let mut cancellable = Vec::new();
+            for i in 0..8 {
+                let at = SimTime::from_nanos(base + 1 + (step() % 5000));
+                if i % 2 == 0 {
+                    cancellable.push(q.schedule_cancellable(at, start(i)));
+                } else {
+                    q.schedule(
+                        at,
+                        Event::Arrival {
+                            link: 3,
+                            packet: crate::packet::Packet::data(0, 0, 1000, route),
+                        },
+                    );
+                }
+            }
+            live_peak = live_peak.max(q.len());
+            for id in cancellable {
+                if step() % 2 == 0 {
+                    q.cancel(id);
+                }
+            }
+            // Drain roughly half the backlog each round.
+            for _ in 0..5 {
+                q.pop();
+            }
+            if round % 100 == 0 {
+                let (arrivals, small) = q.debug_pool_sizes();
+                let bound = 2 * live_peak + 16;
+                assert!(
+                    arrivals + small <= bound,
+                    "pools grew to {arrivals}+{small} (live peak {live_peak})"
+                );
+            }
+        }
+        while q.pop().is_some() {}
+        let (arrivals, small) = q.debug_pool_sizes();
+        assert!(arrivals + small <= 2 * live_peak + 16);
+        q.debug_validate();
+    }
+
+    /// `reset()` rewinds a queue for reuse (the arena-per-simulation story):
+    /// pending events vanish, the clock rewinds, and repeated
+    /// fill/reset cycles never grow the pools past one cycle's footprint.
+    #[test]
+    fn reset_rewinds_and_keeps_memory_bounded() {
+        let mut q = EventQueue::new();
+        let mut footprint_after_first = None;
+        for _cycle in 0..50 {
+            for i in 0..64 {
+                q.schedule(SimTime::from_nanos(100 + i as u64 * 37), start(i));
+            }
+            for _ in 0..20 {
+                q.pop();
+            }
+            q.reset();
+            assert!(q.is_empty());
+            assert_eq!(q.len(), 0);
+            assert_eq!(q.now(), SimTime::ZERO);
+            assert_eq!(q.peek_time(), None);
+            let fp = q.debug_pool_sizes();
+            match footprint_after_first {
+                None => footprint_after_first = Some(fp),
+                Some(first) => assert_eq!(fp, first, "reset cycles must not grow the pools"),
+            }
+            // The rewound clock accepts early timestamps again.
+            q.schedule(SimTime::from_nanos(1), start(0));
+            assert_eq!(q.pop().map(|(t, _)| t.as_nanos()), Some(1));
+            q.reset();
+        }
     }
 
     #[test]

@@ -65,7 +65,7 @@
 //! the frozen `Shared` tables, and the borrow checker enforces exactly
 //! that split.
 
-use crate::event::{Event, EventId, EventQueue};
+use crate::event::{BatchTicket, Event, EventId, EventQueue};
 use crate::flow::{FlowPhase, FlowSpec, FlowStats};
 use crate::impairment::{derive_link_seed, splitmix64_unit, LinkChange, LinkHealth};
 use crate::packet::{FlowId, Packet, PacketHeader, PacketKind, SeqNo, HEADER_BYTES, MTU_BYTES};
@@ -116,6 +116,13 @@ const KIND_ARRIVAL: u64 = 6;
 
 const KEY_SECONDARY_BITS: u32 = 39;
 const KEY_PRIMARY_BITS: u32 = 22;
+
+/// The primary id (link or flow) embedded in a content-derived key. Every
+/// event a `Network` schedules carries such a key as its seq, so the batch
+/// dispatcher can group same-link arrivals without claiming their payloads.
+fn key_primary(seq: u64) -> u64 {
+    (seq >> KEY_SECONDARY_BITS) & ((1 << KEY_PRIMARY_BITS) - 1)
+}
 
 fn event_key(kind: u64, primary: u64, secondary: u64) -> u64 {
     debug_assert!(kind < 8, "event kind out of range");
@@ -299,6 +306,15 @@ struct PartitionCore {
     /// the conformance trace the determinism proptests compare across
     /// partition/thread counts.
     trace: Option<Vec<(SimTime, u64)>>,
+    /// Dispatch same-timestamp batches through [`advance_core_batched`]
+    /// (the default). Disabled by the differential tests to pin the batched
+    /// path bit-identical to the per-event reference path.
+    batch_dispatch: bool,
+    /// Arena-style dispatch scratch, reused across every batch of the
+    /// simulation (taken/restored around each epoch, never reallocated in
+    /// steady state).
+    scratch_tickets: Vec<BatchTicket>,
+    scratch_run: Vec<(EventId, Packet)>,
 }
 
 impl PartitionCore {
@@ -318,6 +334,9 @@ impl PartitionCore {
             clock: SimTime::ZERO,
             events_processed: 0,
             trace: None,
+            batch_dispatch: true,
+            scratch_tickets: Vec::new(),
+            scratch_run: Vec::new(),
         }
     }
 }
@@ -355,6 +374,23 @@ fn advance_core(
     bound: SimTime,
     inclusive: bool,
 ) -> Option<SimTime> {
+    if core.batch_dispatch {
+        advance_core_batched(shared, core, barrier, bound, inclusive)
+    } else {
+        advance_core_per_event(shared, core, barrier, bound, inclusive)
+    }
+}
+
+/// The per-event reference path: peek, bound-check, pop and dispatch one
+/// event at a time. Kept verbatim as the executable specification the
+/// batched path is differentially tested against.
+fn advance_core_per_event(
+    shared: &Shared,
+    core: &mut PartitionCore,
+    barrier: Option<SimTime>,
+    bound: SimTime,
+    inclusive: bool,
+) -> Option<SimTime> {
     loop {
         let (t, _) = core.events.peek_key()?;
         if beyond(t, bound, inclusive) || barrier.is_some_and(|b| t >= b) {
@@ -367,6 +403,149 @@ fn advance_core(
             trace.push((time, id.as_u64()));
         }
         handle_event(shared, core, id, event);
+    }
+}
+
+/// Record one handled event exactly as the per-event path would.
+#[inline]
+fn record_dispatch(core: &mut PartitionCore, time: SimTime, id: EventId) {
+    core.events_processed += 1;
+    if let Some(trace) = &mut core.trace {
+        trace.push((time, id.as_u64()));
+    }
+}
+
+/// Fire every same-timestamp event a handler scheduled *during* the open
+/// batch whose key sorts before `next_seq` (exclusive — tickets win seq
+/// ties, because equal keys dispatch in schedule order and every ticket was
+/// scheduled before the batch opened).
+fn drain_rejoins_before(shared: &Shared, core: &mut PartitionCore, time: SimTime, next_seq: u64) {
+    while core
+        .events
+        .rejoin_front_seq()
+        .is_some_and(|rs| rs < next_seq)
+    {
+        if let Some((id, event)) = core.events.claim_rejoin() {
+            record_dispatch(core, time, id);
+            handle_event(shared, core, id, event);
+        }
+    }
+}
+
+/// The batched dispatch path: drain each same-timestamp group in one pass,
+/// check the bound/barrier once per group instead of once per event, and
+/// hand consecutive same-link arrivals to [`handle_arrival_run`] with the
+/// top-level match and link-health lookup hoisted out of the loop.
+///
+/// Bit-identity with [`advance_core_per_event`] holds by construction:
+/// tickets are dispatched in seq order, same-timestamp events scheduled by
+/// handlers mid-batch (rejoins) are interleaved at their exact seq position
+/// before every dispatch, and claiming a ticket early only mutates queue
+/// bookkeeping that no handler can observe (arrivals are never
+/// cancellable). The differential proptests in `tests/event_core.rs` pin
+/// this equivalence on adversarial tie-heavy schedules.
+fn advance_core_batched(
+    shared: &Shared,
+    core: &mut PartitionCore,
+    barrier: Option<SimTime>,
+    bound: SimTime,
+    inclusive: bool,
+) -> Option<SimTime> {
+    let mut tickets = std::mem::take(&mut core.scratch_tickets);
+    let result = loop {
+        let Some((t, _)) = core.events.peek_key() else {
+            break None;
+        };
+        if beyond(t, bound, inclusive) || barrier.is_some_and(|b| t >= b) {
+            break Some(t);
+        }
+        tickets.clear();
+        let time = core
+            .events
+            .begin_batch(&mut tickets)
+            .expect("peeked event must open a batch");
+        debug_assert_eq!(time, t);
+        core.clock = time;
+        let mut i = 0;
+        while i < tickets.len() {
+            let ticket = tickets[i];
+            drain_rejoins_before(shared, core, time, ticket.seq());
+            if ticket.is_arrival() {
+                // Content keys group same-link arrivals contiguously in seq
+                // order; claim the whole run, then dispatch it with the
+                // link's (epoch-frozen) health resolved once.
+                let link = key_primary(ticket.seq()) as LinkId;
+                let mut run = std::mem::take(&mut core.scratch_run);
+                run.clear();
+                while let Some(tk) = tickets.get(i) {
+                    if !tk.is_arrival() || key_primary(tk.seq()) as LinkId != link {
+                        break;
+                    }
+                    i += 1;
+                    if let Some((id, event)) = core.events.claim(*tk) {
+                        match event {
+                            Event::Arrival { link: l, packet } => {
+                                debug_assert_eq!(l, link);
+                                run.push((id, packet));
+                            }
+                            _ => unreachable!("arrival-pool ticket must claim an arrival"),
+                        }
+                    }
+                }
+                handle_arrival_run(shared, core, time, link, &mut run);
+                core.scratch_run = run;
+            } else {
+                i += 1;
+                if let Some((id, event)) = core.events.claim(ticket) {
+                    record_dispatch(core, time, id);
+                    handle_event(shared, core, id, event);
+                }
+            }
+        }
+        // Tickets are exhausted; flush remaining rejoins in seq order
+        // (handlers may keep scheduling at the batch timestamp).
+        while core.events.rejoin_front_seq().is_some() {
+            if let Some((id, event)) = core.events.claim_rejoin() {
+                record_dispatch(core, time, id);
+                handle_event(shared, core, id, event);
+            }
+        }
+        core.events.end_batch();
+    };
+    core.scratch_tickets = tickets;
+    result
+}
+
+/// Dispatch a claimed run of same-timestamp arrivals on one link. The link
+/// health check is hoisted out of the loop (link changes are coordinator
+/// sync events, so health is frozen while any batch is open), and the
+/// top-level event match is skipped entirely. Same-timestamp events that
+/// the handlers schedule mid-run are interleaved at their seq position.
+fn handle_arrival_run(
+    shared: &Shared,
+    core: &mut PartitionCore,
+    time: SimTime,
+    link: LinkId,
+    run: &mut Vec<(EventId, Packet)>,
+) {
+    let up = shared.link_health[link].up;
+    for (id, mut packet) in run.drain(..) {
+        drain_rejoins_before(shared, core, time, id.as_u64());
+        record_dispatch(core, time, id);
+        if !up {
+            core.link_drops[link] += 1;
+            core.flow_drops[packet.flow] += 1;
+            continue;
+        }
+        packet.advance_hop();
+        if let Some(next) = packet.next_link(&shared.routes) {
+            enqueue_on_link(shared, core, next, packet);
+            continue;
+        }
+        match packet.kind {
+            PacketKind::Data | PacketKind::Syn => receiver_deliver(shared, core, packet),
+            PacketKind::Ack => sender_ack(shared, core, packet),
+        }
     }
 }
 
@@ -720,6 +899,7 @@ pub struct Network {
     /// Link changes applied so far (counted into `events_processed`).
     sync_events: u64,
     trace_enabled: bool,
+    batch_dispatch: bool,
 }
 
 /// Configuration knobs of the engine itself (not of any protocol).
@@ -782,6 +962,7 @@ impl Network {
             global_order: 0,
             sync_events: 0,
             trace_enabled: false,
+            batch_dispatch: true,
         }
     }
 
@@ -847,6 +1028,7 @@ impl Network {
             .map(|p| {
                 let mut core = PartitionCore::new(p, partitions, num_links);
                 core.trace = self.trace_enabled.then(Vec::new);
+                core.batch_dispatch = self.batch_dispatch;
                 core
             })
             .collect();
@@ -1235,7 +1417,7 @@ impl Network {
             else {
                 continue;
             };
-            if self.shared.routes.links(old) == new_route.links.as_slice() {
+            if self.shared.routes.links(old) == new_route.links() {
                 continue;
             }
             // Old in-flight and queued packets carry the old interned
@@ -1648,6 +1830,23 @@ impl Network {
     pub fn pending_timer_count(&self, flow: FlowId) -> usize {
         let p = self.shared.node_part[self.shared.specs[flow].src];
         self.parts[p].timers.pending_count(flow)
+    }
+
+    /// Choose the dispatch strategy: batched same-timestamp dispatch (the
+    /// default, faster) or the per-event reference path. The two are
+    /// bit-identical by contract — every report byte and event trace is the
+    /// same either way — which the differential tests assert by running
+    /// both. Safe to change at any time.
+    pub fn set_batch_dispatch(&mut self, enabled: bool) {
+        self.batch_dispatch = enabled;
+        for core in &mut self.parts {
+            core.batch_dispatch = enabled;
+        }
+    }
+
+    /// Whether batched same-timestamp dispatch is active.
+    pub fn batch_dispatch(&self) -> bool {
+        self.batch_dispatch
     }
 
     /// Record every handled event as a `(time, key)` pair, per partition —
@@ -2097,7 +2296,7 @@ mod tests {
         );
         net.run_until(SimTime::from_millis(20));
         assert_eq!(net.flow_phase(flow), FlowPhase::Completed);
-        let first_link = net.route(net.flow_spec(flow).route).links[0];
+        let first_link = net.route(net.flow_spec(flow).route).links()[0];
         let stats = net.link_stats(first_link);
         assert!(stats.packets_transmitted >= 100);
         assert!(stats.bytes_transmitted >= 150_000);
@@ -2294,7 +2493,7 @@ mod tests {
         net.run_until(SimTime::from_millis(2));
         let detour = net.flow_spec(flow).route;
         assert_ne!(detour, original, "failure must move the flow off spine 0");
-        assert!(!net.route(detour).links.contains(&failed));
+        assert!(!net.route(detour).links().contains(&failed));
         let delivered_at_2ms = net.flow_stats(flow).bytes_delivered;
         net.run_until(SimTime::from_millis(4));
         // The restore puts the ECMP choice back on its original path, and
@@ -2341,7 +2540,7 @@ mod tests {
             assert!(fwd_moved, "the dead direction is always avoided");
             assert!(!net
                 .route(net.flow_spec(fwd_flow).route)
-                .links
+                .links()
                 .contains(&dead));
             rev_moved
         };

@@ -214,7 +214,7 @@ mod tests {
 
     fn route(links: Vec<usize>) -> (RouteTable, RouteId) {
         let mut table = RouteTable::new();
-        let id = table.intern(Route { links });
+        let id = table.intern(Route::from_links(links));
         (table, id)
     }
 

@@ -395,6 +395,11 @@ pub struct PfabricQueue {
     worst: BinaryHeap<PfabricWorstEntry>,
     /// Live packets; a heap entry whose seq is absent here is a tombstone.
     packets: HashMap<u64, Packet>,
+    /// Persistent rebuild workspace: live `(priority, seq)` pairs are
+    /// gathered here once per prune, so a rebuild walks the (cache-hostile)
+    /// packet map a single time even when both heaps need rebuilding, and
+    /// steady-state pruning allocates nothing after warm-up.
+    rebuild_scratch: Vec<(f64, u64)>,
     capacity_bytes: usize,
     backlog: usize,
     next_seq: u64,
@@ -408,6 +413,7 @@ impl PfabricQueue {
             heap: BinaryHeap::new(),
             worst: BinaryHeap::new(),
             packets: HashMap::new(),
+            rebuild_scratch: Vec::new(),
             capacity_bytes,
             backlog: 0,
             next_seq: 0,
@@ -445,21 +451,32 @@ impl PfabricQueue {
     /// because every (priority, seq) key is distinct.
     fn maybe_prune(&mut self) {
         let cap = 2 * self.packets.len() + 16;
-        if self.heap.len() > cap {
-            self.heap.clear();
-            self.heap
-                .extend(self.packets.iter().map(|(&seq, p)| PfabricEntry {
-                    priority: p.header.pfabric_priority,
-                    seq,
-                }));
+        let serve_stale = self.heap.len() > cap;
+        let worst_stale = self.worst.len() > cap;
+        if !serve_stale && !worst_stale {
+            return;
         }
-        if self.worst.len() > cap {
+        self.rebuild_scratch.clear();
+        self.rebuild_scratch.extend(
+            self.packets
+                .iter()
+                .map(|(&seq, p)| (p.header.pfabric_priority, seq)),
+        );
+        if serve_stale {
+            self.heap.clear();
+            self.heap.extend(
+                self.rebuild_scratch
+                    .iter()
+                    .map(|&(priority, seq)| PfabricEntry { priority, seq }),
+            );
+        }
+        if worst_stale {
             self.worst.clear();
-            self.worst
-                .extend(self.packets.iter().map(|(&seq, p)| PfabricWorstEntry {
-                    priority: p.header.pfabric_priority,
-                    seq,
-                }));
+            self.worst.extend(
+                self.rebuild_scratch
+                    .iter()
+                    .map(|&(priority, seq)| PfabricWorstEntry { priority, seq }),
+            );
         }
     }
 }
@@ -531,7 +548,7 @@ mod tests {
     use crate::topology::Route;
 
     fn route() -> RouteId {
-        RouteTable::new().intern(Route { links: vec![0] })
+        RouteTable::new().intern(Route::from_links(vec![0]))
     }
 
     fn data(flow: FlowId, weight: f64) -> Packet {

@@ -35,7 +35,7 @@ impl RouteId {
 #[derive(Debug, Default)]
 pub struct RouteTable {
     routes: Vec<Route>,
-    interned: HashMap<Vec<LinkId>, RouteId>,
+    interned: HashMap<Route, RouteId>,
 }
 
 impl RouteTable {
@@ -45,13 +45,15 @@ impl RouteTable {
     }
 
     /// Intern `route`, returning the id of the existing entry if an identical
-    /// route was interned before.
+    /// route was interned before. Routes at most [`crate::topology::ROUTE_INLINE_HOPS`]
+    /// hops long are stored inline, so interning a fabric path allocates
+    /// nothing beyond the table's own growth.
     pub fn intern(&mut self, route: Route) -> RouteId {
-        if let Some(&id) = self.interned.get(&route.links) {
+        if let Some(&id) = self.interned.get(&route) {
             return id;
         }
         let id = RouteId(u32::try_from(self.routes.len()).expect("more than u32::MAX routes"));
-        self.interned.insert(route.links.clone(), id);
+        self.interned.insert(route.clone(), id);
         self.routes.push(route);
         id
     }
@@ -67,7 +69,7 @@ impl RouteTable {
     /// The link sequence of a route (the hot-path accessor).
     #[inline]
     pub fn links(&self, id: RouteId) -> &[LinkId] {
-        &self.routes[id.index()].links
+        self.routes[id.index()].links()
     }
 
     /// Number of distinct routes interned.
@@ -110,18 +112,14 @@ mod tests {
     #[test]
     fn interning_deduplicates_identical_routes() {
         let mut table = RouteTable::new();
-        let a = table.intern(Route {
-            links: vec![1, 2, 3],
-        });
-        let b = table.intern(Route { links: vec![4] });
-        let c = table.intern(Route {
-            links: vec![1, 2, 3],
-        });
+        let a = table.intern(Route::from_links(vec![1, 2, 3]));
+        let b = table.intern(Route::from_links(vec![4]));
+        let c = table.intern(Route::from_links(vec![1, 2, 3]));
         assert_eq!(a, c);
         assert_ne!(a, b);
         assert_eq!(table.len(), 2);
         assert_eq!(table.links(a), &[1, 2, 3]);
-        assert_eq!(table.get(b).links, vec![4]);
+        assert_eq!(table.get(b).links(), &[4]);
     }
 
     #[test]
@@ -129,7 +127,7 @@ mod tests {
         let mut table = RouteTable::new();
         assert!(table.is_empty());
         for i in 0..10usize {
-            let id = table.intern(Route { links: vec![i] });
+            let id = table.intern(Route::from_links(vec![i]));
             assert_eq!(id.index(), i);
         }
         assert_eq!(table.len(), 10);

@@ -83,22 +83,129 @@ pub struct LinkSpec {
     pub delay: SimDuration,
 }
 
+/// Hops stored inline in a [`Route`] before it spills to the heap. Every
+/// supported fabric (leaf-spine, oversubscribed leaf-spine, k-ary fat-tree)
+/// produces host routes of at most `2·tiers + 1 ≤ 7` hops, so eight inline
+/// slots cover them all with headroom; exotic topologies with longer paths
+/// still work via the spill variant.
+pub const ROUTE_INLINE_HOPS: usize = 8;
+
+/// Internal hop storage of a [`Route`]: a fixed inline array for the
+/// overwhelmingly common short path, a heap vector only when a path exceeds
+/// [`ROUTE_INLINE_HOPS`]. The representation is canonical — `len <=
+/// ROUTE_INLINE_HOPS` is always `Inline` — but equality and hashing go
+/// through [`Route::links`] regardless, so only the hop sequence matters.
+#[derive(Debug, Clone)]
+enum Hops {
+    Inline {
+        len: u8,
+        hops: [LinkId; ROUTE_INLINE_HOPS],
+    },
+    Spilled(Vec<LinkId>),
+}
+
 /// A precomputed route: the sequence of links a packet traverses.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Hops are stored inline (no heap allocation) for paths of up to
+/// [`ROUTE_INLINE_HOPS`] links — every route on the supported fabrics — so
+/// building, cloning and interning candidate routes during ECMP enumeration
+/// and failure re-selection never allocates; longer paths transparently
+/// spill to a heap vector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Route {
-    /// Links in traversal order.
-    pub links: Vec<LinkId>,
+    hops: Hops,
 }
 
 impl Route {
+    /// The empty route (same-host communication).
+    pub fn new() -> Self {
+        Route {
+            hops: Hops::Inline {
+                len: 0,
+                hops: [0; ROUTE_INLINE_HOPS],
+            },
+        }
+    }
+
+    /// A route over `links` in traversal order. Reuses the given vector as
+    /// spill storage when the path is longer than [`ROUTE_INLINE_HOPS`].
+    pub fn from_links(links: Vec<LinkId>) -> Self {
+        if links.len() <= ROUTE_INLINE_HOPS {
+            links.iter().copied().collect()
+        } else {
+            Route {
+                hops: Hops::Spilled(links),
+            }
+        }
+    }
+
+    /// The links of the route, in traversal order.
+    #[inline]
+    pub fn links(&self) -> &[LinkId] {
+        match &self.hops {
+            Hops::Inline { len, hops } => &hops[..*len as usize],
+            Hops::Spilled(v) => v,
+        }
+    }
+
+    /// Append one link to the route, spilling to the heap if the inline
+    /// capacity is exceeded.
+    pub fn push(&mut self, link: LinkId) {
+        match &mut self.hops {
+            Hops::Inline { len, hops } => {
+                if (*len as usize) < ROUTE_INLINE_HOPS {
+                    hops[*len as usize] = link;
+                    *len += 1;
+                } else {
+                    let mut v = hops.to_vec();
+                    v.push(link);
+                    self.hops = Hops::Spilled(v);
+                }
+            }
+            Hops::Spilled(v) => v.push(link),
+        }
+    }
+
     /// Number of links on the route.
     pub fn len(&self) -> usize {
-        self.links.len()
+        match &self.hops {
+            Hops::Inline { len, .. } => *len as usize,
+            Hops::Spilled(v) => v.len(),
+        }
     }
 
     /// Whether the route is empty (same-host communication).
     pub fn is_empty(&self) -> bool {
-        self.links.is_empty()
+        self.len() == 0
+    }
+}
+
+impl Default for Route {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<LinkId> for Route {
+    fn from_iter<I: IntoIterator<Item = LinkId>>(iter: I) -> Self {
+        let mut route = Route::new();
+        for link in iter {
+            route.push(link);
+        }
+        route
+    }
+}
+
+impl PartialEq for Route {
+    fn eq(&self, other: &Self) -> bool {
+        self.links() == other.links()
+    }
+}
+impl Eq for Route {}
+
+impl std::hash::Hash for Route {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.links().hash(state);
     }
 }
 
@@ -353,14 +460,12 @@ impl Topology {
     /// Build a route as the concatenation of links along the node sequence
     /// `path` (panics if some consecutive pair has no link).
     pub fn route_via(&self, path: &[NodeId]) -> Route {
-        let links = path
-            .windows(2)
+        path.windows(2)
             .map(|w| {
                 self.link_between(w[0], w[1])
                     .unwrap_or_else(|| panic!("no link between {} and {}", w[0], w[1]))
             })
-            .collect();
-        Route { links }
+            .collect()
     }
 
     /// Build a leaf-spine fabric.
@@ -801,8 +906,8 @@ impl Topology {
     /// The reverse of `route` (the path ACKs take), assuming every link has a
     /// reverse twin.
     pub fn reverse_route(&self, route: &Route) -> Route {
-        let links = route
-            .links
+        route
+            .links()
             .iter()
             .rev()
             .map(|&l| {
@@ -810,8 +915,7 @@ impl Topology {
                 self.link_between(spec.to, spec.from)
                     .expect("every link must have a reverse twin for ACK routing")
             })
-            .collect();
-        Route { links }
+            .collect()
     }
 
     /// Base (zero-queue) round-trip time along `route` and back for a packet
@@ -819,12 +923,12 @@ impl Topology {
     /// serialization at every hop.
     pub fn base_rtt(&self, route: &Route, data_bytes: u64, ack_bytes: u64) -> SimDuration {
         let mut total = SimDuration::ZERO;
-        for &l in &route.links {
+        for &l in route.links() {
             let spec = &self.links[l];
             total += spec.delay + SimDuration::transmission(data_bytes, spec.capacity_bps);
         }
         let reverse = self.reverse_route(route);
-        for &l in &reverse.links {
+        for &l in reverse.links() {
             let spec = &self.links[l];
             total += spec.delay + SimDuration::transmission(ack_bytes, spec.capacity_bps);
         }
@@ -969,8 +1073,8 @@ mod tests {
         // The reverse of the reverse is the original.
         assert_eq!(topo.reverse_route(&rev), fwd);
         // First reverse link starts where the forward route ended.
-        let last_fwd = &topo.links()[*fwd.links.last().unwrap()];
-        let first_rev = &topo.links()[rev.links[0]];
+        let last_fwd = &topo.links()[*fwd.links().last().unwrap()];
+        let first_rev = &topo.links()[rev.links()[0]];
         assert_eq!(first_rev.from, last_fwd.to);
     }
 
@@ -997,8 +1101,8 @@ mod tests {
         topo.add_duplex_link(s, b, 10e9, SimDuration::from_micros(1));
         let r = topo.route_via(&[a, s, b]);
         assert_eq!(r.len(), 2);
-        assert_eq!(topo.links()[r.links[0]].from, a);
-        assert_eq!(topo.links()[r.links[1]].to, b);
+        assert_eq!(topo.links()[r.links()[0]].from, a);
+        assert_eq!(topo.links()[r.links()[1]].to, b);
         assert_eq!(topo.leaf_of(a), Some(s));
     }
 

@@ -28,14 +28,18 @@ fn assert_valid_route(topo: &Topology, src: NodeId, dst: NodeId, route: &numfabr
     assert!(!route.is_empty(), "route must traverse at least one link");
     let links = topo.links();
     // First link leaves the source, last link enters the destination.
-    assert_eq!(links[route.links[0]].from, src, "first link must leave src");
     assert_eq!(
-        links[*route.links.last().unwrap()].to,
+        links[route.links()[0]].from,
+        src,
+        "first link must leave src"
+    );
+    assert_eq!(
+        links[*route.links().last().unwrap()].to,
         dst,
         "last link must enter dst"
     );
     // Contiguity: consecutive links share a node.
-    for w in route.links.windows(2) {
+    for w in route.links().windows(2) {
         assert_eq!(
             links[w[0]].to, links[w[1]].from,
             "consecutive links must share a node"
@@ -44,7 +48,7 @@ fn assert_valid_route(topo: &Topology, src: NodeId, dst: NodeId, route: &numfabr
     // Valley-freedom: the tier sequence rises strictly to one peak, then
     // falls strictly — once the path starts descending it never ascends.
     let mut tiers = vec![topo.nodes()[src].kind.tier()];
-    for &l in &route.links {
+    for &l in route.links() {
         tiers.push(topo.nodes()[links[l].to].kind.tier());
     }
     let mut descending = false;
@@ -194,7 +198,7 @@ proptest! {
             let surviving = topo.host_routes_avoiding(src, dst, &down);
             for route in &surviving {
                 assert_valid_route(&topo, src, dst, route);
-                for &l in &route.links {
+                for &l in route.links() {
                     prop_assert!(!banned(l), "surviving route uses banned link {l}");
                 }
             }

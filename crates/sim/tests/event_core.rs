@@ -9,6 +9,7 @@
 //! far-future (overflow-level) timestamps.
 
 use numfabric_sim::event::{Event, EventId, EventQueue, HeapEventQueue};
+use numfabric_sim::BatchTicket;
 use numfabric_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -147,6 +148,189 @@ proptest! {
     #[test]
     fn wheel_matches_heap_reference_long_runs(seed in 0u64..u64::MAX) {
         differential_run(seed ^ 0xdead_beef, 6_000);
+    }
+}
+
+// ---- batched dispatch vs per-event pop ------------------------------------
+//
+// The batch API (begin_batch / claim / claim_rejoin / end_batch) must
+// reproduce pop_entry's dispatch order bit-for-bit, including when handlers
+// running *inside* a batch schedule new same-timestamp events (rejoins) or
+// cancel not-yet-claimed tickets of the same batch. The harness below models
+// a handler as a deterministic policy keyed by a shared RNG: both drains see
+// identical policy decisions exactly as long as their dispatch orders match,
+// so any ordering divergence snowballs into a trace mismatch.
+
+/// The "handler": on every dispatched event, maybe schedule (often at the
+/// *current* timestamp, exercising the rejoin path), maybe cancel an
+/// outstanding cancellable id (possibly one still pending in the open batch).
+struct DispatchPolicy {
+    rng: ChaCha8Rng,
+    handles: Vec<EventId>,
+    next_flow: usize,
+    budget: usize,
+}
+
+impl DispatchPolicy {
+    fn new(seed: u64, budget: usize) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x5ca1_ab1e),
+            handles: Vec::new(),
+            next_flow: 10_000,
+            budget,
+        }
+    }
+
+    fn on_dispatch(&mut self, q: &mut EventQueue) {
+        match self.rng.gen_range(0u32..100) {
+            // Same-timestamp schedule: in batch mode this joins the open
+            // batch as a rejoin and must fire at its exact seq position.
+            0..=29 if self.budget > 0 => {
+                self.budget -= 1;
+                let flow = self.next_flow;
+                self.next_flow += 1;
+                q.schedule(q.now(), start(flow));
+            }
+            // Tie-prone near-future schedule.
+            30..=49 if self.budget > 0 => {
+                self.budget -= 1;
+                let flow = self.next_flow;
+                self.next_flow += 1;
+                let at = q.now() + SimDuration::from_nanos(self.rng.gen_range(0u64..6) * 200);
+                q.schedule(at, start(flow));
+            }
+            // Cancellable schedule, sometimes at the current instant.
+            50..=64 if self.budget > 0 => {
+                self.budget -= 1;
+                let flow = self.next_flow;
+                self.next_flow += 1;
+                let at = q.now() + SimDuration::from_nanos(self.rng.gen_range(0u64..4) * 400);
+                self.handles.push(q.schedule_cancellable(at, start(flow)));
+            }
+            // Cancel something outstanding — possibly an unclaimed ticket or
+            // rejoin of the batch currently being dispatched.
+            65..=79 if !self.handles.is_empty() => {
+                let i = self.rng.gen_range(0..self.handles.len());
+                q.cancel(self.handles.swap_remove(i));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Seed both queues with an identical tie-heavy population.
+fn seed_population(q: &mut EventQueue, seed: u64, events: usize) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for flow in 0..events {
+        // Quantized to 500 ns over a 10 µs window: long same-timestamp runs.
+        let at = SimTime::from_nanos(rng.gen_range(0u64..20) * 500);
+        if rng.gen_bool(0.2) {
+            q.schedule_cancellable(at, start(flow));
+        } else {
+            q.schedule(at, start(flow));
+        }
+    }
+}
+
+/// Drain via the batch API, merging tickets and rejoins by seq (tickets win
+/// ties: equal keys dispatch in schedule order and every ticket predates the
+/// batch), invoking the policy after every dispatched event — exactly the
+/// network dispatcher's structure.
+fn drain_batched(
+    q: &mut EventQueue,
+    policy: &mut DispatchPolicy,
+    trace: &mut Vec<(u64, u64, usize)>,
+) {
+    let mut tickets: Vec<BatchTicket> = Vec::new();
+    loop {
+        tickets.clear();
+        let Some(time) = q.begin_batch(&mut tickets) else {
+            break;
+        };
+        let t = time.as_nanos();
+        let mut i = 0;
+        loop {
+            let ticket_seq = tickets.get(i).map(|tk| tk.seq());
+            let take_ticket = match (ticket_seq, q.rejoin_front_seq()) {
+                (Some(ts), Some(rs)) => ts <= rs,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let claimed = if take_ticket {
+                let tk = tickets[i];
+                i += 1;
+                q.claim(tk)
+            } else {
+                q.claim_rejoin()
+            };
+            if let Some((id, event)) = claimed {
+                trace.push((t, id.as_u64(), flow_of(&event)));
+                policy.on_dispatch(q);
+            }
+        }
+        q.end_batch();
+    }
+}
+
+/// Drain via plain pop_entry with the same policy: the reference order.
+fn drain_per_event(
+    q: &mut EventQueue,
+    policy: &mut DispatchPolicy,
+    trace: &mut Vec<(u64, u64, usize)>,
+) {
+    while let Some((time, id, event)) = q.pop_entry() {
+        trace.push((time.as_nanos(), id.as_u64(), flow_of(&event)));
+        policy.on_dispatch(q);
+    }
+}
+
+fn batch_differential_run(seed: u64, events: usize, budget: usize) {
+    let mut q_batch = EventQueue::new();
+    let mut q_pop = EventQueue::new();
+    seed_population(&mut q_batch, seed, events);
+    seed_population(&mut q_pop, seed, events);
+
+    let mut trace_batch = Vec::new();
+    let mut trace_pop = Vec::new();
+    drain_batched(
+        &mut q_batch,
+        &mut DispatchPolicy::new(seed, budget),
+        &mut trace_batch,
+    );
+    drain_per_event(
+        &mut q_pop,
+        &mut DispatchPolicy::new(seed, budget),
+        &mut trace_pop,
+    );
+
+    assert!(q_batch.is_empty() && q_pop.is_empty());
+    assert_eq!(
+        trace_batch.len(),
+        trace_pop.len(),
+        "dispatch counts diverged"
+    );
+    for (k, (a, b)) in trace_batch.iter().zip(&trace_pop).enumerate() {
+        assert_eq!(
+            a, b,
+            "dispatch {k} diverged: batched {a:?} vs per-event {b:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn batched_dispatch_matches_per_event_pop(seed in 0u64..u64::MAX) {
+        batch_differential_run(seed, 300, 200);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn batched_dispatch_matches_per_event_pop_long(seed in 0u64..u64::MAX) {
+        batch_differential_run(seed ^ 0xbadc_0ffe, 3_000, 2_000);
     }
 }
 

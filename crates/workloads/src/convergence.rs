@@ -32,7 +32,7 @@ pub fn fluid_instance(topo: &Topology, flows: &[(Route, UtilityRef)]) -> FluidNe
     for (route, utility) in flows {
         builder.add_flow_on(
             route
-                .links
+                .links()
                 .iter()
                 .map(|&l| (l, topo.links()[l].capacity_bps / 1e9)),
             utility.clone(),

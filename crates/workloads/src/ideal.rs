@@ -146,7 +146,7 @@ impl<'a> IdealFluidSimulator<'a> {
         for f in active {
             builder.add_flow_on(
                 f.route
-                    .links
+                    .links()
                     .iter()
                     .map(|&l| (l, self.topo.links()[l].capacity_bps / 1e9)),
                 f.utility.clone(),
@@ -167,7 +167,7 @@ impl<'a> IdealFluidSimulator<'a> {
 /// are normalized to the lowest possible FCT for each flow given its size").
 pub fn empty_network_fct(topo: &Topology, route: &Route, size_bytes: u64) -> SimDuration {
     let bottleneck_bps = route
-        .links
+        .links()
         .iter()
         .map(|&l| topo.links()[l].capacity_bps)
         .fold(f64::INFINITY, f64::min);
