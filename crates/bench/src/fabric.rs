@@ -274,10 +274,28 @@ pub(crate) fn partition_threads_from_options(opts: &ScenarioOptions) -> usize {
     threads
 }
 
+/// Parse `--load` (defaulting to `default`) and validate it is a finite
+/// fraction strictly inside `(0, 1)` — the shared contract of every
+/// load-driven scenario (fig5, dynamic, churn): the arrival-rate formula
+/// `λ = load·bps·hosts/(8·mean)` degenerates at 0 and diverges service
+/// time at ≥ 1. Out-of-range values exit 2 like every other usage error.
+pub(crate) fn parse_load_fraction(opts: &ScenarioOptions, default: f64) -> f64 {
+    let load: f64 = opts.parsed_or("--load", default);
+    if !load.is_finite() || load <= 0.0 || load >= 1.0 {
+        cli_error(format!(
+            "--load {load} must be a fraction strictly between 0 and 1"
+        ));
+    }
+    load
+}
+
 /// Parse `--impair` into an [`ImpairmentSchedule`] (empty when absent) and
 /// validate every referenced link against the built fabric. Malformed specs
 /// and out-of-range links exit 2 like every other usage error.
-fn impairments_from_options(opts: &ScenarioOptions, topo: &Topology) -> ImpairmentSchedule {
+pub(crate) fn impairments_from_options(
+    opts: &ScenarioOptions,
+    topo: &Topology,
+) -> ImpairmentSchedule {
     let Some(raw) = opts.value("--impair") else {
         if opts.flag("--impair") {
             cli_error("option --impair: missing value");
@@ -660,6 +678,16 @@ mod tests {
         };
         assert!((summary.aggregate_goodput_bps() - 1e9).abs() < 1.0);
         assert!(summary.all_completed());
+    }
+
+    #[test]
+    fn parse_load_fraction_accepts_fractions_and_uses_the_default() {
+        let opts = ScenarioOptions::new(vec!["--load".into(), "0.8".into()]);
+        assert_eq!(parse_load_fraction(&opts, 0.6), 0.8);
+        let absent = ScenarioOptions::new(vec![]);
+        assert_eq!(parse_load_fraction(&absent, 0.6), 0.6);
+        // Out-of-range values exit 2 through `cli_error`; that path is
+        // exercised end-to-end by the CLI test in tests/churn_cli.rs.
     }
 
     #[test]

@@ -114,6 +114,12 @@ pub fn registry() -> ScenarioRegistry {
         run: crate::recovery::recovery,
     });
     registry.register(ScenarioSpec {
+        name: "churn",
+        summary: "Open-loop Poisson churn with a fg/bg heavy-tail mix, streaming bounded stats on any fabric",
+        usage: "[--topology fat-tree:k=8|leaf-spine|oversub:4:1] [--protocol ...] [--load F] [--fg-share F] [--millis MS] [--drain-millis MS] [--impair SPEC] [--seed S] [--partitions N: per-partition event cores] [--partition-threads T: worker threads per epoch; both bit-identical for any value] [--json]",
+        run: crate::churn::churn,
+    });
+    registry.register(ScenarioSpec {
         name: "sweep",
         summary: "Parameter-sweep grid (scenarios x topologies x protocols x loads x sizes x impairments) on a thread pool",
         usage: "[--scenarios incast,shuffle,stride] [--topologies leaf-spine,fat-tree:k=4,oversub:4:1] [--protocols numfabric,dctcp,...] [--loads 0.5,...] [--sizes BYTES,...] [--impairments none,flap,loss,jitter] [--replicates N] [--seed S] [--threads N: worker threads, bit-identical report for any value] [--partitions N: per-partition event cores] [--partition-threads T: worker threads per epoch; both bit-identical for any value] [--json]",
@@ -342,7 +348,7 @@ pub fn fig4bc(_opts: &ScenarioOptions) {
 /// workloads.
 pub fn fig5(opts: &ScenarioOptions) {
     let workload = opts.value("--workload").unwrap_or("websearch").to_string();
-    let load: f64 = opts.parsed_or("--load", 0.6);
+    let load = crate::fabric::parse_load_fraction(opts, 0.6);
     let full = opts.full();
 
     let dist: Box<dyn FlowSizeDistribution> = match workload.as_str() {
@@ -1006,7 +1012,7 @@ pub fn semi_dynamic(opts: &ScenarioOptions) {
 /// Generic Poisson-arrival dynamic workload for one protocol (pick with
 /// `--protocol`, `--workload`, `--load`).
 pub fn dynamic(opts: &ScenarioOptions) {
-    let load: f64 = opts.parsed_or("--load", 0.6);
+    let load = crate::fabric::parse_load_fraction(opts, 0.6);
     let seed: u64 = opts.parsed_or("--seed", 21);
     let dist: Box<dyn FlowSizeDistribution> = match opts.value("--workload").unwrap_or("websearch")
     {
@@ -1063,6 +1069,7 @@ mod tests {
             "shuffle",
             "stride",
             "recovery",
+            "churn",
             "sweep",
             "bench",
             "semi-dynamic",

@@ -14,6 +14,9 @@
 //!   (Figures 4a, 4b/c and 6).
 //! * [`dynamic`] — Poisson-arrival workloads with Oracle and empty-network
 //!   references (Figures 5 and 7).
+//! * [`churn`] — the production-scale trace-driven churn driver: streaming
+//!   arrivals + flow-slab recycling + fixed-size per-class sketches keep
+//!   peak memory O(concurrent flows) over million-flow horizons.
 //! * [`fabric`] — the generalized-fabric scenario family (incast, shuffle,
 //!   stride) runnable on leaf-spine, oversubscribed and fat-tree fabrics,
 //!   with optional `--impair` failure/degradation schedules.
@@ -24,7 +27,9 @@
 //! * [`perf`] — the `bench` scenario: event-core throughput and end-to-end
 //!   scenario wall-clock, written to `BENCH_<rev>.json` for the perf
 //!   trajectory.
-//! * [`report`] — percentiles, CDFs, Fig. 5 bins and table printing.
+//! * [`report`] — percentiles, CDFs, Fig. 5 bins, table printing, and the
+//!   streaming bounded-stats layer: [`QuantileSketch`] (1 % relative-error
+//!   geometric buckets, exactly mergeable) and per-class accumulators.
 //! * [`sweep`] — the deterministic parallel sweep engine: a work-stealing
 //!   thread pool executes a `SweepSpec` grid (scenarios × topologies ×
 //!   protocols × loads × sizes × seeds) cell-by-cell and aggregates the
@@ -39,6 +44,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod churn;
 pub mod dynamic;
 pub mod fabric;
 pub mod figures;
@@ -49,6 +55,7 @@ pub mod report;
 pub mod semi_dynamic;
 pub mod sweep;
 
+pub use churn::{run_churn, run_churn_impaired, ChurnRun};
 pub use dynamic::{generate_arrivals, run_dynamic, DynamicFlowResult, DynamicRun, Objective};
 pub use fabric::{
     run_steady_state, run_steady_state_impaired, run_transfers, run_transfers_impaired,
@@ -58,6 +65,7 @@ pub use figures::registry;
 pub use perf::{bench_report_json, event_core_timing, Timing};
 pub use protocols::Protocol;
 pub use recovery::{run_recovery, RecoveryConfig, RecoveryResult};
+pub use report::{churn_report_json, ChurnSummary, ClassStats, QuantileSketch};
 pub use semi_dynamic::{rate_timeseries, run_semi_dynamic, SemiDynamicResult, SemiDynamicRun};
 pub use sweep::{
     execute_cells, execute_cells_partitioned, markdown_table, run_cell, run_cell_partitioned,

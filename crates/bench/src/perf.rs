@@ -7,10 +7,10 @@
 //!   events through a standalone timing wheel ([`numfabric_sim::EventQueue`])
 //!   and report events/second and nanoseconds/event. This isolates the
 //!   scheduler hot path from protocol work.
-//! * **End-to-end scenario wall-clock** — run the small incast and stride
-//!   scenarios exactly as `numfabric-run` would and report wall-clock
-//!   seconds plus simulated-events-per-wall-second. This is the number a
-//!   perf regression actually moves.
+//! * **End-to-end scenario wall-clock** — run the small incast, stride and
+//!   churn scenarios exactly as `numfabric-run` would and report wall-clock
+//!   seconds plus flows-per-wall-second. This is the number a perf
+//!   regression actually moves.
 //!
 //! The run always writes `BENCH_<rev>.json` (set `--rev` to a commit hash in
 //! CI; the default is `local`) so successive revisions accumulate comparable
@@ -157,6 +157,27 @@ pub fn stride_timing() -> (Timing, u64) {
     (timing, summary.rates_bps.len() as u64)
 }
 
+/// Time the small churn scenario end to end (streaming arrivals, flow-slab
+/// recycling, sketch accumulation). Units are offered flows, so
+/// [`Timing::per_second`] is the churn engine's flows-per-wall-second.
+/// Returns the timing plus the number of completed flows.
+pub fn churn_timing() -> (Timing, u64) {
+    let protocol = Protocol::NumFabric(NumFabricConfig::default());
+    let run = crate::churn::ChurnRun {
+        arrival_window: SimDuration::from_millis(8),
+        drain: SimDuration::from_millis(40),
+        ..crate::churn::ChurnRun::reduced(0.6, 1)
+    };
+    let started = Instant::now();
+    let summary = crate::churn::run_churn(&protocol, &run, 1, 1);
+    let timing = Timing {
+        name: "churn",
+        units: summary.offered,
+        seconds: started.elapsed().as_secs_f64(),
+    };
+    (timing, summary.completed)
+}
+
 /// Assemble the `BENCH_<rev>.json` document from measured timings.
 ///
 /// Split out from [`bench()`] so tests can pin the report shape with
@@ -207,6 +228,7 @@ pub fn bench_report_json(
                             ("flows", Json::Int(t.units)),
                             ("completed", Json::Int(*completed)),
                             ("wall_seconds", Json::Num(t.seconds)),
+                            ("flows_per_sec", Json::Num(t.per_second())),
                         ])
                     })
                     .collect(),
@@ -336,7 +358,7 @@ pub fn bench(opts: &ScenarioOptions) {
         .into_iter()
         .map(|(p, t)| (p, t, threaded_event_core_timing(p, t)))
         .collect();
-    let scenarios = vec![incast_timing(), stride_timing()];
+    let scenarios = vec![incast_timing(), stride_timing(), churn_timing()];
     let report = bench_report_json(&rev, &event_core, &threaded, &scenarios);
     let rendered = report.render();
 

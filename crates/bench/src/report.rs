@@ -98,6 +98,308 @@ pub fn fig5_bin(size_bdp: f64) -> Option<usize> {
         .position(|&(lo, hi)| size_bdp >= lo && size_bdp < hi)
 }
 
+/// A streaming quantile sketch with fixed memory and a guaranteed
+/// *relative value error* of [`QuantileSketch::RELATIVE_ERROR`] — the
+/// bounded-stats backbone of the churn scenario, where collecting a
+/// million FCTs into a `Vec` and sorting (as [`percentile`] does) would
+/// defeat the whole O(concurrent flows) memory budget.
+///
+/// The design is the classic geometric-bucket sketch: value `x` falls in
+/// bucket `⌈ln x / ln γ⌉` with `γ = (1 + α)/(1 − α)`, and a bucket is
+/// summarized by its midpoint-in-ratio `2γ^i/(γ + 1)`, so any estimate `e`
+/// of a recorded value `x` satisfies `|e − x| ≤ α·x` for values in
+/// `[1e-9, 1e12]` (seconds and slowdowns both live comfortably inside).
+/// Values below the tracked range land in a dedicated zero bucket and
+/// report as the sketch minimum; values above clamp to the top bucket.
+/// The bucket layout is a pure function of the constants, so [`merge`]
+/// (binwise sum) is exact: a merged sketch answers every quantile query
+/// identically to one sketch that saw all the samples.
+///
+/// Quantile queries use the same nearest-rank convention as
+/// [`percentile`] (`rank = round((n − 1)·q)`), so sketch-vs-exact
+/// comparisons differ only by the relative error bound, never by rank
+/// arithmetic.
+///
+/// [`merge`]: QuantileSketch::merge
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Geometric bucket counts, index 0 = bucket of `MIN_TRACKED`.
+    counts: Vec<u64>,
+    /// Samples below `MIN_TRACKED` (including exact zeros).
+    zero: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// The guaranteed relative value error `α` of every quantile estimate.
+    pub const RELATIVE_ERROR: f64 = 0.01;
+    /// Smallest tracked value; anything below lands in the zero bucket.
+    const MIN_TRACKED: f64 = 1e-9;
+    /// Largest tracked value; anything above clamps to the top bucket.
+    const MAX_TRACKED: f64 = 1e12;
+
+    fn gamma() -> f64 {
+        (1.0 + Self::RELATIVE_ERROR) / (1.0 - Self::RELATIVE_ERROR)
+    }
+
+    /// Bucket index of `MIN_TRACKED` in the unshifted `⌈ln x / ln γ⌉` map.
+    fn first_index() -> i64 {
+        (Self::MIN_TRACKED.ln() / Self::gamma().ln()).ceil() as i64
+    }
+
+    /// An empty sketch. Allocates the full fixed bucket range up front
+    /// (~2.4k buckets at α = 1 %, ≈19 KiB) — the footprint never grows.
+    pub fn new() -> Self {
+        let last = (Self::MAX_TRACKED.ln() / Self::gamma().ln()).ceil() as i64;
+        let buckets = (last - Self::first_index() + 1) as usize;
+        Self {
+            counts: vec![0; buckets],
+            zero: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample. Negative and non-finite values are ignored —
+    /// FCTs and slowdowns are nonnegative by construction, and a NaN must
+    /// not poison the aggregates.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() || x < 0.0 {
+            return;
+        }
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x < Self::MIN_TRACKED {
+            self.zero += 1;
+        } else {
+            let i = (x.ln() / Self::gamma().ln()).ceil() as i64 - Self::first_index();
+            let i = (i.max(0) as usize).min(self.counts.len() - 1);
+            self.counts[i] += 1;
+        }
+    }
+
+    /// Fold another sketch into this one. Bucket layouts are identical by
+    /// construction, so this is a binwise sum — the merged sketch is
+    /// indistinguishable from one that recorded both sample streams.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.zero += other.zero;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The q-quantile estimate (nearest rank, like [`percentile`]);
+    /// `None` when the sketch is empty. Estimates are clamped into
+    /// `[min, max]`, which tightens the extremes without weakening the
+    /// relative-error bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        // The extreme ranks are tracked exactly — answer them exactly.
+        if rank == 0 {
+            return Some(self.min);
+        }
+        if rank == self.count - 1 {
+            return Some(self.max);
+        }
+        if rank < self.zero {
+            return Some(self.min);
+        }
+        let gamma = Self::gamma();
+        let mut seen = self.zero;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                let idx = (i as i64 + Self::first_index()) as i32;
+                let estimate = 2.0 * gamma.powi(idx) / (gamma + 1.0);
+                return Some(estimate.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; `None` when empty. Exact (not sketched).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest recorded sample; `None` when empty. Exact.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample; `None` when empty. Exact.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fixed-size streaming accumulator for one traffic class of a churn run:
+/// exact scalar aggregates next to FCT and slowdown sketches. Footprint is
+/// O(1) per class no matter how many flows complete.
+#[derive(Debug, Clone)]
+pub struct ClassStats {
+    /// Class name as reported (`"fg"`, `"bg"`, ...).
+    pub name: &'static str,
+    /// Completed flows attributed to this class.
+    pub flows: u64,
+    /// Bytes carried by those flows.
+    pub bytes: u64,
+    /// Flow-completion-time sketch, in seconds.
+    pub fct: QuantileSketch,
+    /// Slowdown sketch: FCT over the empty-network FCT bound. Can dip
+    /// below 1 for tiny flows — the bound charges a full base RTT while
+    /// the measured FCT ends at last-byte *delivery*, one way.
+    pub slowdown: QuantileSketch,
+}
+
+impl ClassStats {
+    /// An empty accumulator for class `name`.
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            flows: 0,
+            bytes: 0,
+            fct: QuantileSketch::new(),
+            slowdown: QuantileSketch::new(),
+        }
+    }
+
+    /// Record one completed flow.
+    pub fn record(&mut self, size_bytes: u64, fct_seconds: f64, slowdown: f64) {
+        self.flows += 1;
+        self.bytes += size_bytes;
+        self.fct.record(fct_seconds);
+        self.slowdown.record(slowdown);
+    }
+}
+
+/// Everything a churn run reports: offered/completed totals, the flow-slab
+/// high-water marks, and the per-class accumulators. Deliberately carries
+/// no wall-clock measurement — the report must be a pure function of the
+/// configuration so the determinism matrix can compare raw bytes.
+#[derive(Debug, Clone)]
+pub struct ChurnSummary {
+    /// Flows offered by the arrival trace within the horizon.
+    pub offered: u64,
+    /// Flows that completed (drained flows included).
+    pub completed: u64,
+    /// Peak number of simultaneously live (non-retired) flows.
+    pub peak_concurrent: usize,
+    /// Flow slots ever allocated — the slab high-water mark.
+    pub flow_slots: usize,
+    /// Per-class accumulators, in mix order.
+    pub classes: Vec<ClassStats>,
+}
+
+impl ChurnSummary {
+    /// The sketch of all classes merged — overall FCT/slowdown quantiles.
+    pub fn overall(&self) -> (QuantileSketch, QuantileSketch) {
+        let mut fct = QuantileSketch::new();
+        let mut slowdown = QuantileSketch::new();
+        for class in &self.classes {
+            fct.merge(&class.fct);
+            slowdown.merge(&class.slowdown);
+        }
+        (fct, slowdown)
+    }
+
+    /// Total completed bytes across classes.
+    pub fn completed_bytes(&self) -> u64 {
+        self.classes.iter().map(|c| c.bytes).sum()
+    }
+}
+
+/// The structured report of a churn run. Contains only simulation-derived
+/// quantities (never wall-clock), so the rendered bytes are bit-identical
+/// across every `--partitions × --partition-threads` choice.
+pub fn churn_report_json(
+    topology: &str,
+    protocol: &str,
+    load: f64,
+    duration_millis: u64,
+    seed: u64,
+    summary: &ChurnSummary,
+) -> Json {
+    let (fct, slowdown) = summary.overall();
+    let horizon_secs = duration_millis as f64 / 1e3;
+    let quant = |s: &QuantileSketch, q: f64| s.quantile(q).map_or(Json::Null, Json::Num);
+    let classes = summary
+        .classes
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("name", Json::str(c.name)),
+                ("flows", Json::Int(c.flows)),
+                ("bytes", Json::Int(c.bytes)),
+                (
+                    "mean_fct_seconds",
+                    c.fct.mean().map_or(Json::Null, Json::Num),
+                ),
+                ("median_fct_seconds", quant(&c.fct, 0.5)),
+                ("p99_fct_seconds", quant(&c.fct, 0.99)),
+                ("median_slowdown", quant(&c.slowdown, 0.5)),
+                ("p99_slowdown", quant(&c.slowdown, 0.99)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("scenario", Json::str("churn")),
+        ("topology", Json::str(topology)),
+        ("protocol", Json::str(protocol)),
+        ("load", Json::Num(load)),
+        ("duration_millis", Json::Int(duration_millis)),
+        ("seed", Json::Int(seed)),
+        ("offered_flows", Json::Int(summary.offered)),
+        ("completed_flows", Json::Int(summary.completed)),
+        (
+            "peak_concurrent_flows",
+            Json::Int(summary.peak_concurrent as u64),
+        ),
+        ("flow_slots", Json::Int(summary.flow_slots as u64)),
+        ("median_fct_seconds", quant(&fct, 0.5)),
+        ("p99_fct_seconds", quant(&fct, 0.99)),
+        ("p999_fct_seconds", quant(&fct, 0.999)),
+        ("median_slowdown", quant(&slowdown, 0.5)),
+        ("p99_slowdown", quant(&slowdown, 0.99)),
+        (
+            "goodput_bps",
+            Json::Num(summary.completed_bytes() as f64 * 8.0 / horizon_secs),
+        ),
+        ("classes", Json::Arr(classes)),
+    ])
+}
+
 /// A JSON value, rendered by [`Json::render`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -687,6 +989,102 @@ mod tests {
         assert!(json.contains(r#""median_fct_seconds":null"#), "{json}");
         assert!(json.contains(r#""makespan_seconds":null"#), "{json}");
         assert!(!json.contains("NaN"), "{json}");
+    }
+
+    #[test]
+    fn sketch_tracks_quantiles_within_the_documented_bound() {
+        let mut sketch = QuantileSketch::new();
+        let values: Vec<f64> = (1..=10_000).map(|i| i as f64 * 1e-4).collect();
+        for &v in &values {
+            sketch.record(v);
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = percentile(&values, q).unwrap();
+            let est = sketch.quantile(q).unwrap();
+            assert!(
+                (est - exact).abs() <= QuantileSketch::RELATIVE_ERROR * exact + 1e-12,
+                "q={q}: est={est}, exact={exact}"
+            );
+        }
+        assert_eq!(sketch.count(), 10_000);
+        assert_eq!(sketch.min(), Some(1e-4));
+        assert_eq!(sketch.max(), Some(1.0));
+        assert!((sketch.mean().unwrap() - 0.50005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_sketch_answers_like_a_single_sketch() {
+        let mut single = QuantileSketch::new();
+        let mut left = QuantileSketch::new();
+        let mut right = QuantileSketch::new();
+        for i in 0..5_000 {
+            let v = (i as f64 * 0.7129).sin().abs() * 100.0 + 1e-3;
+            single.record(v);
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), single.count());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(left.quantile(q), single.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn sketch_handles_empty_zero_and_junk_inputs() {
+        let mut sketch = QuantileSketch::new();
+        assert_eq!(sketch.quantile(0.5), None);
+        assert_eq!(sketch.mean(), None);
+        sketch.record(f64::NAN);
+        sketch.record(f64::INFINITY);
+        sketch.record(-1.0);
+        assert_eq!(sketch.count(), 0, "junk must be ignored");
+        sketch.record(0.0);
+        sketch.record(1e-15);
+        sketch.record(2.0);
+        assert_eq!(sketch.count(), 3);
+        // Ranks 0 and 1 land in the zero bucket and report the exact min.
+        assert_eq!(sketch.quantile(0.0), Some(0.0));
+        assert_eq!(sketch.quantile(1.0), Some(2.0));
+    }
+
+    #[test]
+    fn churn_report_has_the_contract_fields_and_no_wall_clock() {
+        let mut fg = ClassStats::new("fg");
+        fg.record(10_000, 0.001, 1.5);
+        fg.record(20_000, 0.002, 2.0);
+        let mut bg = ClassStats::new("bg");
+        bg.record(1_000_000, 0.1, 4.0);
+        let summary = ChurnSummary {
+            offered: 4,
+            completed: 3,
+            peak_concurrent: 2,
+            flow_slots: 2,
+            classes: vec![fg, bg],
+        };
+        let json = churn_report_json("fat-tree k=8", "numfabric", 0.6, 200, 9, &summary).render();
+        for needle in [
+            r#""scenario":"churn""#,
+            r#""load":0.6"#,
+            r#""offered_flows":4"#,
+            r#""completed_flows":3"#,
+            r#""peak_concurrent_flows":2"#,
+            r#""flow_slots":2"#,
+            r#""median_fct_seconds""#,
+            r#""p99_slowdown""#,
+            r#""name":"fg""#,
+            r#""name":"bg""#,
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        for forbidden in ["wall", "elapsed", "walltime"] {
+            assert!(!json.contains(forbidden), "wall-clock leaked into {json}");
+        }
+        // The report parses back with the shared parser.
+        assert!(ParsedJson::parse(&json).is_ok());
     }
 
     #[test]

@@ -18,12 +18,13 @@
 //! skewed (a 240-flow shuffle next to an 8-flow incast), which is the
 //! common shape of these grids.
 
+use crate::churn::{run_churn_impaired, ChurnRun};
 use crate::fabric::{
     run_steady_state_impaired, run_transfers_impaired, transfer_deadline, worst_oversubscription,
     SteadyStateSummary, TransferSummary,
 };
 use crate::protocols::Protocol;
-use crate::report::{mean, percentile, Json};
+use crate::report::{mean, percentile, ChurnSummary, Json};
 use numfabric_sim::SimDuration;
 use numfabric_workloads::registry::ScenarioOptions;
 use numfabric_workloads::scenarios::{incast_pairs, shuffle_pairs, stride_pairs};
@@ -36,6 +37,12 @@ use std::time::Instant;
 /// How long each steady-state (stride) cell runs. Long enough for every
 /// protocol to settle, short enough that a grid of them stays interactive.
 const STEADY_STATE_RUN: SimDuration = SimDuration::from_millis(4);
+
+/// The arrival window of a churn cell, and the drain that follows it.
+/// Short enough to keep a grid of churn cells interactive; a full-scale
+/// churn run goes through `numfabric-run churn --millis ...` instead.
+const CHURN_WINDOW: SimDuration = SimDuration::from_millis(8);
+const CHURN_DRAIN: SimDuration = SimDuration::from_millis(40);
 
 /// The measured outcome of one sweep cell: the cell identity plus the
 /// metrics of its scenario family (FCT statistics for finite transfers,
@@ -75,6 +82,20 @@ impl CellResult {
         }
     }
 
+    fn from_churn(cell: SweepCell, summary: &ChurnSummary) -> Self {
+        let (fct, _) = summary.overall();
+        Self {
+            flows: summary.offered as usize,
+            completed: Some(summary.completed as usize),
+            median_fct_seconds: fct.quantile(0.5),
+            p99_fct_seconds: fct.quantile(0.99),
+            goodput_bps: Some(summary.completed_bytes() as f64 * 8.0 / CHURN_WINDOW.as_secs_f64()),
+            steady_state_error: None,
+            fraction_within_10pct: None,
+            cell,
+        }
+    }
+
     fn from_steady_state(cell: SweepCell, summary: &SteadyStateSummary) -> Self {
         let rel_errors: Vec<f64> = summary
             .rates_bps
@@ -102,9 +123,12 @@ impl CellResult {
 /// fans in `load · (hosts − 1)` senders, a shuffle cell spans `load ·
 /// hosts` participants. Stride cells run the full `hosts/2` permutation as
 /// long-lived flows for a fixed window and ignore the load and size axes
-/// (documented on [`SweepScenario`]). The impairment axis expands its named
-/// profile into a schedule on the cell's own fabric, seeded and windowed by
-/// the cell, before the simulation starts.
+/// (documented on [`SweepScenario`]). Churn cells run the open-loop Poisson
+/// mix at the load axis over a fixed arrival window and ignore the size
+/// axis — sizes come from the mix's heavy-tail distributions. The
+/// impairment axis expands its named profile into a schedule on the cell's
+/// own fabric, seeded and windowed by the cell, before the simulation
+/// starts.
 ///
 /// Errors only on an unknown protocol name — everything else about a cell
 /// is valid by construction of [`SweepSpec::expand`].
@@ -186,6 +210,20 @@ pub fn run_cell_partitioned(
                 partition_threads,
             );
             CellResult::from_steady_state(cell.clone(), &summary)
+        }
+        SweepScenario::Churn => {
+            let run = ChurnRun {
+                topology: cell.topology,
+                load: cell.load,
+                fg_share: 0.25,
+                arrival_window: CHURN_WINDOW,
+                drain: CHURN_DRAIN,
+                seed: cell.seed,
+            };
+            let impairments = cell.impairment.schedule(&topo, cell.seed, CHURN_WINDOW);
+            let summary =
+                run_churn_impaired(&protocol, &run, &impairments, partitions, partition_threads);
+            CellResult::from_churn(cell.clone(), &summary)
         }
     })
 }
@@ -434,6 +472,9 @@ pub fn markdown_table(results: &[CellResult]) -> String {
     for r in results {
         let c = &r.cell;
         let is_stride = c.scenario == SweepScenario::Stride;
+        // Churn ignores the size axis too: its sizes come from the mix's
+        // heavy-tail distributions, not the grid.
+        let sizeless = is_stride || c.scenario == SweepScenario::Churn;
         let _ = writeln!(
             out,
             "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
@@ -446,7 +487,7 @@ pub fn markdown_table(results: &[CellResult]) -> String {
             } else {
                 format!("{:.2}", c.load)
             },
-            if is_stride {
+            if sizeless {
                 dash()
             } else if c.size_bytes.is_multiple_of(1000) {
                 format!("{} kB", c.size_bytes / 1000)

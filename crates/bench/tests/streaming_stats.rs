@@ -1,0 +1,177 @@
+//! Property tests pinning [`QuantileSketch`] against the exact
+//! [`report::percentile`] it replaces in the streaming churn path.
+//!
+//! The sketch documents a relative value error of
+//! `QuantileSketch::RELATIVE_ERROR` (α = 1 %): for any quantile `q` of any
+//! nonnegative sample, the estimate `e` and the exact nearest-rank answer
+//! `x` satisfy `|e − x| ≤ α·x` (plus a hair of floating-point slack).
+//! These properties drive that bound across the distributions the churn
+//! engine actually produces — uniform, bimodal fg/bg mixes, Pareto-like
+//! heavy tails — and the adversarial already-sorted / reverse-sorted
+//! orderings, then pin the merge law: folding per-partition sketches
+//! together must answer exactly like one sketch that saw every sample.
+
+use numfabric_bench::report::{self, QuantileSketch};
+use proptest::prelude::*;
+
+/// Slack on top of the documented bound for float accumulation.
+const EPS: f64 = 1e-9;
+
+/// Quantiles every property checks, covering extremes and the ranks the
+/// churn report actually emits (p50, p99, p99.9).
+const PROBES: [f64; 7] = [0.0, 0.01, 0.25, 0.5, 0.99, 0.999, 1.0];
+
+/// Assert the sketch answer for every probe quantile is within the
+/// documented relative error of the exact nearest-rank percentile.
+fn assert_within_bound(values: &[f64], sketch: &QuantileSketch) {
+    assert_eq!(sketch.count(), values.len() as u64);
+    for q in PROBES {
+        let exact = report::percentile(values, q).expect("non-empty sample");
+        let got = sketch.quantile(q).expect("non-empty sketch");
+        let tolerance = QuantileSketch::RELATIVE_ERROR * exact.abs() + EPS;
+        assert!(
+            (got - exact).abs() <= tolerance,
+            "q={q}: sketch {got} vs exact {exact} (n={}, tolerance {tolerance})",
+            values.len()
+        );
+    }
+}
+
+/// Build a sketch over `values` and check it against the exact answers.
+fn check(values: &[f64]) {
+    let mut sketch = QuantileSketch::new();
+    for &v in values {
+        sketch.record(v);
+    }
+    assert_within_bound(values, &sketch);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Uniform samples over a span whose width and offset vary per case.
+    #[test]
+    fn uniform_samples_stay_within_the_documented_bound(
+        n in 1usize..4000,
+        lo in 1e-6f64..1.0,
+        span in 1e-6f64..1e4,
+    ) {
+        let mut rng = TestRng::for_case("uniform_values", n as u32);
+        let values: Vec<f64> = (0..n).map(|_| lo + span * rng.unit_f64()).collect();
+        check(&values);
+    }
+
+    /// Bimodal mixture: a tight cluster of small values (foreground-like
+    /// FCTs) plus a far-away cluster (background-like), like the churn
+    /// fg/bg class mix. Quantiles near the mode boundary are the stress
+    /// case for bucketed sketches.
+    #[test]
+    fn bimodal_mixtures_stay_within_the_documented_bound(
+        n in 2usize..3000,
+        split in 0.05f64..0.95,
+        gap in 10.0f64..1e6,
+    ) {
+        let mut rng = TestRng::for_case("bimodal_values", n as u32);
+        let values: Vec<f64> = (0..n)
+            .map(|_| {
+                let base = 1e-4 * (1.0 + rng.unit_f64());
+                if rng.unit_f64() < split { base } else { base * gap }
+            })
+            .collect();
+        check(&values);
+    }
+
+    /// Pareto-like heavy tail `scale / u^(1/α)` — the web-search /
+    /// data-mining flow-size shape. Tail quantiles span many orders of
+    /// magnitude, exercising the geometric bucket ladder end to end.
+    #[test]
+    fn heavy_tail_samples_stay_within_the_documented_bound(
+        n in 1usize..3000,
+        alpha in 1.05f64..2.5,
+        scale in 1e-5f64..10.0,
+    ) {
+        let mut rng = TestRng::for_case("heavy_tail_values", n as u32);
+        let values: Vec<f64> = (0..n)
+            .map(|_| {
+                let u = (1.0 - rng.unit_f64()).max(1e-12);
+                // Cap inside the sketch's tracked range — the documented
+                // bound only covers [1e-9, 1e12].
+                (scale / u.powf(1.0 / alpha)).min(1e11)
+            })
+            .collect();
+        check(&values);
+    }
+
+    /// Adversarial orderings: the sketch must be order-insensitive, so
+    /// feeding an already-sorted or reverse-sorted stream answers exactly
+    /// like the shuffled original.
+    #[test]
+    fn sorted_and_reversed_inputs_answer_like_the_original_order(
+        n in 1usize..2000,
+        spread in 1.0f64..1e5,
+    ) {
+        let mut rng = TestRng::for_case("ordering_values", n as u32);
+        let values: Vec<f64> = (0..n).map(|_| 1e-3 + spread * rng.unit_f64()).collect();
+
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let mut reversed = sorted.clone();
+        reversed.reverse();
+
+        check(&sorted);
+        check(&reversed);
+
+        let feed = |vs: &[f64]| {
+            let mut s = QuantileSketch::new();
+            for &v in vs {
+                s.record(v);
+            }
+            s
+        };
+        let original = feed(&values);
+        let asc = feed(&sorted);
+        let desc = feed(&reversed);
+        for q in PROBES {
+            prop_assert_eq!(original.quantile(q), asc.quantile(q), "q={}", q);
+            prop_assert_eq!(original.quantile(q), desc.quantile(q), "q={}", q);
+        }
+    }
+
+    /// Merge law: splitting a stream across any number of per-partition
+    /// sketches and folding them back must be indistinguishable from one
+    /// sketch that recorded everything — for every probe quantile AND the
+    /// exact aggregates (count/sum/min/max).
+    #[test]
+    fn merged_sketches_answer_exactly_like_a_single_sketch(
+        n in 1usize..3000,
+        parts in 1usize..8,
+        spread in 1e-3f64..1e6,
+    ) {
+        let mut rng = TestRng::for_case("merge_values", n as u32);
+        let values: Vec<f64> = (0..n).map(|_| 1e-6 + spread * rng.unit_f64()).collect();
+
+        let mut single = QuantileSketch::new();
+        for &v in &values {
+            single.record(v);
+        }
+
+        let mut shards: Vec<QuantileSketch> =
+            (0..parts).map(|_| QuantileSketch::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % parts].record(v);
+        }
+        let mut merged = QuantileSketch::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+        prop_assert!((merged.sum() - single.sum()).abs() <= 1e-6 * single.sum().abs() + EPS);
+        for q in PROBES {
+            prop_assert_eq!(merged.quantile(q), single.quantile(q), "q={}", q);
+        }
+        assert_within_bound(&values, &merged);
+    }
+}

@@ -288,6 +288,14 @@ struct PartitionCore {
     /// Per-flow drop counts charged by *this* partition (a flow's packets
     /// can be dropped far from its endpoints; report totals sum cores).
     flow_drops: Vec<u64>,
+    /// Per-flow in-flight packet *delta* charged by this partition:
+    /// incremented where a packet is created (data send, ACK reflection),
+    /// decremented where one leaves the network (endpoint delivery or any
+    /// drop site). A flow's true in-flight count is the sum over cores —
+    /// zero means no packet of the flow exists anywhere, the quiescence
+    /// condition [`Network::try_retire_flow`] requires before recycling
+    /// the flow's slot.
+    flow_packets: Vec<i64>,
     /// Per-link drop counts charged by this partition for links it does
     /// *not* own (in-flight packets lost at a downed link's head end).
     link_drops: Vec<u64>,
@@ -327,6 +335,7 @@ impl PartitionCore {
             senders: Vec::new(),
             receivers: Vec::new(),
             flow_drops: Vec::new(),
+            flow_packets: Vec::new(),
             link_drops: vec![0; num_links],
             inbox: Vec::new(),
             inbox_releases: Vec::new(),
@@ -535,6 +544,7 @@ fn handle_arrival_run(
         if !up {
             core.link_drops[link] += 1;
             core.flow_drops[packet.flow] += 1;
+            core.flow_packets[packet.flow] -= 1;
             continue;
         }
         packet.advance_hop();
@@ -654,6 +664,7 @@ fn enqueue_on_link(shared: &Shared, core: &mut PartitionCore, link: LinkId, mut 
             .stats
             .packets_dropped += 1;
         core.flow_drops[packet.flow] += 1;
+        core.flow_packets[packet.flow] -= 1;
         return;
     }
     {
@@ -666,6 +677,7 @@ fn enqueue_on_link(shared: &Shared, core: &mut PartitionCore, link: LinkId, mut 
             if let Some(dropped) = outcome.dropped() {
                 ls.stats.packets_dropped += 1;
                 core.flow_drops[dropped.flow] += 1;
+                core.flow_packets[dropped.flow] -= 1;
             }
         } else {
             // ACKs and SYNs ride the strict-priority control lane: they
@@ -730,6 +742,7 @@ fn try_transmit(shared: &Shared, core: &mut PartitionCore, link: LinkId) {
             .stats
             .packets_dropped += 1;
         core.flow_drops[packet.flow] += 1;
+        core.flow_packets[packet.flow] -= 1;
     } else {
         let at = now + tx_time + shared.topo.links()[link].delay + jitter;
         let seq = arrival_key(link, &packet);
@@ -756,6 +769,7 @@ fn handle_arrival(shared: &Shared, core: &mut PartitionCore, link: LinkId, mut p
     if !shared.link_health[link].up {
         core.link_drops[link] += 1;
         core.flow_drops[packet.flow] += 1;
+        core.flow_packets[packet.flow] -= 1;
         return;
     }
     packet.advance_hop();
@@ -774,6 +788,8 @@ fn handle_arrival(shared: &Shared, core: &mut PartitionCore, link: LinkId, mut p
 /// completion, and reflect an ACK echoing the data packet's feedback
 /// fields. SYNs are delivered silently (no payload, no ACK).
 fn receiver_deliver(shared: &Shared, core: &mut PartitionCore, packet: Packet) {
+    // The packet (data or SYN) is consumed at the end host.
+    core.flow_packets[packet.flow] -= 1;
     if !packet.is_data() {
         return;
     }
@@ -811,6 +827,7 @@ fn receiver_deliver(shared: &Shared, core: &mut PartitionCore, packet: Packet) {
     ack.header.reflected_rcp_feedback = packet.header.rcp_feedback;
     ack.header.ecn_echo = packet.header.ecn_marked;
     ack.header.inter_packet_time = inter;
+    core.flow_packets[flow] += 1;
     let first = shared.routes.links(reverse)[0];
     enqueue_on_link(shared, core, first, ack);
 }
@@ -819,6 +836,7 @@ fn receiver_deliver(shared: &Shared, core: &mut PartitionCore, packet: Packet) {
 /// detect sender-side completion, and otherwise hand the ACK to the agent.
 fn sender_ack(shared: &Shared, core: &mut PartitionCore, packet: Packet) {
     let flow = packet.flow;
+    core.flow_packets[flow] -= 1;
     let completed_now = {
         let sender = core.senders[flow].as_mut().expect("sender on source core");
         sender.bytes_acked = sender.bytes_acked.max(packet.header.ack_bytes);
@@ -900,6 +918,11 @@ pub struct Network {
     sync_events: u64,
     trace_enabled: bool,
     batch_dispatch: bool,
+    /// Flow ids whose slots were retired by [`Network::try_retire_flow`]
+    /// and are free for reuse by the next [`Network::add_flow`]. LIFO, so
+    /// churn workloads keep re-touching the same hot slots and the slab's
+    /// high-water mark tracks *concurrent* flows, not total flows.
+    free_flows: Vec<FlowId>,
 }
 
 /// Configuration knobs of the engine itself (not of any protocol).
@@ -963,6 +986,7 @@ impl Network {
             sync_events: 0,
             trace_enabled: false,
             batch_dispatch: true,
+            free_flows: Vec::new(),
         }
     }
 
@@ -1173,12 +1197,26 @@ impl Network {
             group,
             ecmp_choice: None,
         };
-        let id = self.shared.specs.len();
         let start = spec.start_time;
         let txp = self.shared.node_part[src];
         let rxp = self.shared.node_part[dst];
         let ack_mode = agent.ack_mode();
-        self.shared.specs.push(spec);
+        // Recycle a retired slot when one is free (the flow slab): churn
+        // workloads then keep live memory proportional to *concurrent*
+        // flows. A recycled id's previous occupant was fully quiescent
+        // (no packets, timers or events anywhere — see `try_retire_flow`),
+        // so reusing its content-derived event keys is safe.
+        let (id, reused) = match self.free_flows.pop() {
+            Some(id) => {
+                self.shared.specs[id] = spec;
+                (id, true)
+            }
+            None => {
+                let id = self.shared.specs.len();
+                self.shared.specs.push(spec);
+                (id, false)
+            }
+        };
         let mut sender = Some(SenderState {
             agent: Some(agent),
             phase: FlowPhase::Pending,
@@ -1200,12 +1238,21 @@ impl Network {
         // lives only where it is owned, but the flow id must index into
         // all of them.
         for (p, core) in self.parts.iter_mut().enumerate() {
-            core.senders
-                .push(if p == txp { sender.take() } else { None });
-            core.receivers
-                .push(if p == rxp { receiver.take() } else { None });
-            core.flow_drops.push(0);
-            core.timers.register_flow();
+            let tx = if p == txp { sender.take() } else { None };
+            let rx = if p == rxp { receiver.take() } else { None };
+            if reused {
+                debug_assert!(core.senders[id].is_none() && core.receivers[id].is_none());
+                core.senders[id] = tx;
+                core.receivers[id] = rx;
+                core.flow_drops[id] = 0;
+                core.flow_packets[id] = 0;
+            } else {
+                core.senders.push(tx);
+                core.receivers.push(rx);
+                core.flow_drops.push(0);
+                core.flow_packets.push(0);
+                core.timers.register_flow();
+            }
         }
         self.parts[txp].events.schedule_seeded(
             start,
@@ -1223,6 +1270,86 @@ impl Network {
             Event::FlowStop { flow },
             event_key(KIND_FLOW_STOP, flow as u64, 0),
         );
+    }
+
+    // ---- the flow slab ----------------------------------------------------
+
+    /// Retire a finished flow and recycle its id, if the flow is fully
+    /// quiescent. Returns `true` when the slot was reclaimed.
+    ///
+    /// Quiescence requires all of:
+    ///
+    /// * the flow is [`FlowPhase::Completed`] or [`FlowPhase::Stopped`];
+    /// * it has no armed timers (stop/completion cancels them structurally);
+    /// * no packet of the flow is in flight anywhere — queued, on the wire,
+    ///   or buffered as a boundary message. A trailing ACK still propagating
+    ///   back to the sender keeps the flow alive until it is consumed, which
+    ///   is what makes recycling safe: a recycled id can never be touched by
+    ///   a stray packet of its previous occupant.
+    ///
+    /// Call this between runs (it takes `&mut self`, so it cannot race an
+    /// epoch). Because every event up to the current time has been processed
+    /// identically for any `--partitions × --partition-threads`, the retire
+    /// decision — and therefore the id-reuse sequence — is partition- and
+    /// thread-invariant. Retiring an already-retired flow returns `false`.
+    ///
+    /// Statistics of a retired flow are gone; harvest [`Self::flow_stats`]
+    /// first. [`Self::num_flows`] counts slots (the slab high-water mark),
+    /// not flows ever added.
+    pub fn try_retire_flow(&mut self, flow: FlowId) -> bool {
+        let txp = self.shared.node_part[self.shared.specs[flow].src];
+        let rxp = self.shared.node_part[self.shared.specs[flow].dst];
+        let Some(sender) = self.parts[txp].senders[flow].as_ref() else {
+            return false; // already retired
+        };
+        let completed = self.parts[rxp].receivers[flow]
+            .as_ref()
+            .expect("receiver on destination core")
+            .completed_at
+            .is_some();
+        let phase = if completed {
+            FlowPhase::Completed
+        } else {
+            sender.phase
+        };
+        if !matches!(phase, FlowPhase::Completed | FlowPhase::Stopped) {
+            return false;
+        }
+        if self.parts[txp].timers.pending_count(flow) != 0 {
+            return false;
+        }
+        let in_flight: i64 = self.parts.iter().map(|c| c.flow_packets[flow]).sum();
+        debug_assert!(in_flight >= 0, "in-flight packet count went negative");
+        if in_flight != 0 {
+            return false;
+        }
+        for core in &mut self.parts {
+            core.senders[flow] = None;
+            core.receivers[flow] = None;
+            core.flow_drops[flow] = 0;
+            core.flow_packets[flow] = 0;
+            core.timers.reset_flow(flow);
+        }
+        self.free_flows.push(flow);
+        true
+    }
+
+    /// Whether `flow`'s slot has been retired (and possibly not yet reused).
+    /// The per-flow statistics accessors panic on a retired id.
+    pub fn flow_is_retired(&self, flow: FlowId) -> bool {
+        let txp = self.shared.node_part[self.shared.specs[flow].src];
+        self.parts[txp].senders[flow].is_none()
+    }
+
+    /// Number of retired flow slots currently free for reuse.
+    pub fn free_flow_slots(&self) -> usize {
+        self.free_flows.len()
+    }
+
+    /// Packets of `flow` currently in the network (queued, serializing, on
+    /// the wire, or buffered at a partition boundary), summed over cores.
+    pub fn flow_in_flight_packets(&self, flow: FlowId) -> i64 {
+        self.parts.iter().map(|c| c.flow_packets[flow]).sum()
     }
 
     // ---- impairments ------------------------------------------------------
@@ -1362,6 +1489,7 @@ impl Network {
         }
         for flow in dropped_flows {
             core.flow_drops[flow] += 1;
+            core.flow_packets[flow] -= 1;
         }
     }
 
@@ -1400,7 +1528,10 @@ impl Network {
         }
         let mut rerouted: Vec<(FlowId, bool)> = Vec::new();
         for flow in 0..self.shared.specs.len() {
-            let phase = self.flow_phase(flow);
+            // Retired slots (and slots awaiting reuse) have no endpoints.
+            let Some(phase) = self.flow_phase_opt(flow) else {
+                continue;
+            };
             if !matches!(phase, FlowPhase::Pending | FlowPhase::Active) {
                 continue;
             }
@@ -1711,7 +1842,9 @@ impl Network {
 
     // ---- statistics -------------------------------------------------------
 
-    /// Number of flows added so far.
+    /// Number of flow *slots* allocated so far — the slab's high-water mark
+    /// of concurrently live flows, not the count of flows ever added
+    /// (retired slots are recycled by [`Self::add_flow`]).
     pub fn num_flows(&self) -> usize {
         self.shared.specs.len()
     }
@@ -1754,6 +1887,7 @@ impl Network {
 
     /// A flow's lifecycle phase: completed once the receiver has taken
     /// delivery of the full size, otherwise whatever the sender says.
+    /// Panics on a retired flow id (see [`Self::try_retire_flow`]).
     pub fn flow_phase(&self, flow: FlowId) -> FlowPhase {
         if self.receiver(flow).completed_at.is_some() {
             FlowPhase::Completed
@@ -1762,15 +1896,33 @@ impl Network {
         }
     }
 
+    /// [`Self::flow_phase`], returning `None` for a retired flow slot.
+    fn flow_phase_opt(&self, flow: FlowId) -> Option<FlowPhase> {
+        let txp = self.shared.node_part[self.shared.specs[flow].src];
+        let sender = self.parts[txp].senders[flow].as_ref()?;
+        let rxp = self.shared.node_part[self.shared.specs[flow].dst];
+        let completed = self.parts[rxp].receivers[flow]
+            .as_ref()
+            .expect("receiver on destination core")
+            .completed_at
+            .is_some();
+        Some(if completed {
+            FlowPhase::Completed
+        } else {
+            sender.phase
+        })
+    }
+
     /// The destination-side EWMA rate estimate for a flow, in bits/s.
     pub fn flow_rate_estimate(&self, flow: FlowId) -> f64 {
         self.receiver(flow).tracer.rate_bps(self.clock)
     }
 
-    /// Ids of flows currently in the [`FlowPhase::Active`] phase.
+    /// Ids of flows currently in the [`FlowPhase::Active`] phase (retired
+    /// slots are skipped).
     pub fn active_flows(&self) -> Vec<FlowId> {
         (0..self.shared.specs.len())
-            .filter(|&f| self.flow_phase(f) == FlowPhase::Active)
+            .filter(|&f| self.flow_phase_opt(f) == Some(FlowPhase::Active))
             .collect()
     }
 
@@ -2070,6 +2222,7 @@ impl AgentCtx<'_> {
             sender.bytes_sent += payload_bytes as u64;
             sender.packets_sent += 1;
         }
+        self.core.flow_packets[self.flow] += 1;
         let first = self.shared.routes.links(route)[0];
         enqueue_on_link(self.shared, self.core, first, packet);
         wire

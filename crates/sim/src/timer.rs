@@ -66,6 +66,17 @@ impl TimerService {
         self.pending.push(Vec::new());
     }
 
+    /// Reset a flow's bookkeeping for slot reuse (the network engine calls
+    /// this when retiring a flow into the free list; a retiring flow has no
+    /// armed timers left, so this only releases the slot's scratch).
+    pub fn reset_flow(&mut self, flow: FlowId) {
+        debug_assert!(
+            self.pending[flow].is_empty(),
+            "retiring a flow with armed timers"
+        );
+        self.pending[flow].clear();
+    }
+
     /// Arm a timer: after `delay`, `flow`'s agent receives
     /// [`crate::transport::FlowAgent::on_timer`] with `tag` — unless the
     /// handle is cancelled first.

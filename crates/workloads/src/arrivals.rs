@@ -56,49 +56,87 @@ impl PoissonWorkloadConfig {
     }
 }
 
-/// Generate Poisson arrivals between random host pairs.
+/// A streaming generator of Poisson arrivals between random host pairs —
+/// the open-loop workload as an [`Iterator`], so million-flow horizons
+/// never materialize an arrival vector. [`poisson_arrivals`] is this
+/// stream collected; the draw order is identical, so the two are
+/// bit-for-bit interchangeable for any seed.
 ///
 /// Each arrival picks a uniformly random source and a distinct uniformly
 /// random destination (the all-to-all traffic model used by the paper's
-/// dynamic experiments). The aggregate arrival rate is chosen so the expected
-/// offered load on the host links equals `config.load`:
+/// dynamic experiments). The aggregate arrival rate is chosen so the
+/// expected offered load on the host links equals `config.load`:
 ///
 /// `λ = load · host_link_bps · num_hosts / (8 · mean_flow_size)`.
+pub struct ArrivalStream<'a> {
+    hosts: &'a [NodeId],
+    dist: &'a dyn FlowSizeDistribution,
+    rng: ChaCha8Rng,
+    lambda_per_sec: f64,
+    /// Running arrival clock in seconds.
+    t: f64,
+    horizon: f64,
+    num_spines: usize,
+}
+
+impl<'a> ArrivalStream<'a> {
+    /// A stream drawing sizes from `dist` over `hosts`, configured (load,
+    /// horizon, seed, spines) by `config`.
+    pub fn new(
+        hosts: &'a [NodeId],
+        dist: &'a dyn FlowSizeDistribution,
+        config: &PoissonWorkloadConfig,
+    ) -> Self {
+        assert!(hosts.len() >= 2, "need at least two hosts");
+        let lambda_per_sec =
+            config.load * config.host_link_bps * hosts.len() as f64 / (8.0 * dist.mean_bytes());
+        Self {
+            hosts,
+            dist,
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            lambda_per_sec,
+            t: 0.0,
+            horizon: config.duration.as_secs_f64(),
+            num_spines: config.num_spines,
+        }
+    }
+}
+
+impl Iterator for ArrivalStream<'_> {
+    type Item = FlowArrival;
+
+    fn next(&mut self) -> Option<FlowArrival> {
+        // Exponential inter-arrival times.
+        let u: f64 = self.rng.gen_range(1e-12..1.0);
+        self.t += -u.ln() / self.lambda_per_sec;
+        if self.t >= self.horizon {
+            return None;
+        }
+        let src = *self.hosts.choose(&mut self.rng).expect("non-empty");
+        let dst = loop {
+            let d = *self.hosts.choose(&mut self.rng).expect("non-empty");
+            if d != src {
+                break d;
+            }
+        };
+        Some(FlowArrival {
+            start: SimTime::from_secs_f64(self.t),
+            src,
+            dst,
+            size_bytes: self.dist.sample(&mut self.rng).max(1),
+            spine_choice: self.rng.gen_range(0..self.num_spines.max(1)),
+        })
+    }
+}
+
+/// Generate Poisson arrivals between random host pairs (see
+/// [`ArrivalStream`], which this collects).
 pub fn poisson_arrivals(
     hosts: &[NodeId],
     dist: &dyn FlowSizeDistribution,
     config: &PoissonWorkloadConfig,
 ) -> Vec<FlowArrival> {
-    assert!(hosts.len() >= 2, "need at least two hosts");
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let lambda_per_sec =
-        config.load * config.host_link_bps * hosts.len() as f64 / (8.0 * dist.mean_bytes());
-    let mut arrivals = Vec::new();
-    let mut t = 0.0_f64;
-    let horizon = config.duration.as_secs_f64();
-    loop {
-        // Exponential inter-arrival times.
-        let u: f64 = rng.gen_range(1e-12..1.0);
-        t += -u.ln() / lambda_per_sec;
-        if t >= horizon {
-            break;
-        }
-        let src = *hosts.choose(&mut rng).expect("non-empty");
-        let dst = loop {
-            let d = *hosts.choose(&mut rng).expect("non-empty");
-            if d != src {
-                break d;
-            }
-        };
-        arrivals.push(FlowArrival {
-            start: SimTime::from_secs_f64(t),
-            src,
-            dst,
-            size_bytes: dist.sample(&mut rng).max(1),
-            spine_choice: rng.gen_range(0..config.num_spines.max(1)),
-        });
-    }
-    arrivals
+    ArrivalStream::new(hosts, dist, config).collect()
 }
 
 #[cfg(test)]

@@ -100,6 +100,27 @@ impl EmpiricalCdf {
         )
     }
 
+    /// The data-mining cluster distribution (synthetic fit to the published
+    /// shape used alongside web search in datacenter transport evaluations:
+    /// ~80 % of flows under 10 KB — most a single packet — while >95 % of
+    /// the bytes ride in the >10 MB elephants, maximum ≈ 1 GB). The extreme
+    /// small-flow count makes it the stress case for open-loop churn.
+    pub fn data_mining() -> Self {
+        Self::new(
+            vec![
+                (1_460.0, 0.50),
+                (2_920.0, 0.60),
+                (10_000.0, 0.80),
+                (100_000.0, 0.85),
+                (1_000_000.0, 0.90),
+                (10_000_000.0, 0.95),
+                (100_000_000.0, 0.98),
+                (1_000_000_000.0, 1.0),
+            ],
+            "datamining",
+        )
+    }
+
     /// Inverse-CDF lookup: the size at cumulative probability `p ∈ [0, 1]`.
     pub fn quantile(&self, p: f64) -> f64 {
         let p = p.clamp(0.0, 1.0);
@@ -276,6 +297,28 @@ mod tests {
                 dist.name()
             );
         }
+    }
+
+    #[test]
+    fn data_mining_is_tiny_flows_with_elephant_bytes() {
+        let dist = EmpiricalCdf::data_mining();
+        let samples = sample_many(&dist, 50_000, 9);
+        let below_10k =
+            samples.iter().filter(|&&s| s <= 10_000).count() as f64 / samples.len() as f64;
+        assert!(below_10k > 0.75, "P(<=10kB) = {below_10k}");
+        let total: f64 = samples.iter().map(|&s| s as f64).sum();
+        let elephant: f64 = samples
+            .iter()
+            .filter(|&&s| s > 10_000_000)
+            .map(|&s| s as f64)
+            .sum();
+        assert!(
+            elephant / total > 0.80,
+            "byte share of >10MB flows = {}",
+            elephant / total
+        );
+        // Mean far above the median is the heavy-tail signature churn needs.
+        assert!(dist.mean_bytes() > 100.0 * dist.quantile(0.5));
     }
 
     #[test]

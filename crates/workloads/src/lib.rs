@@ -6,7 +6,11 @@
 //! * [`distributions`] — flow-size distributions: synthetic empirical CDFs
 //!   matching the published web-search and enterprise workload statistics,
 //!   plus fixed/uniform/Pareto helpers.
-//! * [`arrivals`] — Poisson flow arrivals at a target load.
+//! * [`arrivals`] — Poisson flow arrivals at a target load, both collected
+//!   ([`poisson_arrivals`]) and streaming ([`ArrivalStream`]).
+//! * [`churn`] — open-loop trace-driven churn mixes: per-class Poisson
+//!   processes (foreground web-search over background data-mining) merged
+//!   into one streaming arrival sequence for the million-flow scenarios.
 //! * [`scenarios`] — the semi-dynamic convergence scenario (1000 random
 //!   paths, 100-flow start/stop events, 300–500 active flows), permutation
 //!   traffic for resource pooling, random-pair helpers, and the datacenter
@@ -44,6 +48,7 @@
 #![deny(unsafe_code)]
 
 pub mod arrivals;
+pub mod churn;
 pub mod convergence;
 pub mod distributions;
 pub mod fabric;
@@ -53,7 +58,10 @@ pub mod registry;
 pub mod scenarios;
 pub mod sweep;
 
-pub use arrivals::{poisson_arrivals, FlowArrival, PoissonWorkloadConfig};
+pub use arrivals::{poisson_arrivals, ArrivalStream, FlowArrival, PoissonWorkloadConfig};
+pub use churn::{
+    derive_class_seed, foreground_background, ChurnArrival, ChurnClass, ChurnConfig, ChurnStream,
+};
 pub use convergence::{
     convergence_stats, fluid_instance, measure_convergence, oracle_rates_bps, ConvergenceCriterion,
     ConvergenceOutcome, ConvergenceStats,

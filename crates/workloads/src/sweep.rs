@@ -28,7 +28,9 @@ use std::str::FromStr;
 /// `load` as the fraction of eligible hosts participating and `size_bytes`
 /// as the per-transfer size. The steady-state scenario (`Stride`) starts
 /// long-lived flows and measures rates against the fluid oracle, so the
-/// size axis does not apply to it.
+/// size axis does not apply to it. The open-loop scenario (`Churn`)
+/// interprets `load` as the offered load of its Poisson class mix and
+/// ignores the size axis (sizes come from the mix's distributions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SweepScenario {
     /// N-to-1 incast: `load` scales the fan-in.
@@ -37,14 +39,18 @@ pub enum SweepScenario {
     Shuffle,
     /// Stride permutation, steady-state rates vs the fluid oracle.
     Stride,
+    /// Open-loop Poisson churn at `load` with the foreground/background
+    /// heavy-tail class mix (see [`crate::churn`]).
+    Churn,
 }
 
 impl SweepScenario {
     /// Every scenario, in the canonical axis order.
-    pub const ALL: [SweepScenario; 3] = [
+    pub const ALL: [SweepScenario; 4] = [
         SweepScenario::Incast,
         SweepScenario::Shuffle,
         SweepScenario::Stride,
+        SweepScenario::Churn,
     ];
 
     /// The registry/CLI name of the scenario.
@@ -53,6 +59,7 @@ impl SweepScenario {
             SweepScenario::Incast => "incast",
             SweepScenario::Shuffle => "shuffle",
             SweepScenario::Stride => "stride",
+            SweepScenario::Churn => "churn",
         }
     }
 }
@@ -71,7 +78,7 @@ impl fmt::Display for InvalidScenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "invalid scenario `{}`; expected incast, shuffle or stride",
+            "invalid scenario `{}`; expected incast, shuffle, stride or churn",
             self.0
         )
     }

@@ -578,3 +578,55 @@ fn pfabric_worst_drop_replay_is_bit_identical() {
         "scenario produced no drops; tombstone path untested"
     );
 }
+
+/// Render the churn engine's full `--json` report for one execution-knob
+/// combination. Everything observable — per-class sketches, slab
+/// high-water, goodput — is folded into the rendered bytes.
+fn churn_engine_report(seed: u64, partitions: usize, partition_threads: usize) -> String {
+    use numfabric_bench::{churn_report_json, run_churn, ChurnRun, Protocol};
+    let protocol = Protocol::NumFabric(NumFabricConfig::default());
+    let run = ChurnRun {
+        arrival_window: SimDuration::from_millis(6),
+        drain: SimDuration::from_millis(40),
+        ..ChurnRun::reduced(0.6, seed)
+    };
+    let summary = run_churn(&protocol, &run, partitions, partition_threads);
+    assert!(summary.completed > 0, "churn run completed no flows");
+    churn_report_json(
+        &run.topology.to_string(),
+        protocol.name(),
+        run.load,
+        6,
+        seed,
+        &summary,
+    )
+    .render()
+}
+
+#[test]
+fn partition_matrix_never_changes_a_churn_report() {
+    let baseline = churn_engine_report(21, 1, 1);
+    for partitions in [1usize, 2, 4] {
+        for threads in [1usize, 2] {
+            if (partitions, threads) == (1, 1) {
+                continue;
+            }
+            let got = churn_engine_report(21, partitions, threads);
+            assert_eq!(
+                baseline, got,
+                "churn report bytes changed at partitions={partitions} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn churn_report_is_seed_sensitive() {
+    // The matrix invariance above must not be vacuous: a different seed
+    // has to produce a genuinely different trace.
+    assert_ne!(
+        churn_engine_report(21, 2, 2),
+        churn_engine_report(22, 2, 2),
+        "different seeds produced identical churn reports"
+    );
+}
